@@ -1,0 +1,89 @@
+//! Criterion benchmarks for the EDA pipeline stages that generate the
+//! paper's data: placement, global routing (the Table 1 label generator),
+//! RUDY estimation and LH-graph construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lh_graph::{FeatureSet, LhGraph, LhGraphConfig};
+use vlsi_netlist::synth::{generate, SynthConfig};
+use vlsi_place::GlobalPlacer;
+use vlsi_route::{route, rudy_maps, RouterConfig};
+
+fn design(n_cells: usize, grid: u32) -> SynthConfig {
+    SynthConfig {
+        name: format!("bench{n_cells}"),
+        n_cells,
+        grid_nx: grid,
+        grid_ny: grid,
+        ..SynthConfig::default()
+    }
+}
+
+fn bench_placer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placer");
+    group.sample_size(10);
+    for (cells, grid) in [(500usize, 16u32), (1500, 32)] {
+        let cfg = design(cells, grid);
+        let synth = generate(&cfg).expect("generate");
+        let g = cfg.grid();
+        group.bench_with_input(BenchmarkId::new("global_place", cells), &cells, |b, _| {
+            b.iter(|| GlobalPlacer::default().place_synth(&synth, &g).expect("place"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router");
+    group.sample_size(10);
+    for (cells, grid) in [(500usize, 16u32), (1500, 32)] {
+        let cfg = design(cells, grid);
+        let synth = generate(&cfg).expect("generate");
+        let g = cfg.grid();
+        let placed = GlobalPlacer::default().place_synth(&synth, &g).expect("place");
+        group.bench_with_input(BenchmarkId::new("route_labels", cells), &cells, |b, _| {
+            b.iter(|| {
+                route(
+                    &synth.circuit,
+                    &placed.placement,
+                    &g,
+                    &synth.macro_rects,
+                    &RouterConfig::default(),
+                )
+                .expect("route")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rudy", cells), &cells, |b, _| {
+            b.iter(|| rudy_maps(&synth.circuit, &placed.placement, &g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lhgraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lhgraph");
+    group.sample_size(10);
+    for (cells, grid) in [(500usize, 16u32), (1500, 32)] {
+        let cfg = design(cells, grid);
+        let synth = generate(&cfg).expect("generate");
+        let g = cfg.grid();
+        let placed = GlobalPlacer::default().place_synth(&synth, &g).expect("place");
+        group.bench_with_input(BenchmarkId::new("build_graph", cells), &cells, |b, _| {
+            b.iter(|| {
+                LhGraph::build(&synth.circuit, &placed.placement, &g, &LhGraphConfig::default())
+                    .expect("graph")
+            });
+        });
+        let graph =
+            LhGraph::build(&synth.circuit, &placed.placement, &g, &LhGraphConfig::default())
+                .expect("graph");
+        group.bench_with_input(BenchmarkId::new("build_features", cells), &cells, |b, _| {
+            b.iter(|| {
+                FeatureSet::build(&graph, &synth.circuit, &placed.placement, &g).expect("features")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placer, bench_router, bench_lhgraph);
+criterion_main!(benches);

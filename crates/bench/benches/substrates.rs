@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks for the numeric substrates: dense/sparse
+//! linear algebra and the convolution kernels that every experiment's
+//! runtime is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurograd::{Conv2dCfg, CsrMatrix, Matrix, Tape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .expect("sized")
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(0);
+    for n in [256usize, 1024] {
+        let a = random_matrix(n, 32, &mut rng);
+        let b = random_matrix(32, 32, &mut rng);
+        group.bench_with_input(BenchmarkId::new("nx32_32x32", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [1024usize, 2048] {
+        // ~8 entries per row, like an LH-graph incidence matrix
+        let triplets: Vec<(usize, usize, f32)> = (0..n)
+            .flat_map(|r| {
+                let mut rng = StdRng::seed_from_u64(r as u64);
+                (0..8).map(move |_| (r, rng.gen_range(0..n), 1.0)).collect::<Vec<_>>()
+            })
+            .collect();
+        let s = CsrMatrix::from_triplets(n, n, &triplets);
+        let x = random_matrix(n, 32, &mut rng);
+        group.bench_with_input(BenchmarkId::new("8nnz_row_x32", n), &n, |bench, _| {
+            bench.iter(|| s.spmm(&x));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(2);
+    for hw in [32usize, 64] {
+        let cfg = Conv2dCfg::same(8, 8, hw, hw, 3);
+        let x = random_matrix(8, hw * hw, &mut rng);
+        let w = random_matrix(8, 8 * 9, &mut rng);
+        let b = Matrix::zeros(8, 1);
+        group.bench_with_input(BenchmarkId::new("8ch_3x3", hw), &hw, |bench, _| {
+            bench.iter(|| {
+                let mut tape = Tape::new();
+                let xv = tape.leaf(x.clone());
+                let wv = tape.leaf(w.clone());
+                let bv = tape.leaf(b.clone());
+                tape.conv2d(xv, wv, bv, cfg)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tape_backward");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = random_matrix(1024, 32, &mut rng);
+    let w = random_matrix(32, 32, &mut rng);
+    group.bench_function("mlp3_1024x32", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let xv = tape.leaf_grad(x.clone());
+            let wv = tape.leaf_grad(w.clone());
+            let mut h = xv;
+            for _ in 0..3 {
+                h = tape.matmul(h, wv);
+                h = tape.relu(h);
+            }
+            let loss = tape.mean_all(h);
+            tape.backward(loss);
+            tape.grad(wv).map(Matrix::sum)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_spmm, bench_conv2d, bench_backward);
+criterion_main!(benches);

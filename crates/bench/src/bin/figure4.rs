@@ -1,0 +1,123 @@
+//! Regenerates **Figure 4** of the paper: visual comparison of predicted
+//! congestion maps on three test designs of very different congestion
+//! rates (two low, one high). The paper's observation: LHNN adapts its
+//! prediction level per design, while conventional models predict an
+//! "averaged" congestion level — false positives on sparse designs, false
+//! negatives on dense ones.
+//!
+//! Writes one PGM per (design, source) to `results/figure4/` and prints
+//! ASCII maps plus per-design false-positive/negative counts.
+//!
+//! ```text
+//! cargo run --release -p lhnn-bench --bin figure4 [--scale F] [--epochs N]
+//! ```
+
+use std::path::Path;
+
+use lh_graph::ChannelMode;
+use lhnn::{predict_map, train, AblationSpec, Lhnn, LhnnConfig, TrainConfig};
+use lhnn_baselines::{ImageModel, MlpBaseline, Pix2PixModel, UNetModel};
+use lhnn_bench::HarnessArgs;
+use lhnn_data::{ascii_map, pct1, write_pgm, DesignData, PreparedDataset, TextTable};
+
+fn binary(map: &[f32]) -> Vec<f32> {
+    map.iter().map(|&p| if p >= 0.5 { 1.0 } else { 0.0 }).collect()
+}
+
+fn fp_fn(pred: &[f32], label: &[f32]) -> (usize, usize) {
+    let mut fp = 0;
+    let mut fn_ = 0;
+    for (&p, &y) in pred.iter().zip(label) {
+        if p >= 0.5 && y < 0.5 {
+            fp += 1;
+        }
+        if p < 0.5 && y >= 0.5 {
+            fn_ += 1;
+        }
+    }
+    (fp, fn_)
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let cfg = args.experiment_config();
+    eprintln!("figure4: scale {}, {} epochs", args.scale, cfg.lhnn_train.epochs);
+    let prep = PreparedDataset::build(&cfg.dataset).expect("dataset build failed");
+
+    // Train every model once (seed 0) on the uni-channel task.
+    let train_set = prep.train_samples();
+    let mut lhnn = Lhnn::new(LhnnConfig { channel_mode: ChannelMode::Uni, ..cfg.lhnn.clone() }, 0);
+    let tcfg = TrainConfig { seed: 0, ..cfg.lhnn_train.clone() };
+    eprintln!("training LHNN...");
+    train(&mut lhnn, &train_set, &AblationSpec::full(), &tcfg);
+
+    let train_imgs = prep.train_images(ChannelMode::Uni);
+    let bcfg = cfg.baseline_train.clone();
+    let mut mlp = MlpBaseline::new(4, 1, cfg.mlp_hidden, 0);
+    let mut unet = UNetModel::new(4, 1, cfg.cnn_features, 0);
+    let mut pix = Pix2PixModel::new(4, 1, cfg.cnn_features, 0);
+    eprintln!("training MLP...");
+    mlp.fit(&train_imgs, &bcfg);
+    eprintln!("training U-Net...");
+    unet.fit(&train_imgs, &bcfg);
+    eprintln!("training Pix2Pix...");
+    pix.fit(&train_imgs, &bcfg);
+
+    // The paper shows superblue 5, 6, 9: two lowest-congestion test
+    // designs plus the highest.
+    let by_rate = prep.test_by_congestion();
+    let picks: Vec<&DesignData> =
+        vec![by_rate[0], by_rate[1], by_rate[by_rate.len() - 1]];
+
+    let out_dir = Path::new(&args.out_dir).join("figure4");
+    let mut summary = TextTable::new(&[
+        "Design", "Rate (%)", "Model", "Pred rate (%)", "FP", "FN",
+    ]);
+    for d in picks {
+        let (nx, ny) = (d.grid.nx() as usize, d.grid.ny() as usize);
+        let (lhnn_prob, label) = predict_map(&lhnn, &d.sample, &AblationSpec::full());
+        let img = d.image_sample(ChannelMode::Uni);
+        let preds: Vec<(&str, Vec<f32>)> = vec![
+            ("label", label.clone()),
+            ("lhnn", lhnn_prob),
+            ("mlp", mlp.predict(&img).into_vec()),
+            ("unet", unet.predict(&img).into_vec()),
+            ("pix2pix", pix.predict(&img).into_vec()),
+        ];
+        println!(
+            "=== {} (congestion rate {}%) ===",
+            d.name,
+            pct1(d.stats.congestion_rate)
+        );
+        for (name, map) in &preds {
+            let bin = binary(map);
+            let (fp, fn_) = fp_fn(&bin, &label);
+            let pred_rate = bin.iter().sum::<f32>() as f64 / bin.len() as f64;
+            if *name != "label" {
+                summary.add_row(vec![
+                    d.name.clone(),
+                    pct1(d.stats.congestion_rate),
+                    (*name).to_string(),
+                    pct1(pred_rate),
+                    fp.to_string(),
+                    fn_.to_string(),
+                ]);
+            }
+            write_pgm(map, nx, ny, &out_dir.join(format!("{}_{name}.pgm", d.name)))
+                .expect("write pgm");
+        }
+        // ASCII: label vs LHNN vs U-Net, side by side conceptually
+        println!("label:");
+        println!("{}", ascii_map(&preds[0].1, nx, ny));
+        println!("lhnn prediction:");
+        println!("{}", ascii_map(&binary(&preds[1].1), nx, ny));
+        println!("unet prediction:");
+        println!("{}", ascii_map(&binary(&preds[3].1), nx, ny));
+    }
+    println!("Figure 4 summary (per-design calibration):");
+    println!("{}", summary.render());
+    summary
+        .write_csv(&Path::new(&args.out_dir).join("figure4_summary.csv"))
+        .expect("write csv");
+    eprintln!("pgm maps + csv written under {}/", args.out_dir);
+}

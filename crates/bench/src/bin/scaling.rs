@@ -1,0 +1,106 @@
+//! Extension experiment (DESIGN.md §7): inference cost vs circuit size.
+//!
+//! The practical promise of learned congestion prediction is replacing the
+//! global router inside the placement loop. This harness measures, per
+//! grid size: router label time, LHNN inference time and U-Net inference
+//! time — the speed-up a placer would see.
+//!
+//! ```text
+//! cargo run --release -p lhnn-bench --bin scaling
+//! ```
+
+use std::path::Path;
+use std::time::Instant;
+
+use lh_graph::{ChannelMode, FeatureSet, LhGraph, LhGraphConfig, Targets};
+use lhnn::{AblationSpec, GraphOps, Lhnn, LhnnConfig, Sample};
+use lhnn_baselines::{ImageModel, ImageSample, UNetModel};
+use lhnn_bench::HarnessArgs;
+use lhnn_data::TextTable;
+use vlsi_netlist::synth::{generate, SynthConfig};
+use vlsi_place::GlobalPlacer;
+use vlsi_route::{route, rudy_maps, RouterConfig};
+
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    // warm-up + best of 3
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1000.0);
+    }
+    best
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let mut table = TextTable::new(&[
+        "G-cells", "#cells", "route (ms)", "rudy (ms)", "lhnn (ms)", "unet (ms)", "router/lhnn",
+    ]);
+    for grid in [16u32, 24, 32, 48, 64] {
+        let n_cells = (grid * grid) as usize;
+        let cfg = SynthConfig {
+            name: format!("scale{grid}"),
+            n_cells,
+            grid_nx: grid,
+            grid_ny: grid,
+            ..SynthConfig::default()
+        };
+        let synth = generate(&cfg).expect("generate");
+        let g = cfg.grid();
+        let placed = GlobalPlacer::default().place_synth(&synth, &g).expect("place");
+        let route_ms = time_ms(|| {
+            route(&synth.circuit, &placed.placement, &g, &synth.macro_rects, &RouterConfig::default())
+                .expect("route");
+        });
+        let rudy_ms = time_ms(|| {
+            rudy_maps(&synth.circuit, &placed.placement, &g);
+        });
+        let routed = route(&synth.circuit, &placed.placement, &g, &synth.macro_rects, &RouterConfig::default())
+            .expect("route");
+        let graph = LhGraph::build(&synth.circuit, &placed.placement, &g, &LhGraphConfig::default())
+            .expect("graph");
+        let (gd, nd) = FeatureSet::default_divisors();
+        let features = FeatureSet::build(&graph, &synth.circuit, &placed.placement, &g)
+            .expect("features")
+            .scaled_fixed(&gd, &nd);
+        let sample = Sample {
+            name: cfg.name.clone(),
+            graph,
+            features,
+            targets: Targets::from_labels(&routed.labels),
+        };
+        let ops = GraphOps::from_graph(&sample.graph, &AblationSpec::full());
+        let lhnn = Lhnn::new(LhnnConfig::default(), 0);
+        let lhnn_ms = time_ms(|| {
+            lhnn.predict(&ops, &sample.features);
+        });
+        let unet = UNetModel::new(4, 1, 8, 0);
+        let img = ImageSample::from_node_major(
+            cfg.name.clone(),
+            grid as usize,
+            grid as usize,
+            &sample.features.gcell,
+            &sample.targets.congestion_channels(ChannelMode::Uni),
+        );
+        let unet_ms = time_ms(|| {
+            unet.predict(&img);
+        });
+        println!(
+            "grid {grid}x{grid}: route {route_ms:.1} ms, rudy {rudy_ms:.2} ms, lhnn {lhnn_ms:.1} ms, unet {unet_ms:.1} ms"
+        );
+        table.add_row(vec![
+            (grid * grid).to_string(),
+            n_cells.to_string(),
+            format!("{route_ms:.1}"),
+            format!("{rudy_ms:.2}"),
+            format!("{lhnn_ms:.1}"),
+            format!("{unet_ms:.1}"),
+            format!("{:.1}x", route_ms / lhnn_ms.max(1e-9)),
+        ]);
+    }
+    println!("\nInference scaling (single thread):");
+    println!("{}", table.render());
+    table.write_csv(&Path::new(&args.out_dir).join("scaling.csv")).expect("write csv");
+}

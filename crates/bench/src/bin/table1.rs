@@ -1,0 +1,71 @@
+//! Regenerates **Table 1** of the paper: dataset information and the
+//! fixed 10:5 split minimising the train/test congestion-rate gap.
+//!
+//! ```text
+//! cargo run --release -p lhnn-bench --bin table1 [--scale F]
+//! ```
+
+use std::path::Path;
+
+use lhnn_bench::HarnessArgs;
+use lhnn_data::{pct1, PreparedDataset, TextTable};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let cfg = args.experiment_config();
+    eprintln!("building 15-design suite (scale {})...", args.scale);
+    let prep = PreparedDataset::build(&cfg.dataset).expect("dataset build failed");
+
+    // Per-design statistics.
+    let mut per_design = TextTable::new(&["Design", "#cells", "#nets", "#G-cells", "Congestion rate (%)", "Split"]);
+    for (i, d) in prep.designs.iter().enumerate() {
+        let split = if prep.search.split.test.contains(&i) { "test" } else { "train" };
+        per_design.add_row(vec![
+            d.stats.name.clone(),
+            d.stats.cells.to_string(),
+            d.stats.nets.to_string(),
+            d.stats.gcells.to_string(),
+            pct1(d.stats.congestion_rate),
+            split.to_string(),
+        ]);
+    }
+    println!("Per-design statistics:");
+    println!("{}", per_design.render());
+
+    // The paper's aggregated Table 1 view.
+    let avg = |idx: &[usize], f: &dyn Fn(&lhnn_data::DesignStats) -> f64| -> f64 {
+        idx.iter().map(|&i| f(&prep.designs[i].stats)).sum::<f64>() / idx.len().max(1) as f64
+    };
+    let all: Vec<usize> = (0..prep.designs.len()).collect();
+    let mut table1 = TextTable::new(&["Split", "Designs", "#cells", "#nets", "#G-cells", "Congestion rate (%)"]);
+    for (name, idx) in [
+        ("Training", prep.search.split.train.clone()),
+        ("Testing", prep.search.split.test.clone()),
+        ("Total", all),
+    ] {
+        let names: Vec<String> = idx
+            .iter()
+            .map(|&i| prep.designs[i].name.trim_start_matches("synthblue").to_string())
+            .collect();
+        table1.add_row(vec![
+            name.to_string(),
+            names.join(","),
+            format!("{:.0}", avg(&idx, &|s| s.cells as f64)),
+            format!("{:.0}", avg(&idx, &|s| s.nets as f64)),
+            format!("{:.0}", avg(&idx, &|s| s.gcells as f64)),
+            pct1(avg(&idx, &|s| s.congestion_rate)),
+        ]);
+    }
+    println!("Table 1: Dataset Information (averages per split)");
+    println!("{}", table1.render());
+    println!(
+        "split search: {} candidates, gap = {:.4} percentage points",
+        prep.search.candidates,
+        prep.search.gap * 100.0
+    );
+
+    let out = Path::new(&args.out_dir);
+    per_design.write_csv(&out.join("table1_designs.csv")).expect("write csv");
+    table1.write_csv(&out.join("table1.csv")).expect("write csv");
+    eprintln!("csv written to {}/table1*.csv", args.out_dir);
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Table 2** of the paper: model comparison on the synthetic
+//! ISPD-2011/DAC-2012 stand-in suite — F1 and accuracy, mean ± std over
+//! seeds, for the uni- and duo-channel tasks.
+//!
+//! ```text
+//! cargo run --release -p lhnn-bench --bin table2 [--scale F] [--epochs N] [--seeds N]
+//! ```
+
+use std::path::Path;
+use std::time::Instant;
+
+use lh_graph::ChannelMode;
+use lhnn_bench::HarnessArgs;
+use lhnn_data::{model_comparison, pct, PreparedDataset, TextTable};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let cfg = args.experiment_config();
+    eprintln!(
+        "table2: scale {}, {} epochs, {} seeds",
+        args.scale,
+        cfg.lhnn_train.epochs,
+        cfg.seeds.len()
+    );
+    let t0 = Instant::now();
+    let prep = PreparedDataset::build(&cfg.dataset).expect("dataset build failed");
+    eprintln!("dataset ready in {:.0}s", t0.elapsed().as_secs_f64());
+
+    let mut table = TextTable::new(&[
+        "Model",
+        "Uni F1",
+        "Uni ACC",
+        "Duo F1",
+        "Duo ACC",
+    ]);
+    let t1 = Instant::now();
+    let uni = model_comparison(&prep, &cfg, ChannelMode::Uni);
+    eprintln!("uni-channel done in {:.0}s", t1.elapsed().as_secs_f64());
+    let t2 = Instant::now();
+    let duo = model_comparison(&prep, &cfg, ChannelMode::Duo);
+    eprintln!("duo-channel done in {:.0}s", t2.elapsed().as_secs_f64());
+
+    for (u, d) in uni.iter().zip(&duo) {
+        table.add_row(vec![
+            u.model.clone(),
+            pct(u.f1.0, u.f1.1),
+            pct(u.accuracy.0, u.accuracy.1),
+            pct(d.f1.0, d.f1.1),
+            pct(d.accuracy.0, d.accuracy.1),
+        ]);
+    }
+    println!("Table 2: Model comparison (mean±std over {} seeds)", cfg.seeds.len());
+    println!("{}", table.render());
+
+    // Relative F1 improvements, as quoted in the paper's abstract.
+    let lhnn_f1 = uni.last().expect("lhnn row").f1.0;
+    for row in &uni[..uni.len() - 1] {
+        let rel = (lhnn_f1 - row.f1.0) / row.f1.0.max(1e-12) * 100.0;
+        println!("uni-channel F1 improvement of LHNN over {}: {rel:+.2}%", row.model);
+    }
+
+    let out = Path::new(&args.out_dir);
+    table.write_csv(&out.join("table2.csv")).expect("write csv");
+    eprintln!("csv written to {}/table2.csv", args.out_dir);
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Table 3** of the paper: the uni-channel ablation study —
+//! remove FeatureGen/HyperMP/LatticeMP edges, the jointing branch, or the
+//! G-cell input features, and report F1 with the relative change
+//! `ΔF1/F1_full`.
+//!
+//! ```text
+//! cargo run --release -p lhnn-bench --bin table3 [--scale F] [--epochs N] [--seeds N]
+//! ```
+
+use std::path::Path;
+use std::time::Instant;
+
+use lhnn_bench::HarnessArgs;
+use lhnn_data::{ablation_study, pct, PreparedDataset, TextTable};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let cfg = args.experiment_config();
+    eprintln!(
+        "table3: scale {}, {} epochs, {} seeds, 6 ablation variants",
+        args.scale,
+        cfg.lhnn_train.epochs,
+        cfg.seeds.len()
+    );
+    let t0 = Instant::now();
+    let prep = PreparedDataset::build(&cfg.dataset).expect("dataset build failed");
+    eprintln!("dataset ready in {:.0}s", t0.elapsed().as_secs_f64());
+
+    let t1 = Instant::now();
+    let rows = ablation_study(&prep, &cfg);
+    eprintln!("ablation study done in {:.0}s", t1.elapsed().as_secs_f64());
+
+    let mut table = TextTable::new(&["Model", "F1", "dF1/F1_full (%)"]);
+    for r in &rows {
+        table.add_row(vec![r.label.clone(), pct(r.f1.0, r.f1.1), format!("{:+.2}", r.delta_pct)]);
+    }
+    println!("Table 3: Ablation study on uni-channel experiments");
+    println!("{}", table.render());
+
+    let out = Path::new(&args.out_dir);
+    table.write_csv(&out.join("table3.csv")).expect("write csv");
+    eprintln!("csv written to {}/table3.csv", args.out_dir);
+}

@@ -1,0 +1,39 @@
+//! `lhnn` — the Lattice Hypergraph Neural Network for VLSI congestion
+//! prediction (Wang et al., DAC 2022), reproduced in pure Rust.
+//!
+//! The crate implements section 4 of the paper on top of the
+//! [`lh_graph`] formulation:
+//!
+//! * [`Lhnn`] — FeatureGen + stacked HyperMP + LatticeMP blocks with joint
+//!   congestion-classification and demand-regression heads,
+//! * [`loss`] — the joint objective of Eq. 3–5 with the γ label-balance
+//!   weighting,
+//! * [`train`] / [`evaluate`] — the paper's training protocol and
+//!   per-design F1/ACC evaluation,
+//! * [`AblationSpec`] — the component switches of the Table 3 ablation,
+//! * [`ops`] — graph operators with ablation masking and the paper's
+//!   {6,3,2} neighbour-sampling fanouts.
+//!
+//! # Example
+//!
+//! See `examples/quickstart.rs` at the workspace root for the end-to-end
+//! pipeline (generate → place → route → graph → train → predict).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod loss;
+pub mod model;
+pub mod ops;
+pub mod serialize;
+pub mod trainer;
+
+pub use config::{AblationSpec, LhnnConfig, TrainConfig};
+pub use model::{Lhnn, LhnnOutput, Prediction};
+pub use ops::GraphOps;
+pub use serialize::ModelIoError;
+pub use trainer::{
+    evaluate, evaluate_regression, predict_map, train, DesignEval, EvalResult, RegEval, Sample,
+    TrainHistory,
+};

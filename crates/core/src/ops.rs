@@ -1,0 +1,260 @@
+//! Graph operators as consumed by the model, with ablation and
+//! neighbour-sampling support.
+//!
+//! [`GraphOps`] snapshots the four aggregation matrices of an
+//! [`lh_graph::LhGraph`]. Ablations replace a relation's matrix
+//! with an all-zero matrix of the same shape (messages vanish, parameters
+//! stay); neighbour sampling keeps at most `fanout` random entries per row
+//! and renormalises, mirroring DGL's sampled aggregation.
+
+use std::sync::Arc;
+
+use lh_graph::LhGraph;
+use neurograd::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::config::AblationSpec;
+
+/// The aggregation operators used by one forward pass.
+#[derive(Debug, Clone)]
+pub struct GraphOps {
+    /// Sum aggregation G-net → G-cell (`H`), used by FeatureGen.
+    pub gnc_sum: Arc<CsrMatrix>,
+    /// Mean aggregation G-net → G-cell (`D⁻¹H`), used by HyperMP.
+    pub gnc_mean: Arc<CsrMatrix>,
+    /// Mean aggregation G-cell → G-net (`B⁻¹Hᵀ`), used by HyperMP.
+    pub gcn_mean: Arc<CsrMatrix>,
+    /// Mean lattice aggregation (`P⁻¹A`), used by LatticeMP.
+    pub lattice_mean: Arc<CsrMatrix>,
+    /// Number of G-cell nodes.
+    pub num_gcells: usize,
+    /// Number of G-net nodes.
+    pub num_gnets: usize,
+}
+
+impl GraphOps {
+    /// Snapshots the operators of a graph under an ablation spec.
+    pub fn from_graph(graph: &LhGraph, ablation: &AblationSpec) -> Self {
+        let (n_c, n_n) = (graph.num_gcells(), graph.num_gnets());
+        let empty = |rows: usize, cols: usize| Arc::new(CsrMatrix::empty(rows, cols));
+        Self {
+            gnc_sum: if ablation.featuregen_edges {
+                Arc::clone(graph.gnc_sum())
+            } else {
+                empty(n_c, n_n.max(1))
+            },
+            gnc_mean: if ablation.hypermp_edges {
+                Arc::clone(graph.gnc_mean())
+            } else {
+                empty(n_c, n_n.max(1))
+            },
+            gcn_mean: if ablation.hypermp_edges {
+                Arc::clone(graph.gcn_mean())
+            } else {
+                empty(n_n.max(1), n_c)
+            },
+            lattice_mean: if ablation.latticemp_edges {
+                Arc::clone(graph.lattice_mean())
+            } else {
+                empty(n_c, n_c)
+            },
+            num_gcells: n_c,
+            num_gnets: n_n,
+        }
+    }
+
+    /// Returns a copy with each relation subsampled to the given fanouts
+    /// `[featuregen, hypermp, latticemp]` (the paper's {6, 3, 2}).
+    ///
+    /// Mean operators are renormalised after sampling; the sum operator
+    /// (`H`) is rescaled by `row_degree / kept` so expected messages are
+    /// unbiased.
+    pub fn sampled(&self, fanouts: [usize; 3], rng: &mut StdRng) -> Self {
+        Self {
+            gnc_sum: Arc::new(sample_rows(&self.gnc_sum, fanouts[0], true, rng)),
+            gnc_mean: Arc::new(sample_rows(&self.gnc_mean, fanouts[1], false, rng)),
+            gcn_mean: Arc::new(sample_rows(&self.gcn_mean, fanouts[1], false, rng)),
+            lattice_mean: Arc::new(sample_rows(&self.lattice_mean, fanouts[2], false, rng)),
+            num_gcells: self.num_gcells,
+            num_gnets: self.num_gnets,
+        }
+    }
+}
+
+/// Keeps at most `fanout` random entries per row.
+///
+/// With `rescale_sum`, kept entries are scaled by `degree / kept` (unbiased
+/// sum estimate); otherwise the row is renormalised to sum to 1 (mean
+/// estimate).
+fn sample_rows(csr: &CsrMatrix, fanout: usize, rescale_sum: bool, rng: &mut StdRng) -> CsrMatrix {
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+    for r in 0..csr.rows() {
+        let entries: Vec<(usize, f32)> = csr.row_entries(r).collect();
+        if entries.is_empty() {
+            continue;
+        }
+        if entries.len() <= fanout {
+            for (c, v) in entries {
+                triplets.push((r, c, v));
+            }
+            continue;
+        }
+        let mut idx: Vec<usize> = (0..entries.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(fanout);
+        if rescale_sum {
+            let scale = entries.len() as f32 / fanout as f32;
+            for &i in &idx {
+                triplets.push((r, entries[i].0, entries[i].1 * scale));
+            }
+        } else {
+            let kept_sum: f32 = idx.iter().map(|&i| entries[i].1).sum();
+            let norm = if kept_sum > 0.0 { 1.0 / kept_sum } else { 0.0 };
+            for &i in &idx {
+                triplets.push((r, entries[i].0, entries[i].1 * norm));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(csr.rows(), csr.cols(), &triplets)
+}
+
+/// Derives a fresh sampling RNG for an epoch from a base seed.
+pub fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Convenience: random permutation of `0..n` (training-set shuffling).
+pub fn shuffled_indices(n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lh_graph::LhGraphConfig;
+    use vlsi_netlist::synth::{generate, SynthConfig};
+    use vlsi_place::GlobalPlacer;
+
+    fn graph() -> LhGraph {
+        let cfg = SynthConfig { n_cells: 150, grid_nx: 8, grid_ny: 8, ..SynthConfig::default() };
+        let synth = generate(&cfg).unwrap();
+        let grid = cfg.grid();
+        let placed = GlobalPlacer::default().place_synth(&synth, &grid).unwrap();
+        LhGraph::build(&synth.circuit, &placed.placement, &grid, &LhGraphConfig::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn full_spec_shares_graph_matrices() {
+        let g = graph();
+        let ops = GraphOps::from_graph(&g, &AblationSpec::full());
+        assert_eq!(ops.gnc_sum.nnz(), g.gnc_sum().nnz());
+        assert_eq!(ops.lattice_mean.nnz(), g.lattice_mean().nnz());
+        assert_eq!(ops.num_gcells, g.num_gcells());
+        assert_eq!(ops.num_gnets, g.num_gnets());
+    }
+
+    #[test]
+    fn ablations_zero_the_right_relations() {
+        let g = graph();
+        let no_fg = GraphOps::from_graph(&g, &AblationSpec::without_featuregen());
+        assert_eq!(no_fg.gnc_sum.nnz(), 0);
+        assert!(no_fg.gnc_mean.nnz() > 0);
+
+        let no_hyper = GraphOps::from_graph(&g, &AblationSpec::without_hypermp());
+        assert_eq!(no_hyper.gnc_mean.nnz(), 0);
+        assert_eq!(no_hyper.gcn_mean.nnz(), 0);
+        assert!(no_hyper.gnc_sum.nnz() > 0);
+        assert!(no_hyper.lattice_mean.nnz() > 0);
+
+        let no_lat = GraphOps::from_graph(&g, &AblationSpec::without_latticemp());
+        assert_eq!(no_lat.lattice_mean.nnz(), 0);
+        assert!(no_lat.gnc_mean.nnz() > 0);
+    }
+
+    #[test]
+    fn ablation_preserves_shapes() {
+        let g = graph();
+        for spec in [
+            AblationSpec::without_featuregen(),
+            AblationSpec::without_hypermp(),
+            AblationSpec::without_latticemp(),
+        ] {
+            let ops = GraphOps::from_graph(&g, &spec);
+            assert_eq!(ops.gnc_sum.shape(), g.gnc_sum().shape());
+            assert_eq!(ops.gcn_mean.shape(), g.gcn_mean().shape());
+            assert_eq!(ops.lattice_mean.shape(), g.lattice_mean().shape());
+        }
+    }
+
+    #[test]
+    fn sampling_caps_row_degree() {
+        let g = graph();
+        let ops = GraphOps::from_graph(&g, &AblationSpec::full());
+        let mut rng = StdRng::seed_from_u64(1);
+        let sampled = ops.sampled([6, 3, 2], &mut rng);
+        for r in 0..sampled.lattice_mean.rows() {
+            assert!(sampled.lattice_mean.row_nnz(r) <= 2);
+        }
+        for r in 0..sampled.gnc_mean.rows() {
+            assert!(sampled.gnc_mean.row_nnz(r) <= 3);
+        }
+        for r in 0..sampled.gnc_sum.rows() {
+            assert!(sampled.gnc_sum.row_nnz(r) <= 6);
+        }
+    }
+
+    #[test]
+    fn sampled_mean_rows_stay_stochastic() {
+        let g = graph();
+        let ops = GraphOps::from_graph(&g, &AblationSpec::full());
+        let mut rng = StdRng::seed_from_u64(2);
+        let sampled = ops.sampled([6, 3, 2], &mut rng);
+        for s in sampled.lattice_mean.row_sums() {
+            assert!(s.abs() < 1e-6 || (s - 1.0).abs() < 1e-4, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn sampled_sum_is_unbiased_in_expectation() {
+        // A row with 4 unit entries sampled at fanout 2 and rescaled by 2
+        // has expected row sum 4.
+        let csr = CsrMatrix::from_triplets(
+            1,
+            4,
+            &[(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)],
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total = 0.0;
+        let trials = 200;
+        for _ in 0..trials {
+            let s = sample_rows(&csr, 2, true, &mut rng);
+            total += s.row_sums()[0];
+        }
+        let mean = total / trials as f32;
+        assert!((mean - 4.0).abs() < 0.2, "mean = {mean}");
+    }
+
+    #[test]
+    fn epoch_rng_varies_by_epoch_and_seed() {
+        let a: u64 = epoch_rng(1, 0).gen();
+        let b: u64 = epoch_rng(1, 1).gen();
+        let c: u64 = epoch_rng(2, 0).gen();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        let a2: u64 = epoch_rng(1, 0).gen();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn shuffled_indices_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut idx = shuffled_indices(20, &mut rng);
+        idx.sort_unstable();
+        assert_eq!(idx, (0..20).collect::<Vec<_>>());
+    }
+}

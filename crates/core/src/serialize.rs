@@ -1,0 +1,278 @@
+//! Model persistence: save/load trained LHNN weights as a plain-text
+//! format (no external serialisation dependency; see DESIGN.md §5).
+//!
+//! Format (`lhnn-model v1`): a header with the architecture hyper-
+//! parameters followed by one block per parameter tensor:
+//!
+//! ```text
+//! lhnn-model v1
+//! hidden 32
+//! ...
+//! params 42
+//! param featuregen.f_c.lin1.weight 4 32
+//! 0.01 -0.2 ...
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use lh_graph::ChannelMode;
+use neurograd::Matrix;
+
+use crate::config::LhnnConfig;
+use crate::model::Lhnn;
+
+/// Errors from model (de)serialisation.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a valid `lhnn-model v1` stream.
+    Format(String),
+    /// The stored architecture does not match expectations.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "model i/o failed: {e}"),
+            ModelIoError::Format(m) => write!(f, "invalid model file: {m}"),
+            ModelIoError::Mismatch(m) => write!(f, "model architecture mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ModelIoError {
+    fn from(e: std::io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+fn mode_str(mode: ChannelMode) -> &'static str {
+    match mode {
+        ChannelMode::Uni => "uni",
+        ChannelMode::Duo => "duo",
+    }
+}
+
+fn parse_mode(s: &str) -> Result<ChannelMode, ModelIoError> {
+    match s {
+        "uni" => Ok(ChannelMode::Uni),
+        "duo" => Ok(ChannelMode::Duo),
+        other => Err(ModelIoError::Format(format!("unknown channel mode `{other}`"))),
+    }
+}
+
+impl Lhnn {
+    /// Writes the model (architecture + weights) to `w`.
+    ///
+    /// Pass `&mut writer` to keep using the writer afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save<W: Write>(&self, mut w: W) -> Result<(), ModelIoError> {
+        let cfg = self.config();
+        writeln!(w, "lhnn-model v1")?;
+        writeln!(w, "hidden {}", cfg.hidden)?;
+        writeln!(w, "hypermp_layers {}", cfg.hypermp_layers)?;
+        writeln!(w, "latticemp_encode_layers {}", cfg.latticemp_encode_layers)?;
+        writeln!(w, "latticemp_joint_layers {}", cfg.latticemp_joint_layers)?;
+        writeln!(w, "gcell_in_dim {}", cfg.gcell_in_dim)?;
+        writeln!(w, "gnet_in_dim {}", cfg.gnet_in_dim)?;
+        writeln!(w, "channel_mode {}", mode_str(cfg.channel_mode))?;
+        writeln!(w, "params {}", self.store().len())?;
+        for p in self.store().iter() {
+            let (rows, cols) = p.value.shape();
+            writeln!(w, "param {} {} {}", p.name, rows, cols)?;
+            let mut line = String::with_capacity(p.value.len() * 10);
+            for (i, v) in p.value.as_slice().iter().enumerate() {
+                if i > 0 {
+                    line.push(' ');
+                }
+                line.push_str(&format!("{v:e}"));
+            }
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Reads a model previously written by [`Lhnn::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelIoError::Format`] for malformed input and
+    /// [`ModelIoError::Mismatch`] when the stored tensors do not match the
+    /// architecture rebuilt from the header.
+    pub fn load<R: Read>(r: R) -> Result<Lhnn, ModelIoError> {
+        let mut lines = BufReader::new(r).lines();
+        let mut next = |what: &str| -> Result<String, ModelIoError> {
+            lines
+                .next()
+                .ok_or_else(|| ModelIoError::Format(format!("unexpected eof before {what}")))?
+                .map_err(ModelIoError::Io)
+        };
+        let magic = next("header")?;
+        if magic.trim() != "lhnn-model v1" {
+            return Err(ModelIoError::Format(format!("bad magic `{magic}`")));
+        }
+        let mut kv = |key: &str| -> Result<String, ModelIoError> {
+            let line = next(key)?;
+            let (k, v) = line
+                .split_once(' ')
+                .ok_or_else(|| ModelIoError::Format(format!("expected `{key} <value>`")))?;
+            if k != key {
+                return Err(ModelIoError::Format(format!("expected key `{key}`, got `{k}`")));
+            }
+            Ok(v.trim().to_string())
+        };
+        let parse_usize = |v: String, key: &str| -> Result<usize, ModelIoError> {
+            v.parse().map_err(|_| ModelIoError::Format(format!("bad {key} `{v}`")))
+        };
+        let cfg = LhnnConfig {
+            hidden: parse_usize(kv("hidden")?, "hidden")?,
+            hypermp_layers: parse_usize(kv("hypermp_layers")?, "hypermp_layers")?,
+            latticemp_encode_layers: parse_usize(
+                kv("latticemp_encode_layers")?,
+                "latticemp_encode_layers",
+            )?,
+            latticemp_joint_layers: parse_usize(
+                kv("latticemp_joint_layers")?,
+                "latticemp_joint_layers",
+            )?,
+            gcell_in_dim: parse_usize(kv("gcell_in_dim")?, "gcell_in_dim")?,
+            gnet_in_dim: parse_usize(kv("gnet_in_dim")?, "gnet_in_dim")?,
+            channel_mode: parse_mode(&kv("channel_mode")?)?,
+        };
+        let count = parse_usize(kv("params")?, "params")?;
+
+        let mut model = Lhnn::new(cfg, 0);
+        if model.store().len() != count {
+            return Err(ModelIoError::Mismatch(format!(
+                "file has {count} tensors, architecture has {}",
+                model.store().len()
+            )));
+        }
+        for i in 0..count {
+            let header = next("param header")?;
+            let tok: Vec<&str> = header.split_whitespace().collect();
+            if tok.len() != 4 || tok[0] != "param" {
+                return Err(ModelIoError::Format(format!("bad param header `{header}`")));
+            }
+            let name = tok[1];
+            let rows: usize = tok[2]
+                .parse()
+                .map_err(|_| ModelIoError::Format(format!("bad rows `{}`", tok[2])))?;
+            let cols: usize = tok[3]
+                .parse()
+                .map_err(|_| ModelIoError::Format(format!("bad cols `{}`", tok[3])))?;
+            let data_line = next("param data")?;
+            let values: Result<Vec<f32>, _> =
+                data_line.split_whitespace().map(str::parse::<f32>).collect();
+            let values =
+                values.map_err(|e| ModelIoError::Format(format!("bad value in `{name}`: {e}")))?;
+            let matrix = Matrix::from_vec(rows, cols, values).map_err(|_| {
+                ModelIoError::Format(format!("value count mismatch for `{name}`"))
+            })?;
+            let id = model.store().id_at(i);
+            let param = model.store().param(id);
+            if param.name != name {
+                return Err(ModelIoError::Mismatch(format!(
+                    "tensor {i} is `{}` in the architecture but `{name}` in the file",
+                    param.name
+                )));
+            }
+            if param.value.shape() != (rows, cols) {
+                return Err(ModelIoError::Mismatch(format!(
+                    "tensor `{name}` has shape {:?} in the architecture but {rows}x{cols} in the file",
+                    param.value.shape()
+                )));
+            }
+            model.store_mut().param_mut(id).value = matrix;
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AblationSpec;
+    use crate::ops::GraphOps;
+    use lh_graph::{FeatureSet, LhGraph, LhGraphConfig};
+    use vlsi_netlist::synth::{generate, SynthConfig};
+    use vlsi_place::GlobalPlacer;
+
+    fn sample_inputs() -> (GraphOps, FeatureSet) {
+        let cfg = SynthConfig { n_cells: 120, grid_nx: 8, grid_ny: 8, ..SynthConfig::default() };
+        let synth = generate(&cfg).unwrap();
+        let grid = cfg.grid();
+        let placed = GlobalPlacer::default().place_synth(&synth, &grid).unwrap();
+        let graph =
+            LhGraph::build(&synth.circuit, &placed.placement, &grid, &LhGraphConfig::default())
+                .unwrap();
+        let feats = FeatureSet::build(&graph, &synth.circuit, &placed.placement, &grid)
+            .unwrap()
+            .normalized();
+        (GraphOps::from_graph(&graph, &AblationSpec::full()), feats)
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let (ops, feats) = sample_inputs();
+        let model = Lhnn::new(LhnnConfig::default(), 42);
+        let before = model.predict(&ops, &feats);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = Lhnn::load(&buf[..]).unwrap();
+        let after = loaded.predict(&ops, &feats);
+        assert!(before.cls_prob.approx_eq(&after.cls_prob, 1e-6));
+        assert!(before.reg.approx_eq(&after.reg, 1e-6));
+    }
+
+    #[test]
+    fn load_rejects_bad_magic() {
+        let err = Lhnn::load("not a model".as_bytes()).unwrap_err();
+        assert!(matches!(err, ModelIoError::Format(_)));
+    }
+
+    #[test]
+    fn load_rejects_truncated_file() {
+        let model = Lhnn::new(LhnnConfig::default(), 0);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let truncated = &buf[..buf.len() / 2];
+        assert!(Lhnn::load(truncated).is_err());
+    }
+
+    #[test]
+    fn load_rejects_tampered_shape() {
+        let model = Lhnn::new(LhnnConfig::default(), 0);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // corrupt the first tensor's declared shape
+        let tampered = text.replacen("param featuregen.f_c.lin1.weight 4 32", "param featuregen.f_c.lin1.weight 5 32", 1);
+        let err = Lhnn::load(tampered.as_bytes()).unwrap_err();
+        assert!(matches!(err, ModelIoError::Mismatch(_) | ModelIoError::Format(_)));
+    }
+
+    #[test]
+    fn duo_mode_roundtrips() {
+        let cfg = LhnnConfig { channel_mode: lh_graph::ChannelMode::Duo, ..Default::default() };
+        let model = Lhnn::new(cfg, 1);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = Lhnn::load(&buf[..]).unwrap();
+        assert_eq!(loaded.config().channel_mode, lh_graph::ChannelMode::Duo);
+    }
+}

@@ -1,0 +1,167 @@
+//! Result formatting: paper-style `mean±std` tables and CSV output.
+//!
+//! Kept dependency-free on purpose (DESIGN.md §5): experiment binaries
+//! print fixed-width tables to stdout and mirror them as CSV files under
+//! `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use crate::error::Result;
+
+/// Formats `mean ± std` in percent with two decimals, as the paper's
+/// tables do (e.g. `40.89±1.82`).
+pub fn pct(mean: f64, std: f64) -> String {
+    format!("{:.2}±{:.2}", mean * 100.0, std * 100.0)
+}
+
+/// Formats a plain percentage with two decimals.
+pub fn pct1(v: f64) -> String {
+    format!("{:.2}", v * 100.0)
+}
+
+/// A fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| (*s).to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}", cell, w = widths[i] + 2);
+            }
+            out.push('\n');
+        };
+        write_row(&self.header, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total.min(120)));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        let _ = cols;
+        out
+    }
+
+    /// Serialises to CSV (naive quoting: cells with commas are quoted).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let rows = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in rows {
+            let line: Vec<String> = row.iter().map(|c| quote(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV form to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, path: &Path) -> Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_like_the_paper() {
+        assert_eq!(pct(0.4089, 0.0182), "40.89±1.82");
+        assert_eq!(pct1(0.1738), "17.38");
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(&["Model", "F1"]);
+        t.add_row(vec!["LHNN".into(), "40.89±1.82".into()]);
+        t.add_row(vec!["U-net".into(), "29.75±3.03".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Model"));
+        assert!(lines[2].contains("LHNN"));
+        // data rows aligned: "F1" column starts at the same offset
+        let off = lines[0].find("F1").unwrap();
+        assert_eq!(&lines[2][off..off + 2], "40");
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.add_row(vec!["x,y".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\",plain"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn rejects_wrong_arity() {
+        let mut t = TextTable::new(&["a"]);
+        t.add_row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let mut t = TextTable::new(&["k", "v"]);
+        t.add_row(vec!["a".into(), "1".into()]);
+        let path = std::env::temp_dir().join("lhnn_data_report_test/out.csv");
+        t.write_csv(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert!(read.starts_with("k,v\n"));
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

@@ -1,0 +1,159 @@
+//! The fixed 10:5 train/test split of Table 1.
+//!
+//! The paper iterates *all* 10:5 splits of the 15 designs and fixes the
+//! one minimising the train/test difference in average congestion rate,
+//! to remove domain-transfer ambiguity. `C(15,5) = 3003` candidates — the
+//! search is exhaustive and deterministic (lexicographically first
+//! minimiser wins).
+
+use serde::{Deserialize, Serialize};
+
+/// The chosen split: indices into the design list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Split {
+    /// Training design indices (size `n - test_size`).
+    pub train: Vec<usize>,
+    /// Testing design indices (size `test_size`).
+    pub test: Vec<usize>,
+}
+
+/// Summary of a split search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitSearch {
+    /// The winning split.
+    pub split: Split,
+    /// Mean congestion rate over the training designs.
+    pub train_rate: f64,
+    /// Mean congestion rate over the testing designs.
+    pub test_rate: f64,
+    /// Achieved |train − test| gap.
+    pub gap: f64,
+    /// Number of candidate splits examined.
+    pub candidates: usize,
+}
+
+/// Enumerates all `k`-subsets of `0..n` in lexicographic order, calling
+/// `visit` for each.
+fn for_each_combination(n: usize, k: usize, mut visit: impl FnMut(&[usize])) {
+    if k > n {
+        return;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        visit(&idx);
+        // advance
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Finds the test subset of size `test_size` minimising the congestion-
+/// rate gap between the two sides.
+///
+/// # Panics
+///
+/// Panics if `test_size` is zero or ≥ `rates.len()`.
+pub fn best_split(rates: &[f64], test_size: usize) -> SplitSearch {
+    let n = rates.len();
+    assert!(test_size > 0 && test_size < n, "test_size out of range");
+    let total: f64 = rates.iter().sum();
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut candidates = 0usize;
+    for_each_combination(n, test_size, |test_idx| {
+        candidates += 1;
+        let test_sum: f64 = test_idx.iter().map(|&i| rates[i]).sum();
+        let test_rate = test_sum / test_size as f64;
+        let train_rate = (total - test_sum) / (n - test_size) as f64;
+        let gap = (train_rate - test_rate).abs();
+        let better = match &best {
+            None => true,
+            Some((g, _)) => gap < *g - 1e-15,
+        };
+        if better {
+            best = Some((gap, test_idx.to_vec()));
+        }
+    });
+    let (gap, test) = best.expect("at least one combination");
+    let train: Vec<usize> = (0..n).filter(|i| !test.contains(i)).collect();
+    let test_sum: f64 = test.iter().map(|&i| rates[i]).sum();
+    let test_rate = test_sum / test_size as f64;
+    let train_rate = (total - test_sum) / (n - test_size) as f64;
+    SplitSearch { split: Split { train, test }, train_rate, test_rate, gap, candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combination_count_matches_binomial() {
+        let mut count = 0;
+        for_each_combination(15, 5, |_| count += 1);
+        assert_eq!(count, 3003);
+    }
+
+    #[test]
+    fn combinations_are_lexicographic_and_unique() {
+        let mut seen = Vec::new();
+        for_each_combination(5, 2, |c| seen.push(c.to_vec()));
+        assert_eq!(seen.len(), 10);
+        let mut sorted = seen.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert_eq!(seen[0], vec![0, 1]);
+        assert_eq!(*seen.last().unwrap(), vec![3, 4]);
+        // lexicographic order means `seen` is already sorted
+        assert_eq!(seen, sorted);
+    }
+
+    #[test]
+    fn best_split_finds_exact_balance() {
+        // rates engineered so {0.1, 0.3} vs {0.2, 0.2, 0.2} balances at 0.2
+        let rates = [0.1, 0.2, 0.2, 0.2, 0.3];
+        let s = best_split(&rates, 2);
+        assert!(s.gap < 1e-12, "gap = {}", s.gap);
+        assert_eq!(s.candidates, 10);
+        assert!((s.train_rate - 0.2).abs() < 1e-12);
+        assert!((s.test_rate - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_partitions_all_indices() {
+        let rates: Vec<f64> = (0..15).map(|i| i as f64 / 15.0).collect();
+        let s = best_split(&rates, 5);
+        assert_eq!(s.split.train.len(), 10);
+        assert_eq!(s.split.test.len(), 5);
+        let mut all: Vec<usize> =
+            s.split.train.iter().chain(&s.split.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let rates = [0.05, 0.4, 0.17, 0.23, 0.31, 0.02, 0.11];
+        assert_eq!(best_split(&rates, 3), best_split(&rates, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "test_size out of range")]
+    fn rejects_degenerate_test_size() {
+        best_split(&[0.1, 0.2], 2);
+    }
+}

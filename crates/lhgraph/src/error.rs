@@ -1,0 +1,44 @@
+//! Error type for the `lh-graph` crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LhGraphError>;
+
+/// Errors produced while building LH-graphs or feature sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LhGraphError {
+    /// The construction produced no usable nodes.
+    EmptyGraph(String),
+    /// Feature/label dimensions disagree with the graph.
+    DimensionMismatch(String),
+}
+
+impl fmt::Display for LhGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LhGraphError::EmptyGraph(m) => write!(f, "empty lh-graph: {m}"),
+            LhGraphError::DimensionMismatch(m) => write!(f, "dimension mismatch: {m}"),
+        }
+    }
+}
+
+impl StdError for LhGraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(LhGraphError::EmptyGraph("no cells".into()).to_string().contains("no cells"));
+        assert!(LhGraphError::DimensionMismatch("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LhGraphError>();
+    }
+}

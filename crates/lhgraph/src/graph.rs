@@ -1,0 +1,319 @@
+//! The LH-graph: lattice + hypergraph formulation of a placed circuit.
+//!
+//! Following §3.1 of the paper, a circuit becomes a heterogeneous graph
+//! `G = (V_c, V_n, A, H)`:
+//!
+//! * `V_c` — one node per G-cell with feature matrix `N_c × d_c`,
+//! * `V_n` — one node per G-net (the G-cells covered by a net's pin
+//!   bounding box) with feature matrix `N_n × d_n`,
+//! * `A`   — the lattice adjacency between 4-neighbouring G-cells,
+//! * `H`   — the incidence matrix: `H[i,j] = 1` iff G-cell `i` is inside
+//!   G-net `j`.
+//!
+//! The degree matrices `D` (G-cell hyperdegree), `B` (G-net size) and `P`
+//! (lattice degree) define the paper's aggregation operators `D⁻¹H`,
+//! `B⁻¹Hᵀ` and `P⁻¹A`, pre-built here as row-normalised CSR matrices.
+
+use std::sync::Arc;
+
+use neurograd::CsrMatrix;
+use vlsi_netlist::{Circuit, GcellGrid, NetId, Placement};
+
+use crate::error::{LhGraphError, Result};
+
+/// Build-time options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LhGraphConfig {
+    /// G-nets covering more than this fraction of all G-cells are dropped
+    /// (the paper removes G-nets above 0.25 % of the ≈343K G-cells; the
+    /// default here plays the same role at our much smaller grids).
+    pub max_gnet_fraction: f32,
+}
+
+impl Default for LhGraphConfig {
+    fn default() -> Self {
+        Self { max_gnet_fraction: 0.05 }
+    }
+}
+
+/// The structural part of an LH-graph (features live in
+/// [`crate::features::FeatureSet`]).
+#[derive(Debug, Clone)]
+pub struct LhGraph {
+    nx: usize,
+    ny: usize,
+    /// `H`: `N_c × N_n` incidence.
+    incidence: Arc<CsrMatrix>,
+    /// `A`: `N_c × N_c` lattice adjacency.
+    lattice: Arc<CsrMatrix>,
+    /// `G_nc = H` — sum aggregation G-net → G-cell (Eq. 1).
+    gnc_sum: Arc<CsrMatrix>,
+    /// `D⁻¹H` — mean aggregation G-net → G-cell (HyperMP).
+    gnc_mean: Arc<CsrMatrix>,
+    /// `B⁻¹Hᵀ` — mean aggregation G-cell → G-net (HyperMP).
+    gcn_mean: Arc<CsrMatrix>,
+    /// `P⁻¹A` — mean aggregation over lattice neighbours (LatticeMP).
+    lattice_mean: Arc<CsrMatrix>,
+    /// Net id per kept G-net (row of `V_n` → circuit net).
+    kept_nets: Vec<NetId>,
+    /// Number of G-nets dropped by the size filter.
+    dropped_gnets: usize,
+}
+
+impl LhGraph {
+    /// Builds the LH-graph for a placed circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LhGraphError::EmptyGraph`] if the grid has no G-cells or
+    /// no net survives the size filter while the circuit has nets.
+    pub fn build(
+        circuit: &Circuit,
+        placement: &Placement,
+        grid: &GcellGrid,
+        cfg: &LhGraphConfig,
+    ) -> Result<Self> {
+        let n_c = grid.num_gcells();
+        if n_c == 0 {
+            return Err(LhGraphError::EmptyGraph("grid has no g-cells".into()));
+        }
+        let max_area = ((n_c as f32) * cfg.max_gnet_fraction).max(1.0) as usize;
+
+        // G-nets: bbox span per net, filtered by size.
+        let mut kept_nets = Vec::new();
+        let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+        let mut dropped = 0usize;
+        for (ni, net) in circuit.nets().iter().enumerate() {
+            let bbox = placement.net_bbox(net);
+            let Some((lo, hi)) = grid.span(&bbox) else {
+                dropped += 1;
+                continue;
+            };
+            let area =
+                ((hi.gx - lo.gx + 1) as usize) * ((hi.gy - lo.gy + 1) as usize);
+            if area > max_area {
+                dropped += 1;
+                continue;
+            }
+            let j = kept_nets.len();
+            for c in grid.iter_span(lo, hi) {
+                triplets.push((grid.index(c), j, 1.0));
+            }
+            kept_nets.push(NetId(ni as u32));
+        }
+        let n_n = kept_nets.len();
+        if n_n == 0 && circuit.num_nets() > 0 {
+            return Err(LhGraphError::EmptyGraph(
+                "size filter removed every g-net; raise max_gnet_fraction".into(),
+            ));
+        }
+        let incidence = CsrMatrix::from_triplets(n_c, n_n.max(1), &triplets);
+
+        // Lattice adjacency.
+        let mut lat_triplets = Vec::with_capacity(4 * n_c);
+        for idx in 0..n_c {
+            let c = grid.coord(idx);
+            for nb in grid.neighbors(c) {
+                lat_triplets.push((idx, grid.index(nb), 1.0));
+            }
+        }
+        let lattice = CsrMatrix::from_triplets(n_c, n_c, &lat_triplets);
+
+        let gnc_sum = incidence.clone();
+        let gnc_mean = incidence.row_normalized();
+        let gcn_mean = incidence.transpose().row_normalized();
+        let lattice_mean = lattice.row_normalized();
+
+        Ok(Self {
+            nx: grid.nx() as usize,
+            ny: grid.ny() as usize,
+            incidence: Arc::new(incidence),
+            lattice: Arc::new(lattice),
+            gnc_sum: Arc::new(gnc_sum),
+            gnc_mean: Arc::new(gnc_mean),
+            gcn_mean: Arc::new(gcn_mean),
+            lattice_mean: Arc::new(lattice_mean),
+            kept_nets,
+            dropped_gnets: dropped,
+        })
+    }
+
+    /// Number of G-cell nodes (`N_c`).
+    pub fn num_gcells(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Number of G-net nodes (`N_n`).
+    pub fn num_gnets(&self) -> usize {
+        self.kept_nets.len()
+    }
+
+    /// Grid columns.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid rows.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// The incidence matrix `H` (`N_c × N_n`).
+    pub fn incidence(&self) -> &Arc<CsrMatrix> {
+        &self.incidence
+    }
+
+    /// The lattice adjacency `A` (`N_c × N_c`).
+    pub fn lattice(&self) -> &Arc<CsrMatrix> {
+        &self.lattice
+    }
+
+    /// Sum aggregation G-net → G-cell (`G_nc = H`, Eq. 1).
+    pub fn gnc_sum(&self) -> &Arc<CsrMatrix> {
+        &self.gnc_sum
+    }
+
+    /// Mean aggregation G-net → G-cell (`D⁻¹H`).
+    pub fn gnc_mean(&self) -> &Arc<CsrMatrix> {
+        &self.gnc_mean
+    }
+
+    /// Mean aggregation G-cell → G-net (`B⁻¹Hᵀ`).
+    pub fn gcn_mean(&self) -> &Arc<CsrMatrix> {
+        &self.gcn_mean
+    }
+
+    /// Mean aggregation over lattice neighbours (`P⁻¹A`).
+    pub fn lattice_mean(&self) -> &Arc<CsrMatrix> {
+        &self.lattice_mean
+    }
+
+    /// The circuit net behind each G-net row.
+    pub fn kept_nets(&self) -> &[NetId] {
+        &self.kept_nets
+    }
+
+    /// Number of nets dropped by the size filter.
+    pub fn dropped_gnets(&self) -> usize {
+        self.dropped_gnets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_netlist::{Cell, Circuit, Net, Pin, Point, Rect};
+
+    /// 4×4 grid, 2 nets: one small (2×1 g-cells), one large (3×3).
+    fn sample() -> (Circuit, Placement, GcellGrid) {
+        let die = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let grid = GcellGrid::new(die, 4, 4);
+        let mut c = Circuit::new("s", die);
+        let a = c.add_cell(Cell::movable("a", 0.2, 0.2));
+        let b = c.add_cell(Cell::movable("b", 0.2, 0.2));
+        let d = c.add_cell(Cell::movable("d", 0.2, 0.2));
+        let e = c.add_cell(Cell::movable("e", 0.2, 0.2));
+        c.add_net(Net::new("small", vec![Pin::at_center(a), Pin::at_center(b)]));
+        c.add_net(Net::new("large", vec![Pin::at_center(d), Pin::at_center(e)]));
+        let mut p = Placement::zeroed(4);
+        p.set_position(a, Point::new(1.0, 1.0)); // (0,0)
+        p.set_position(b, Point::new(3.0, 1.0)); // (1,0)
+        p.set_position(d, Point::new(1.0, 3.0)); // (0,1)
+        p.set_position(e, Point::new(5.0, 7.0)); // (2,3)
+        (c, p, grid)
+    }
+
+    #[test]
+    fn incidence_matches_bounding_boxes() {
+        let (c, p, grid) = sample();
+        let g = LhGraph::build(&c, &p, &grid, &LhGraphConfig { max_gnet_fraction: 1.0 }).unwrap();
+        assert_eq!(g.num_gcells(), 16);
+        assert_eq!(g.num_gnets(), 2);
+        let h = g.incidence().to_dense();
+        // small net: cells (0,0) and (1,0) = indices 0, 1
+        assert_eq!(h[(0, 0)], 1.0);
+        assert_eq!(h[(1, 0)], 1.0);
+        assert_eq!(h[(2, 0)], 0.0);
+        // large net: 3 cols x 3 rows from (0,1) to (2,3) = 9 cells
+        let col1: f32 = (0..16).map(|i| h[(i, 1)]).sum();
+        assert_eq!(col1, 9.0);
+    }
+
+    #[test]
+    fn size_filter_drops_large_gnets() {
+        let (c, p, grid) = sample();
+        // max area = 16 * 0.2 = 3.2 -> 3 cells; the 9-cell net is dropped
+        let g = LhGraph::build(&c, &p, &grid, &LhGraphConfig { max_gnet_fraction: 0.2 }).unwrap();
+        assert_eq!(g.num_gnets(), 1);
+        assert_eq!(g.dropped_gnets(), 1);
+        assert_eq!(g.kept_nets()[0], NetId(0));
+    }
+
+    #[test]
+    fn lattice_degrees_are_2_3_4() {
+        let (c, p, grid) = sample();
+        let g = LhGraph::build(&c, &p, &grid, &LhGraphConfig { max_gnet_fraction: 1.0 }).unwrap();
+        let degrees = g.lattice().row_sums();
+        // corners have 2 neighbours, edges 3, interior 4
+        assert_eq!(degrees[0], 2.0); // (0,0)
+        assert_eq!(degrees[1], 3.0); // (1,0)
+        assert_eq!(degrees[5], 4.0); // (1,1)
+        let total: f32 = degrees.iter().sum();
+        assert_eq!(total, 2.0 * 24.0); // 24 undirected edges in a 4x4 lattice
+    }
+
+    #[test]
+    fn lattice_is_symmetric() {
+        let (c, p, grid) = sample();
+        let g = LhGraph::build(&c, &p, &grid, &LhGraphConfig { max_gnet_fraction: 1.0 }).unwrap();
+        let a = g.lattice().to_dense();
+        for i in 0..16 {
+            for j in 0..16 {
+                assert_eq!(a[(i, j)], a[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn operators_are_row_stochastic() {
+        let (c, p, grid) = sample();
+        let g = LhGraph::build(&c, &p, &grid, &LhGraphConfig { max_gnet_fraction: 1.0 }).unwrap();
+        for sums in [g.gcn_mean().row_sums(), g.lattice_mean().row_sums()] {
+            for s in sums {
+                assert!((s - 1.0).abs() < 1e-5, "row sum {s}");
+            }
+        }
+        // gnc_mean rows are 1 for covered g-cells, 0 for uncovered
+        for s in g.gnc_mean().row_sums() {
+            assert!(s.abs() < 1e-5 || (s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gcn_mean_shape_is_transposed() {
+        let (c, p, grid) = sample();
+        let g = LhGraph::build(&c, &p, &grid, &LhGraphConfig { max_gnet_fraction: 1.0 }).unwrap();
+        assert_eq!(g.gcn_mean().shape(), (2, 16));
+        assert_eq!(g.gnc_mean().shape(), (16, 2));
+        assert_eq!(g.gnc_sum().shape(), (16, 2));
+    }
+
+    #[test]
+    fn empty_filter_result_is_an_error() {
+        let (c, p, grid) = sample();
+        // fraction so small that max_area = 1 g-cell; both nets span > 1
+        let err = LhGraph::build(&c, &p, &grid, &LhGraphConfig { max_gnet_fraction: 1e-9 });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn circuit_without_nets_builds_empty_hypergraph() {
+        let die = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let grid = GcellGrid::new(die, 2, 2);
+        let c = Circuit::new("none", die);
+        let p = Placement::zeroed(0);
+        let g = LhGraph::build(&c, &p, &grid, &LhGraphConfig::default()).unwrap();
+        assert_eq!(g.num_gnets(), 0);
+        assert_eq!(g.num_gcells(), 4);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for the `vlsi-netlist` crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::io;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NetlistError>;
+
+/// Errors produced while building, validating or parsing circuits.
+#[derive(Debug)]
+pub enum NetlistError {
+    /// A cell definition is malformed.
+    InvalidCell {
+        /// Cell name.
+        name: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A net definition is malformed.
+    InvalidNet {
+        /// Net name.
+        name: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A Bookshelf file failed to parse.
+    Parse {
+        /// File kind (`nodes`, `nets`, `pl`, `aux`).
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A generator configuration was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::InvalidCell { name, reason } => {
+                write!(f, "invalid cell `{name}`: {reason}")
+            }
+            NetlistError::InvalidNet { name, reason } => {
+                write!(f, "invalid net `{name}`: {reason}")
+            }
+            NetlistError::Parse { file, line, reason } => {
+                write!(f, "parse error in .{file} line {line}: {reason}")
+            }
+            NetlistError::Io(e) => write!(f, "i/o error: {e}"),
+            NetlistError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl StdError for NetlistError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            NetlistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetlistError {
+    fn from(e: io::Error) -> Self {
+        NetlistError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetlistError::Parse { file: "nets", line: 12, reason: "bad degree".into() };
+        let s = e.to_string();
+        assert!(s.contains(".nets") && s.contains("12") && s.contains("bad degree"));
+    }
+
+    #[test]
+    fn io_error_roundtrip_and_source() {
+        let e: NetlistError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(StdError::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

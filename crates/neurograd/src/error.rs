@@ -1,0 +1,74 @@
+//! Error type for the `neurograd` crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NeuroError>;
+
+/// Errors produced by tensor construction and model plumbing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NeuroError {
+    /// A matrix/tensor was built or combined with incompatible dimensions.
+    ShapeMismatch {
+        /// Shape the operation required.
+        expected: (usize, usize),
+        /// Shape that was supplied.
+        got: (usize, usize),
+        /// Operation name for diagnostics.
+        context: &'static str,
+    },
+    /// An index (row, parameter id, node id, …) was out of range.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of valid entries.
+        len: usize,
+        /// Operation name for diagnostics.
+        context: &'static str,
+    },
+    /// A configuration value was invalid (e.g. zero hidden size).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NeuroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeuroError::ShapeMismatch { expected, got, context } => write!(
+                f,
+                "shape mismatch in {context}: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            NeuroError::IndexOutOfRange { index, len, context } => {
+                write!(f, "index {index} out of range in {context} (len {len})")
+            }
+            NeuroError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl StdError for NeuroError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NeuroError::ShapeMismatch { expected: (2, 3), got: (3, 2), context: "matmul" };
+        let s = e.to_string();
+        assert!(s.contains("matmul") && s.contains("2x3") && s.contains("3x2"));
+
+        let e = NeuroError::IndexOutOfRange { index: 9, len: 3, context: "param" };
+        assert!(e.to_string().contains("9"));
+
+        let e = NeuroError::InvalidConfig("hidden size must be > 0".into());
+        assert!(e.to_string().starts_with("invalid configuration"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NeuroError>();
+    }
+}

@@ -1,0 +1,437 @@
+//! Compressed sparse row (CSR) matrices for graph aggregation.
+//!
+//! The LHNN message-passing operators (`B⁻¹Hᵀ`, `D⁻¹H`, `P⁻¹A` from the
+//! paper) are all sparse row-stochastic (or sum) aggregation matrices
+//! applied on the left of a dense feature block. [`CsrMatrix`] stores them
+//! and [`CsrMatrix::spmm`] performs `Y = S · X`.
+
+use std::fmt;
+
+use crate::error::{NeuroError, Result};
+use crate::matrix::Matrix;
+
+/// A sparse matrix in CSR format.
+///
+/// # Examples
+///
+/// ```
+/// use neurograd::{CsrMatrix, Matrix};
+///
+/// // 2x3 sparse: [[1, 0, 2], [0, 3, 0]]
+/// let s = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+/// let x = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]);
+/// let y = s.spmm(&x);
+/// assert_eq!(y.as_slice(), &[3.0, 3.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointers, length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column indices, length `nnz`.
+    indices: Vec<usize>,
+    /// Values, length `nnz`.
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate `(row, col)` entries are summed. Triplets need not be
+    /// sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds for {rows}x{cols}");
+        }
+        let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut indptr = vec![0usize; rows + 1];
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f32> = Vec::with_capacity(sorted.len());
+        for &(r, c, v) in &sorted {
+            if let (Some(&last_c), true) = (indices.last(), indptr[r + 1] > 0) {
+                // Merge duplicate within the same (already-started) row.
+                if last_c == c && indptr[r + 1] == indices.len() && row_started(&indptr, r, indices.len()) {
+                    *values.last_mut().expect("values non-empty when indices non-empty") += v;
+                    continue;
+                }
+            }
+            indices.push(c);
+            values.push(v);
+            indptr[r + 1] = indices.len();
+        }
+        // Fill gaps: rows with no entries keep previous pointer.
+        for r in 0..rows {
+            if indptr[r + 1] < indptr[r] {
+                indptr[r + 1] = indptr[r];
+            }
+            indptr[r + 1] = indptr[r + 1].max(indptr[r]);
+        }
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// Builds a CSR matrix directly from raw CSR arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if array lengths are inconsistent, `indptr` is not
+    /// monotone, or a column index is out of bounds.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f32>,
+    ) -> Result<Self> {
+        if indptr.len() != rows + 1 || indices.len() != values.len() {
+            return Err(NeuroError::InvalidConfig(format!(
+                "inconsistent csr arrays: indptr {} (want {}), indices {}, values {}",
+                indptr.len(),
+                rows + 1,
+                indices.len(),
+                values.len()
+            )));
+        }
+        if *indptr.first().unwrap_or(&0) != 0 || *indptr.last().unwrap_or(&0) != indices.len() {
+            return Err(NeuroError::InvalidConfig("csr indptr endpoints invalid".into()));
+        }
+        if indptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(NeuroError::InvalidConfig("csr indptr not monotone".into()));
+        }
+        if indices.iter().any(|&c| c >= cols) {
+            return Err(NeuroError::InvalidConfig("csr column index out of bounds".into()));
+        }
+        Ok(Self { rows, cols, indptr, indices, values })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterator over `(row, col, value)` of stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            self.indices[self.indptr[r]..self.indptr[r + 1]]
+                .iter()
+                .zip(&self.values[self.indptr[r]..self.indptr[r + 1]])
+                .map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// The `(column, value)` pairs of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        self.indices[self.indptr[r]..self.indptr[r + 1]]
+            .iter()
+            .zip(&self.values[self.indptr[r]..self.indptr[r + 1]])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Number of stored entries in row `r`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Sparse × dense product `Y = self · X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != x.rows`.
+    pub fn spmm(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            x.rows(),
+            "spmm shape mismatch: {}x{} * {}x{}",
+            self.rows,
+            self.cols,
+            x.rows(),
+            x.cols()
+        );
+        let mut out = Matrix::zeros(self.rows, x.cols());
+        for r in 0..self.rows {
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            let out_row = out.row_mut(r);
+            for k in lo..hi {
+                let c = self.indices[k];
+                let v = self.values[k];
+                for (o, &xi) in out_row.iter_mut().zip(x.row(c)) {
+                    *o += v * xi;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed sparse × dense product `Y = selfᵀ · X` without
+    /// materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != x.rows`.
+    pub fn spmm_t(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows,
+            x.rows(),
+            "spmm_t shape mismatch: ({}x{})^T * {}x{}",
+            self.rows,
+            self.cols,
+            x.rows(),
+            x.cols()
+        );
+        let mut out = Matrix::zeros(self.cols, x.cols());
+        for r in 0..self.rows {
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            let x_row = x.row(r);
+            for k in lo..hi {
+                let c = self.indices[k];
+                let v = self.values[k];
+                let out_row = out.row_mut(c);
+                for (o, &xi) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xi;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the explicit transpose in CSR form.
+    pub fn transpose(&self) -> CsrMatrix {
+        let triplets: Vec<(usize, usize, f32)> =
+            self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// Row-normalises: each non-empty row is scaled to sum to 1.
+    ///
+    /// This converts an incidence/adjacency matrix into the mean-aggregation
+    /// operator the paper writes as `D⁻¹H`, `B⁻¹Hᵀ` or `P⁻¹A`.
+    pub fn row_normalized(&self) -> CsrMatrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let lo = out.indptr[r];
+            let hi = out.indptr[r + 1];
+            let s: f32 = out.values[lo..hi].iter().sum();
+            if s != 0.0 {
+                for v in &mut out.values[lo..hi] {
+                    *v /= s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-row sums (the degree vector for a 0/1 matrix).
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.rows)
+            .map(|r| self.values[self.indptr[r]..self.indptr[r + 1]].iter().sum())
+            .collect()
+    }
+
+    /// Per-column sums (the degree vector of the transpose).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0; self.cols];
+        for (_, c, v) in self.iter() {
+            sums[c] += v;
+        }
+        sums
+    }
+
+    /// Densifies into a [`Matrix`] (test helper; avoid on large inputs).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            m[(r, c)] += v;
+        }
+        m
+    }
+
+    /// Keeps only the entries in rows listed in `keep` (a boolean mask per
+    /// row), dropping all entries of the other rows. Shape is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != rows`.
+    pub fn mask_rows(&self, keep: &[bool]) -> CsrMatrix {
+        assert_eq!(keep.len(), self.rows, "mask_rows length mismatch");
+        let triplets: Vec<(usize, usize, f32)> =
+            self.iter().filter(|&(r, _, _)| keep[r]).collect();
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+
+    /// Keeps only the entries whose column is listed in `keep` (a boolean
+    /// mask per column), dropping the rest. Shape is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != cols`.
+    pub fn mask_cols(&self, keep: &[bool]) -> CsrMatrix {
+        assert_eq!(keep.len(), self.cols, "mask_cols length mismatch");
+        let triplets: Vec<(usize, usize, f32)> =
+            self.iter().filter(|&(_, c, _)| keep[c]).collect();
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+
+    /// An empty (all-zero) sparse matrix of the given shape.
+    pub fn empty(rows: usize, cols: usize) -> CsrMatrix {
+        CsrMatrix { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+    }
+}
+
+fn row_started(indptr: &[usize], r: usize, current_len: usize) -> bool {
+    // A row r is "in progress" if its end pointer has been advanced to the
+    // current number of indices.
+    indptr[r + 1] == current_len
+}
+
+impl fmt::Debug for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CsrMatrix({}x{}, nnz={})", self.rows, self.cols, self.nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        // [[1, 0, 2], [0, 3, 0], [0, 0, 0]]
+        CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)])
+    }
+
+    #[test]
+    fn triplets_roundtrip_dense() {
+        let s = example();
+        let d = s.to_dense();
+        assert_eq!(d[(0, 0)], 1.0);
+        assert_eq!(d[(0, 2)], 2.0);
+        assert_eq!(d[(1, 1)], 3.0);
+        assert_eq!(d[(2, 2)], 0.0);
+        assert_eq!(s.nnz(), 3);
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let s = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.to_dense()[(0, 0)], 3.5);
+    }
+
+    #[test]
+    fn unsorted_triplets_are_sorted() {
+        let s = CsrMatrix::from_triplets(2, 2, &[(1, 1, 4.0), (0, 1, 2.0), (1, 0, 3.0), (0, 0, 1.0)]);
+        let d = s.to_dense();
+        assert_eq!(
+            (d[(0, 0)], d[(0, 1)], d[(1, 0)], d[(1, 1)]),
+            (1.0, 2.0, 3.0, 4.0)
+        );
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let s = example();
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let y = s.spmm(&x);
+        let yd = s.to_dense().matmul(&x);
+        assert!(y.approx_eq(&yd, 1e-6));
+    }
+
+    #[test]
+    fn spmm_t_matches_dense_transpose() {
+        let s = example();
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let y = s.spmm_t(&x);
+        let yd = s.to_dense().transpose().matmul(&x);
+        assert!(y.approx_eq(&yd, 1e-6));
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let s = example();
+        assert!(s.transpose().to_dense().approx_eq(&s.to_dense().transpose(), 0.0));
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one_or_zero() {
+        let s = example().row_normalized();
+        let sums = s.row_sums();
+        assert!((sums[0] - 1.0).abs() < 1e-6);
+        assert!((sums[1] - 1.0).abs() < 1e-6);
+        assert_eq!(sums[2], 0.0);
+    }
+
+    #[test]
+    fn degree_vectors() {
+        let s = example();
+        assert_eq!(s.row_sums(), vec![3.0, 3.0, 0.0]);
+        assert_eq!(s.col_sums(), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn mask_rows_drops_entries_but_keeps_shape() {
+        let s = example().mask_rows(&[false, true, true]);
+        assert_eq!(s.shape(), (3, 3));
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.to_dense()[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn mask_cols_drops_entries_but_keeps_shape() {
+        let s = example().mask_cols(&[true, false, false]);
+        assert_eq!(s.shape(), (3, 3));
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.to_dense()[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).is_ok());
+        // wrong indptr length
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // non-monotone indptr
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // col out of bounds
+        assert!(CsrMatrix::from_raw(1, 1, vec![0, 1], vec![3], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_spmm_is_zero() {
+        let s = CsrMatrix::empty(2, 3);
+        let x = Matrix::full(3, 2, 5.0);
+        let y = s.spmm(&x);
+        assert_eq!(y.sum(), 0.0);
+    }
+
+    #[test]
+    fn iter_yields_all_entries_in_row_order() {
+        let s = example();
+        let items: Vec<_> = s.iter().collect();
+        assert_eq!(items, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Placement density maps and overflow metrics.
+//!
+//! Density is measured per G-cell as (movable cell area overlapping the
+//! G-cell) / (G-cell area). The spreader consumes these maps; experiments
+//! report peak density and overflow as placement-quality metrics.
+
+use vlsi_netlist::{CellId, Circuit, GcellGrid, Placement, Rect};
+
+/// A scalar field over the G-cell grid (row-major, `ny * nx` entries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMap {
+    nx: usize,
+    ny: usize,
+    values: Vec<f32>,
+}
+
+impl DensityMap {
+    /// Creates a zero map with the grid's dimensions.
+    pub fn zeros(grid: &GcellGrid) -> Self {
+        Self { nx: grid.nx() as usize, ny: grid.ny() as usize, values: vec![0.0; grid.num_gcells()] }
+    }
+
+    /// Grid columns.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid rows.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Raw values (row-major; index `gy * nx + gx`).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutable raw values.
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Value at `(gx, gy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn at(&self, gx: usize, gy: usize) -> f32 {
+        self.values[gy * self.nx + gx]
+    }
+
+    /// Mutable value at `(gx, gy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn at_mut(&mut self, gx: usize, gy: usize) -> &mut f32 {
+        &mut self.values[gy * self.nx + gx]
+    }
+
+    /// Maximum value (0 for an empty map).
+    pub fn max(&self) -> f32 {
+        self.values.iter().fold(0.0f32, |m, &v| m.max(v))
+    }
+
+    /// Mean value (0 for an empty map).
+    pub fn mean(&self) -> f32 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f32>() / self.values.len() as f32
+        }
+    }
+
+    /// Total overflow: `Σ max(0, v - target)`.
+    pub fn overflow(&self, target: f32) -> f32 {
+        self.values.iter().map(|&v| (v - target).max(0.0)).sum()
+    }
+
+    /// 3×3 box blur, used to smooth gradients for the spreader.
+    pub fn box_blur(&self) -> DensityMap {
+        let mut out = self.clone();
+        for gy in 0..self.ny {
+            for gx in 0..self.nx {
+                let mut acc = 0.0;
+                let mut cnt = 0.0;
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        let (x, y) = (gx as i64 + dx, gy as i64 + dy);
+                        if x >= 0 && y >= 0 && (x as usize) < self.nx && (y as usize) < self.ny {
+                            acc += self.at(x as usize, y as usize);
+                            cnt += 1.0;
+                        }
+                    }
+                }
+                *out.at_mut(gx, gy) = acc / cnt;
+            }
+        }
+        out
+    }
+}
+
+/// Computes the movable-area density map of a placement.
+///
+/// Each movable cell's rectangle is clipped against every G-cell it
+/// overlaps; terminals are excluded (their blockage effect is modelled by
+/// the router's capacity map instead).
+pub fn density_map(circuit: &Circuit, placement: &Placement, grid: &GcellGrid) -> DensityMap {
+    let mut map = DensityMap::zeros(grid);
+    let cell_area = grid.gcell_width() * grid.gcell_height();
+    for (i, cell) in circuit.cells().iter().enumerate() {
+        if cell.is_terminal() {
+            continue;
+        }
+        let p = placement.position(CellId(i as u32));
+        let half_w = cell.width * 0.5;
+        let half_h = cell.height * 0.5;
+        let rect = Rect::new(p.x - half_w, p.y - half_h, p.x + half_w, p.y + half_h);
+        let Some((lo, hi)) = grid.span(&rect) else { continue };
+        for c in grid.iter_span(lo, hi) {
+            if let Some(overlap) = grid.gcell_rect(c).intersection(&rect) {
+                map.values[grid.index(c)] += overlap.area() / cell_area;
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_netlist::{Cell, Point};
+
+    fn setup() -> (Circuit, GcellGrid) {
+        let die = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let c = Circuit::new("d", die);
+        let grid = GcellGrid::new(die, 4, 4);
+        (c, grid)
+    }
+
+    #[test]
+    fn single_cell_contributes_its_area() {
+        let (mut c, grid) = setup();
+        let a = c.add_cell(Cell::movable("a", 1.0, 1.0));
+        let mut p = Placement::zeroed(1);
+        p.set_position(a, Point::new(1.0, 1.0)); // fully inside g-cell (0,0)
+        let map = density_map(&c, &p, &grid);
+        assert!((map.at(0, 0) - 0.25).abs() < 1e-6); // 1 area / 4 gcell area
+        assert_eq!(map.values().iter().filter(|&&v| v > 0.0).count(), 1);
+    }
+
+    #[test]
+    fn straddling_cell_splits_area() {
+        let (mut c, grid) = setup();
+        let a = c.add_cell(Cell::movable("a", 2.0, 2.0));
+        let mut p = Placement::zeroed(1);
+        p.set_position(a, Point::new(2.0, 2.0)); // centre on the 4-corner
+        let map = density_map(&c, &p, &grid);
+        for (gx, gy) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+            assert!((map.at(gx, gy) - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn terminals_are_excluded() {
+        let (mut c, grid) = setup();
+        let t = c.add_cell(Cell::terminal("t", 4.0, 4.0));
+        let mut p = Placement::zeroed(1);
+        p.set_position(t, Point::new(4.0, 4.0));
+        let map = density_map(&c, &p, &grid);
+        assert_eq!(map.max(), 0.0);
+    }
+
+    #[test]
+    fn overflow_counts_excess_only() {
+        let (mut c, grid) = setup();
+        let a = c.add_cell(Cell::movable("a", 4.0, 4.0)); // area 16 = 4 gcells
+        let mut p = Placement::zeroed(1);
+        p.set_position(a, Point::new(1.0, 1.0)); // clipped at the corner
+        let map = density_map(&c, &p, &grid);
+        assert!(map.overflow(0.4) > 0.0);
+        assert_eq!(map.overflow(1e9), 0.0);
+        // clipped at the die edge: only the on-die part of the cell counts
+        assert!(map.values().iter().sum::<f32>() < 16.0 / 4.0);
+    }
+
+    #[test]
+    fn blur_preserves_mean_on_uniform_field() {
+        let (_, grid) = setup();
+        let mut m = DensityMap::zeros(&grid);
+        m.values_mut().iter_mut().for_each(|v| *v = 2.0);
+        let b = m.box_blur();
+        assert!(b.values().iter().all(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn blur_spreads_a_spike() {
+        let (_, grid) = setup();
+        let mut m = DensityMap::zeros(&grid);
+        *m.at_mut(1, 1) = 9.0;
+        let b = m.box_blur();
+        assert!(b.at(1, 1) < 9.0);
+        assert!(b.at(0, 0) > 0.0);
+        assert!(b.at(3, 3) == 0.0);
+    }
+}

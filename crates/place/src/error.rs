@@ -1,0 +1,48 @@
+//! Error type for the `vlsi-place` crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PlaceError>;
+
+/// Errors produced by placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The placer configuration was invalid.
+    InvalidConfig(String),
+    /// The circuit cannot be placed (e.g. no movable cells).
+    Unplaceable(String),
+    /// The numeric solve failed to make progress.
+    SolveFailed(String),
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::InvalidConfig(m) => write!(f, "invalid placer configuration: {m}"),
+            PlaceError::Unplaceable(m) => write!(f, "circuit cannot be placed: {m}"),
+            PlaceError::SolveFailed(m) => write!(f, "placement solve failed: {m}"),
+        }
+    }
+}
+
+impl StdError for PlaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(PlaceError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(PlaceError::Unplaceable("x".into()).to_string().contains("placed"));
+        assert!(PlaceError::SolveFailed("y".into()).to_string().contains("solve"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlaceError>();
+    }
+}

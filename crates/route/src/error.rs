@@ -1,0 +1,52 @@
+//! Error type for the `vlsi-route` crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RouteError>;
+
+/// Errors produced by global routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The router configuration was invalid.
+    InvalidConfig(String),
+    /// A net could not be routed (disconnected grid region).
+    Unroutable {
+        /// Net name.
+        net: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::InvalidConfig(m) => write!(f, "invalid router configuration: {m}"),
+            RouteError::Unroutable { net, reason } => {
+                write!(f, "net `{net}` is unroutable: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for RouteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RouteError::Unroutable { net: "n7".into(), reason: "blocked".into() };
+        assert!(e.to_string().contains("n7") && e.to_string().contains("blocked"));
+        assert!(RouteError::InvalidConfig("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RouteError>();
+    }
+}

@@ -1,0 +1,158 @@
+//! RUDY: Rectangular Uniform wire DensitY estimation (Spindler & Johannes,
+//! DATE 2007) — the fast congestion estimator the paper's introduction
+//! contrasts with global routing, and one of the crafted features that
+//! LH-graph message passing can recover (§3.2 of the paper).
+//!
+//! Each net spreads `wirelength / bbox-area` uniformly over its bounding
+//! box; the horizontal component spreads `width / area`, the vertical
+//! `height / area` (both measured in G-cell units so values are
+//! track-comparable).
+
+use vlsi_netlist::{Circuit, GcellGrid, Placement, Rect};
+
+/// Per-G-cell RUDY maps (row-major `ny × nx`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RudyMaps {
+    /// Grid columns.
+    pub nx: usize,
+    /// Grid rows.
+    pub ny: usize,
+    /// Combined RUDY.
+    pub rudy: Vec<f32>,
+    /// Horizontal component.
+    pub rudy_h: Vec<f32>,
+    /// Vertical component.
+    pub rudy_v: Vec<f32>,
+}
+
+/// Computes RUDY maps for a placed circuit.
+///
+/// Nets whose pins collapse to a point contribute nothing (their bbox has
+/// zero area and they occupy no routing track in the grid model).
+pub fn rudy_maps(circuit: &Circuit, placement: &Placement, grid: &GcellGrid) -> RudyMaps {
+    let (nx, ny) = (grid.nx() as usize, grid.ny() as usize);
+    let mut rudy = vec![0.0f32; nx * ny];
+    let mut rudy_h = vec![0.0f32; nx * ny];
+    let mut rudy_v = vec![0.0f32; nx * ny];
+    let gw = grid.gcell_width();
+    let gh = grid.gcell_height();
+    let gcell_area = gw * gh;
+
+    for net in circuit.nets() {
+        let bbox = placement.net_bbox(net);
+        if bbox.is_empty() {
+            continue;
+        }
+        // Expand degenerate boxes to at least one G-cell footprint so
+        // straight nets still register density along their length.
+        let bbox = Rect::new(
+            bbox.lx,
+            bbox.ly,
+            bbox.ux.max(bbox.lx + f32::EPSILON),
+            bbox.uy.max(bbox.ly + f32::EPSILON),
+        );
+        let w_g = (bbox.width() / gw).max(1.0); // span in g-cells, >= 1
+        let h_g = (bbox.height() / gh).max(1.0);
+        let area_g = w_g * h_g;
+        let h_density = w_g / area_g; // horizontal wire per g-cell
+        let v_density = h_g / area_g;
+        let Some((lo, hi)) = grid.span(&bbox) else { continue };
+        for cc in grid.iter_span(lo, hi) {
+            let cell_rect = grid.gcell_rect(cc);
+            let overlap = cell_rect
+                .intersection(&bbox)
+                .map_or(0.0, |r| {
+                    // degenerate (zero-width/height) boxes still cover the
+                    // cells they run through: use fractional linear overlap
+                    let fx = if bbox.width() > 0.0 { r.width() / cell_rect.width() } else { 1.0 };
+                    let fy =
+                        if bbox.height() > 0.0 { r.height() / cell_rect.height() } else { 1.0 };
+                    let _ = gcell_area;
+                    fx * fy
+                });
+            if overlap <= 0.0 {
+                continue;
+            }
+            let idx = grid.index(cc);
+            rudy_h[idx] += h_density * overlap;
+            rudy_v[idx] += v_density * overlap;
+            rudy[idx] += (h_density + v_density) * overlap;
+        }
+    }
+    RudyMaps { nx, ny, rudy, rudy_h, rudy_v }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_netlist::{Cell, CellId, Net, Pin, Point};
+
+    fn line_net_setup(ax: f32, ay: f32, bx: f32, by: f32) -> (Circuit, Placement, GcellGrid) {
+        let die = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let grid = GcellGrid::new(die, 8, 8);
+        let mut c = Circuit::new("r", die);
+        let a = c.add_cell(Cell::movable("a", 0.1, 0.1));
+        let b = c.add_cell(Cell::movable("b", 0.1, 0.1));
+        c.add_net(Net::new("n", vec![Pin::at_center(a), Pin::at_center(b)]));
+        let mut p = Placement::zeroed(2);
+        p.set_position(CellId(0), Point::new(ax, ay));
+        p.set_position(CellId(1), Point::new(bx, by));
+        (c, p, grid)
+    }
+
+    #[test]
+    fn horizontal_net_contributes_mostly_horizontal_rudy() {
+        let (c, p, grid) = line_net_setup(0.5, 4.5, 7.5, 4.5);
+        let maps = rudy_maps(&c, &p, &grid);
+        let h: f32 = maps.rudy_h.iter().sum();
+        let v: f32 = maps.rudy_v.iter().sum();
+        assert!(h > v, "h {h} vs v {v}");
+        // cells along the row must be touched
+        let idx = grid.index(vlsi_netlist::GcellCoord { gx: 4, gy: 4 });
+        assert!(maps.rudy_h[idx] > 0.0);
+    }
+
+    #[test]
+    fn vertical_net_contributes_mostly_vertical_rudy() {
+        let (c, p, grid) = line_net_setup(4.5, 0.5, 4.5, 7.5);
+        let maps = rudy_maps(&c, &p, &grid);
+        assert!(maps.rudy_v.iter().sum::<f32>() > maps.rudy_h.iter().sum::<f32>());
+    }
+
+    #[test]
+    fn point_net_contributes_nothing_outside_its_cell() {
+        let (c, p, grid) = line_net_setup(4.5, 4.5, 4.5, 4.5);
+        let maps = rudy_maps(&c, &p, &grid);
+        let nonzero = maps.rudy.iter().filter(|&&v| v > 0.0).count();
+        assert!(nonzero <= 1);
+    }
+
+    #[test]
+    fn rudy_is_sum_of_components() {
+        let (c, p, grid) = line_net_setup(0.5, 0.5, 7.5, 7.5);
+        let maps = rudy_maps(&c, &p, &grid);
+        for i in 0..maps.rudy.len() {
+            assert!((maps.rudy[i] - (maps.rudy_h[i] + maps.rudy_v[i])).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rudy_mass_conserves_wirelength_scale() {
+        // a full-die diagonal net: total h-RUDY ≈ its g-cell width
+        let (c, p, grid) = line_net_setup(0.1, 0.1, 7.9, 7.9);
+        let maps = rudy_maps(&c, &p, &grid);
+        let total_h: f32 = maps.rudy_h.iter().sum();
+        // bbox ~ 8x8 gcells: h density = 8/64 per cell over ~64 cells ≈ 8
+        assert!((total_h - 7.8).abs() < 1.0, "total_h = {total_h}");
+    }
+
+    #[test]
+    fn empty_circuit_gives_zero_maps() {
+        let die = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let grid = GcellGrid::new(die, 4, 4);
+        let c = Circuit::new("empty", die);
+        let p = Placement::zeroed(0);
+        let maps = rudy_maps(&c, &p, &grid);
+        assert!(maps.rudy.iter().all(|&v| v == 0.0));
+    }
+}

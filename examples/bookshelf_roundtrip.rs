@@ -1,0 +1,63 @@
+//! Bookshelf interchange: write a placed design in the ISPD/DAC contest
+//! format, read it back, and route both to confirm the labels agree.
+//!
+//! Shows how to plug *real* contest benchmarks into the pipeline: drop the
+//! `.aux/.nodes/.nets/.pl` files in a directory and call
+//! `bookshelf::read_design`.
+//!
+//! ```text
+//! cargo run --release --example bookshelf_roundtrip
+//! ```
+
+use vlsi_netlist::bookshelf;
+use vlsi_netlist::synth::{generate, SynthConfig};
+use vlsi_place::GlobalPlacer;
+use vlsi_route::{route, RouterConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SynthConfig {
+        name: "roundtrip".into(),
+        n_cells: 400,
+        grid_nx: 16,
+        grid_ny: 16,
+        ..SynthConfig::default()
+    };
+    let synth = generate(&cfg)?;
+    let grid = cfg.grid();
+    let placed = GlobalPlacer::default().place_synth(&synth, &grid)?;
+
+    // Write the four Bookshelf files.
+    let dir = std::env::temp_dir().join("lhnn_bookshelf_example");
+    bookshelf::write_design(&dir, &synth.circuit, &placed.placement)?;
+    println!("wrote {}/roundtrip.{{aux,nodes,nets,pl}}", dir.display());
+
+    // Read the design back.
+    let (circuit2, placement2) = bookshelf::read_design(&dir, "roundtrip")?;
+    circuit2.validate()?;
+    println!(
+        "read back: {} cells ({} terminals), {} nets, die {:?}",
+        circuit2.num_cells(),
+        circuit2.num_terminals(),
+        circuit2.num_nets(),
+        circuit2.die
+    );
+
+    // Route original and round-tripped design; labels must match.
+    let rcfg = RouterConfig::default();
+    let r1 = route(&synth.circuit, &placed.placement, &grid, &synth.macro_rects, &rcfg)?;
+    let r2 = route(&circuit2, &placement2, &grid, &synth.macro_rects, &rcfg)?;
+    println!(
+        "wirelength: original {} vs round-tripped {}",
+        r1.wirelength, r2.wirelength
+    );
+    println!(
+        "congestion rate: original {:.3}% vs round-tripped {:.3}%",
+        r1.congestion_rate() * 100.0,
+        r2.congestion_rate() * 100.0
+    );
+    assert_eq!(r1.wirelength, r2.wirelength, "roundtrip changed the routing problem");
+    println!("roundtrip OK — identical routing results");
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Crafted-feature recovery (§3.2 of the paper): one-step message passing
+//! on the LH-graph reproduces the hand-designed CNN input maps.
+//!
+//! The paper argues the LH-graph *subsumes* feature engineering: net
+//! density is recovered exactly by a single sum-aggregation from G-net
+//! features, pin density and RUDY in expectation. This example verifies
+//! all three on a synthetic design and prints the agreement.
+//!
+//! ```text
+//! cargo run --release --example feature_recovery
+//! ```
+
+use lh_graph::{
+    gcell_channel, recover_net_density, recover_pin_density, recover_rudy, FeatureSet, LhGraph,
+    LhGraphConfig,
+};
+use vlsi_netlist::synth::{generate, SynthConfig};
+use vlsi_place::GlobalPlacer;
+use vlsi_route::rudy_maps;
+
+fn pearson(a: &[f32], b: &[f32]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().map(|&x| f64::from(x)).sum::<f64>() / n;
+    let mb = b.iter().map(|&x| f64::from(x)).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (f64::from(x) - ma) * (f64::from(y) - mb);
+        va += (f64::from(x) - ma).powi(2);
+        vb += (f64::from(y) - mb).powi(2);
+    }
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SynthConfig {
+        name: "recovery".into(),
+        n_cells: 900,
+        grid_nx: 24,
+        grid_ny: 24,
+        ..SynthConfig::default()
+    };
+    let synth = generate(&cfg)?;
+    let grid = cfg.grid();
+    let placed = GlobalPlacer::default().place_synth(&synth, &grid)?;
+    let graph = LhGraph::build(&synth.circuit, &placed.placement, &grid, &LhGraphConfig::default())?;
+    let feats = FeatureSet::build(&graph, &synth.circuit, &placed.placement, &grid)?;
+    let n_c = graph.num_gcells();
+
+    // 1. Net density: exact recovery.
+    let recovered = recover_net_density(&graph, &feats.gnet);
+    let mut max_err = 0.0f32;
+    for i in 0..n_c {
+        let direct_h = feats.gcell[(i, gcell_channel::NET_DENSITY_H)];
+        max_err = max_err.max((recovered[(i, 0)] - direct_h).abs());
+    }
+    println!("net density:  one-step H·(1/spanV) vs crafted map, max |err| = {max_err:.2e} (exact)");
+
+    // 2. Pin density: recovery in expectation.
+    let rec_pin = recover_pin_density(&graph, &feats.gnet);
+    let direct_pin: Vec<f32> =
+        (0..n_c).map(|i| feats.gcell[(i, gcell_channel::PIN_DENSITY)]).collect();
+    let rec_pin_v: Vec<f32> = (0..n_c).map(|i| rec_pin[(i, 0)]).collect();
+    println!(
+        "pin density:  correlation = {:.3}, total mass {:.0} vs {:.0} (recovered in expectation)",
+        pearson(&direct_pin, &rec_pin_v),
+        direct_pin.iter().sum::<f32>(),
+        rec_pin_v.iter().sum::<f32>()
+    );
+
+    // 3. RUDY: recovery vs the real estimator on the same placement.
+    let rec_rudy = recover_rudy(&graph, &feats.gnet);
+    let real_rudy = rudy_maps(&synth.circuit, &placed.placement, &grid);
+    let rec_rudy_v: Vec<f32> = (0..n_c).map(|i| rec_rudy[(i, 0)]).collect();
+    println!(
+        "rudy:         correlation vs Spindler estimator = {:.3}",
+        pearson(&real_rudy.rudy, &rec_rudy_v)
+    );
+    println!(
+        "\nthe LH-graph carries the crafted features implicitly — the FeatureGen\nblock can regenerate (and improve on) them during learning, which is why\nzeroing the G-cell input features barely hurts LHNN (Table 3)."
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! RUDY vs global router: the motivating comparison from the paper's
+//! introduction.
+//!
+//! RUDY (Spindler & Johannes, DATE 2007) is the fast congestion estimator
+//! placers use when a full global route is too slow; the paper motivates
+//! learned predictors by RUDY's unreliability at *identifying congested
+//! regions*. This example quantifies that: it routes a design for ground
+//! truth, then scores RUDY's thresholded maps against the real congestion
+//! mask, sweeping the threshold.
+//!
+//! ```text
+//! cargo run --release --example rudy_vs_router
+//! ```
+
+use neurograd::Confusion;
+use vlsi_netlist::synth::{generate, SynthConfig};
+use vlsi_place::GlobalPlacer;
+use vlsi_route::{route, rudy_maps, Dir, RouterConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SynthConfig {
+        name: "rudy_demo".into(),
+        n_cells: 1200,
+        grid_nx: 32,
+        grid_ny: 32,
+        ..SynthConfig::default()
+    };
+    let synth = generate(&cfg)?;
+    let grid = cfg.grid();
+    let placed = GlobalPlacer::default().place_synth(&synth, &grid)?;
+
+    let t0 = std::time::Instant::now();
+    let routed = route(&synth.circuit, &placed.placement, &grid, &synth.macro_rects, &RouterConfig::default())?;
+    let route_time = t0.elapsed();
+
+    let t1 = std::time::Instant::now();
+    let rudy = rudy_maps(&synth.circuit, &placed.placement, &grid);
+    let rudy_time = t1.elapsed();
+
+    println!(
+        "global route: {:.1} ms (congestion rate {:.1}%), rudy: {:.2} ms ({}x faster)",
+        route_time.as_secs_f64() * 1000.0,
+        routed.congestion_rate() * 100.0,
+        rudy_time.as_secs_f64() * 1000.0,
+        (route_time.as_secs_f64() / rudy_time.as_secs_f64().max(1e-9)) as u64
+    );
+
+    // Ground truth: horizontal congestion mask.
+    let label: Vec<f32> = routed
+        .labels
+        .congestion(Dir::H)
+        .iter()
+        .map(|&b| if b { 1.0 } else { 0.0 })
+        .collect();
+
+    // Sweep RUDY thresholds and report the best F1 it can achieve.
+    println!("\nRUDY-h threshold sweep vs routed congestion mask:");
+    println!("{:>10} {:>8} {:>8} {:>8}", "threshold", "F1", "prec", "recall");
+    let max_rudy = rudy.rudy_h.iter().fold(0.0f32, |m, &v| m.max(v));
+    let mut best = (0.0f64, 0.0f32);
+    for i in 1..20 {
+        let t = max_rudy * i as f32 / 20.0;
+        let conf = Confusion::from_scores(&rudy.rudy_h, &label, t);
+        if conf.f1() > best.0 {
+            best = (conf.f1(), t);
+        }
+        println!("{:>10.2} {:>8.3} {:>8.3} {:>8.3}", t, conf.f1(), conf.precision(), conf.recall());
+    }
+    println!(
+        "\nbest RUDY F1 = {:.3} at threshold {:.2} — fast but unreliable, which is\nexactly the gap learned predictors (LHNN) close at a fraction of the\nrouter's cost.",
+        best.0, best.1
+    );
+    Ok(())
+}

@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: the full generate → place → route →
+//! graph → train → predict pipeline, exercised end-to-end.
+
+use lhnn_suite::graph::{ChannelMode, FeatureSet, LhGraph, LhGraphConfig, Targets};
+use lhnn_suite::model::{
+    evaluate, predict_map, train, AblationSpec, Lhnn, LhnnConfig, Sample, TrainConfig,
+};
+use lhnn_suite::netlist::synth::{generate, SynthConfig};
+use lhnn_suite::place::GlobalPlacer;
+use lhnn_suite::route::{route, Dir, RouterConfig};
+
+fn build_sample(seed: u64, n_cells: usize, grid_n: u32) -> Sample {
+    let cfg = SynthConfig {
+        name: format!("it{seed}"),
+        seed,
+        n_cells,
+        grid_nx: grid_n,
+        grid_ny: grid_n,
+        ..SynthConfig::default()
+    };
+    let synth = generate(&cfg).expect("generate");
+    let grid = cfg.grid();
+    let placed = GlobalPlacer::default().place_synth(&synth, &grid).expect("place");
+    let routed = route(
+        &synth.circuit,
+        &placed.placement,
+        &grid,
+        &synth.macro_rects,
+        &RouterConfig::default(),
+    )
+    .expect("route");
+    let graph = LhGraph::build(&synth.circuit, &placed.placement, &grid, &LhGraphConfig::default())
+        .expect("graph");
+    let (gd, nd) = FeatureSet::default_divisors();
+    let features = FeatureSet::build(&graph, &synth.circuit, &placed.placement, &grid)
+        .expect("features")
+        .scaled_fixed(&gd, &nd);
+    Sample { name: cfg.name, graph, features, targets: Targets::from_labels(&routed.labels) }
+}
+
+#[test]
+fn end_to_end_pipeline_shapes_are_consistent() {
+    let s = build_sample(1, 300, 12);
+    let n = s.graph.num_gcells();
+    assert_eq!(n, 144);
+    assert_eq!(s.features.gcell.rows(), n);
+    assert_eq!(s.features.gcell.cols(), 4);
+    assert_eq!(s.features.gnet.rows(), s.graph.num_gnets());
+    assert_eq!(s.targets.demand.shape(), (n, 2));
+    assert_eq!(s.targets.congestion.shape(), (n, 2));
+}
+
+#[test]
+fn lhnn_overfits_one_design() {
+    // Sanity: with enough epochs on a single design the model should fit
+    // its training labels well — validates gradients through every block.
+    let s = build_sample(2, 300, 12);
+    let mut model = Lhnn::new(LhnnConfig::default(), 0);
+    let cfg = TrainConfig { epochs: 120, ..Default::default() };
+    train(&mut model, std::slice::from_ref(&s), &AblationSpec::full(), &cfg);
+    let eval = evaluate(&model, std::slice::from_ref(&s), &AblationSpec::full());
+    assert!(eval.f1 > 0.6, "train-set F1 too low: {}", eval.f1);
+    assert!(eval.accuracy > 0.85, "train-set accuracy too low: {}", eval.accuracy);
+}
+
+#[test]
+fn lhnn_generalizes_across_designs() {
+    let train_set: Vec<Sample> = (10..14).map(|s| build_sample(s, 350, 12)).collect();
+    let test_set = vec![build_sample(99, 350, 12)];
+    let mut model = Lhnn::new(LhnnConfig::default(), 0);
+    let cfg = TrainConfig { epochs: 60, ..Default::default() };
+    train(&mut model, &train_set, &AblationSpec::full(), &cfg);
+    let eval = evaluate(&model, &test_set, &AblationSpec::full());
+    // a weak but meaningful bar: clearly better than chance on a ~15-25%
+    // positive-rate task
+    assert!(eval.f1 > 0.3, "test F1 too low: {}", eval.f1);
+    assert!(eval.accuracy > 0.7, "test accuracy too low: {}", eval.accuracy);
+}
+
+#[test]
+fn duo_channel_predicts_both_directions() {
+    let s = build_sample(3, 300, 12);
+    let cfg = LhnnConfig { channel_mode: ChannelMode::Duo, ..Default::default() };
+    let mut model = Lhnn::new(cfg, 0);
+    let tcfg = TrainConfig { epochs: 30, ..Default::default() };
+    train(&mut model, std::slice::from_ref(&s), &AblationSpec::full(), &tcfg);
+    let eval = evaluate(&model, std::slice::from_ref(&s), &AblationSpec::full());
+    assert!(eval.f1 > 0.3, "duo F1: {}", eval.f1);
+}
+
+#[test]
+fn ablations_train_without_panicking_and_full_wins_on_train_fit() {
+    let s = build_sample(4, 300, 12);
+    let cfg = TrainConfig { epochs: 40, ..Default::default() };
+    let mut scores = Vec::new();
+    for spec in [AblationSpec::full(), AblationSpec::without_hypermp()] {
+        let mut model = Lhnn::new(LhnnConfig::default(), 0);
+        train(&mut model, std::slice::from_ref(&s), &spec, &cfg);
+        let eval = evaluate(&model, std::slice::from_ref(&s), &spec);
+        scores.push((spec.label(), eval.f1));
+    }
+    assert!(
+        scores[0].1 >= scores[1].1 * 0.9,
+        "full model should not be clearly worse than -hypermp on its own training design: {scores:?}"
+    );
+}
+
+#[test]
+fn router_labels_match_demand_threshold() {
+    // The congestion target must be exactly demand > capacity per g-cell.
+    let cfg = SynthConfig { name: "lbl".into(), n_cells: 200, grid_nx: 10, grid_ny: 10, ..SynthConfig::default() };
+    let synth = generate(&cfg).expect("generate");
+    let grid = cfg.grid();
+    let placed = GlobalPlacer::default().place_synth(&synth, &grid).expect("place");
+    let routed = route(&synth.circuit, &placed.placement, &grid, &synth.macro_rects, &RouterConfig::default())
+        .expect("route");
+    let mask = routed.labels.congestion(Dir::H);
+    for i in 0..mask.len() {
+        assert_eq!(
+            mask[i],
+            routed.labels.demand_h[i] > routed.labels.capacity_h[i],
+            "congestion mask mismatch at {i}"
+        );
+    }
+}
+
+#[test]
+fn predict_map_is_deterministic_and_probabilistic() {
+    let s = build_sample(5, 250, 12);
+    let model = Lhnn::new(LhnnConfig::default(), 1);
+    let (p1, l1) = predict_map(&model, &s, &AblationSpec::full());
+    let (p2, _) = predict_map(&model, &s, &AblationSpec::full());
+    assert_eq!(p1, p2);
+    assert!(p1.iter().all(|p| (0.0..=1.0).contains(p)));
+    assert!(l1.iter().all(|&y| y == 0.0 || y == 1.0));
+}

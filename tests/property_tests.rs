@@ -1,0 +1,153 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the reproduction.
+
+use lhnn_suite::nn::{CsrMatrix, Matrix};
+use lhnn_suite::netlist::{GcellGrid, Point, Rect};
+use lhnn_suite::route::{candidate_paths, mst_segments, EdgeField, Segment};
+use proptest::prelude::*;
+use vlsi_netlist::GcellCoord;
+
+proptest! {
+    /// Sparse × dense always agrees with the dense reference product.
+    #[test]
+    fn spmm_matches_dense(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        x_cols in 1usize..5,
+        entries in proptest::collection::vec((0usize..8, 0usize..8, -5.0f32..5.0), 0..24),
+        x_data in proptest::collection::vec(-5.0f32..5.0, 1..320),
+    ) {
+        let triplets: Vec<(usize, usize, f32)> = entries
+            .into_iter()
+            .map(|(r, c, v)| (r % rows, c % cols, v))
+            .collect();
+        let s = CsrMatrix::from_triplets(rows, cols, &triplets);
+        let mut data = x_data;
+        data.resize(cols * x_cols, 0.5);
+        let x = Matrix::from_vec(cols, x_cols, data).unwrap();
+        let sparse = s.spmm(&x);
+        let dense = s.to_dense().matmul(&x);
+        prop_assert!(sparse.approx_eq(&dense, 1e-3));
+    }
+
+    /// Transposing twice is the identity, for the sparse type.
+    #[test]
+    fn csr_transpose_involution(
+        entries in proptest::collection::vec((0usize..6, 0usize..6, -3.0f32..3.0), 0..20),
+    ) {
+        let s = CsrMatrix::from_triplets(6, 6, &entries);
+        let tt = s.transpose().transpose();
+        prop_assert!(s.to_dense().approx_eq(&tt.to_dense(), 1e-6));
+    }
+
+    /// Row-normalised matrices have row sums of exactly 0 or 1.
+    #[test]
+    fn row_normalisation_is_stochastic(
+        entries in proptest::collection::vec((0usize..6, 0usize..6, 0.1f32..3.0), 0..20),
+    ) {
+        let s = CsrMatrix::from_triplets(6, 6, &entries).row_normalized();
+        for sum in s.row_sums() {
+            prop_assert!(sum.abs() < 1e-5 || (sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// Grid locate is the inverse of gcell_rect membership.
+    #[test]
+    fn grid_locate_consistency(
+        nx in 1u32..12,
+        ny in 1u32..12,
+        px in 0.0f32..100.0,
+        py in 0.0f32..100.0,
+    ) {
+        let grid = GcellGrid::new(Rect::new(0.0, 0.0, 100.0, 100.0), nx, ny);
+        let p = Point::new(px, py);
+        let c = grid.locate(p);
+        let rect = grid.gcell_rect(c);
+        // the located cell's rect contains the (clamped) point
+        prop_assert!(rect.contains(Point::new(
+            px.clamp(rect.lx, rect.ux),
+            py.clamp(rect.ly, rect.uy),
+        )));
+        // index/coord roundtrip
+        prop_assert_eq!(grid.coord(grid.index(c)), c);
+    }
+
+    /// MST total length never exceeds a star topology from the first pin,
+    /// and connects all terminals with exactly n-1 edges.
+    #[test]
+    fn mst_is_no_worse_than_star(
+        points in proptest::collection::vec((0u32..20, 0u32..20), 2..10),
+    ) {
+        let mut terminals: Vec<GcellCoord> =
+            points.iter().map(|&(gx, gy)| GcellCoord { gx, gy }).collect();
+        terminals.sort_by_key(|c| (c.gy, c.gx));
+        terminals.dedup();
+        prop_assume!(terminals.len() >= 2);
+        let segs = mst_segments(&terminals);
+        prop_assert_eq!(segs.len(), terminals.len() - 1);
+        let mst_len: u32 = segs.iter().map(Segment::manhattan_len).sum();
+        let star_len: u32 = terminals[1..]
+            .iter()
+            .map(|t| t.gx.abs_diff(terminals[0].gx) + t.gy.abs_diff(terminals[0].gy))
+            .sum();
+        prop_assert!(mst_len <= star_len);
+    }
+
+    /// Every pattern-routing candidate is a valid minimal-length path.
+    #[test]
+    fn pattern_candidates_are_monotone_paths(
+        ax in 0u32..10, ay in 0u32..10, bx in 0u32..10, by in 0u32..10,
+    ) {
+        let seg = Segment {
+            from: GcellCoord { gx: ax, gy: ay },
+            to: GcellCoord { gx: bx, gy: by },
+        };
+        for path in candidate_paths(&seg) {
+            prop_assert_eq!(path[0], seg.from);
+            prop_assert_eq!(*path.last().unwrap(), seg.to);
+            prop_assert_eq!(path.len() as u32, seg.manhattan_len() + 1);
+            for w in path.windows(2) {
+                let d = w[0].gx.abs_diff(w[1].gx) + w[0].gy.abs_diff(w[1].gy);
+                prop_assert_eq!(d, 1);
+            }
+        }
+    }
+
+    /// Demand accounting: adding a path puts exactly path_len-1 units on
+    /// the field, and removing it restores zero.
+    #[test]
+    fn edge_field_path_accounting(
+        ax in 0u32..8, ay in 0u32..8, bx in 0u32..8, by in 0u32..8,
+    ) {
+        let grid = GcellGrid::new(Rect::new(0.0, 0.0, 8.0, 8.0), 8, 8);
+        let seg = Segment {
+            from: GcellCoord { gx: ax, gy: ay },
+            to: GcellCoord { gx: bx, gy: by },
+        };
+        let path = &candidate_paths(&seg)[0];
+        let mut f = EdgeField::zeros(&grid);
+        f.add_path(path, 1.0);
+        let total = f.total(lhnn_suite::route::Dir::H) + f.total(lhnn_suite::route::Dir::V);
+        prop_assert!((total - (path.len() as f32 - 1.0)).abs() < 1e-5);
+        f.add_path(path, -1.0);
+        let total2 = f.total(lhnn_suite::route::Dir::H) + f.total(lhnn_suite::route::Dir::V);
+        prop_assert!(total2.abs() < 1e-5);
+    }
+
+    /// Matrix concat/slice roundtrip.
+    #[test]
+    fn concat_slice_roundtrip(
+        rows in 1usize..6,
+        ca in 1usize..5,
+        cb in 1usize..5,
+        data in proptest::collection::vec(-2.0f32..2.0, 1..60),
+    ) {
+        let mut d = data;
+        d.resize(rows * (ca + cb), 0.25);
+        let a = Matrix::from_vec(rows, ca, d[..rows * ca].to_vec()).unwrap();
+        let b = Matrix::from_vec(rows, cb, d[rows * ca..].to_vec()).unwrap();
+        let cat = a.concat_cols(&b);
+        prop_assert_eq!(cat.slice_cols(0, ca), a);
+        prop_assert_eq!(cat.slice_cols(ca, ca + cb), b);
+    }
+}
