@@ -31,9 +31,27 @@ impl MlpBaseline {
     pub fn new(in_dim: usize, out_dim: usize, hidden: usize, seed: u64) -> Self {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(seed);
-        let input = Linear::new(&mut store, "mlp.input", in_dim, hidden, Activation::Relu, &mut rng);
-        let res1 = ResBlock::new(&mut store, "mlp.res1", hidden, hidden, hidden, Activation::Relu, &mut rng);
-        let head = Mlp::new(&mut store, "mlp.head", hidden, hidden, out_dim, 2, Activation::Identity, &mut rng);
+        let input =
+            Linear::new(&mut store, "mlp.input", in_dim, hidden, Activation::Relu, &mut rng);
+        let res1 = ResBlock::new(
+            &mut store,
+            "mlp.res1",
+            hidden,
+            hidden,
+            hidden,
+            Activation::Relu,
+            &mut rng,
+        );
+        let head = Mlp::new(
+            &mut store,
+            "mlp.head",
+            hidden,
+            hidden,
+            out_dim,
+            2,
+            Activation::Identity,
+            &mut rng,
+        );
         Self { store, input, res1, head, in_dim, out_dim }
     }
 
@@ -69,8 +87,7 @@ impl ImageModel for MlpBaseline {
                 let logits = self.forward_nodes(&mut tape, s.input.transpose());
                 let targets = s.targets_node_major();
                 let weights = targets.map(|y| y + (1.0 - y) * cfg.gamma);
-                let loss =
-                    tape.bce_with_logits(logits, Arc::new(targets), Arc::new(weights));
+                let loss = tape.bce_with_logits(logits, Arc::new(targets), Arc::new(weights));
                 tape.backward(loss);
                 self.store.absorb_grads(&mut tape);
                 if cfg.grad_clip > 0.0 {

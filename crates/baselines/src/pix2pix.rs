@@ -34,7 +34,17 @@ impl PatchGan {
         // N(0, 0.02) init as in the reference Pix2Pix discriminator.
         Self {
             c1: Conv2dLayer::new_with_std(store, "disc.c1", in_ch, features, 3, 2, 1, 0.02, rng),
-            c2: Conv2dLayer::new_with_std(store, "disc.c2", features, 2 * features, 3, 2, 1, 0.02, rng),
+            c2: Conv2dLayer::new_with_std(
+                store,
+                "disc.c2",
+                features,
+                2 * features,
+                3,
+                2,
+                1,
+                0.02,
+                rng,
+            ),
             c3: Conv2dLayer::new_with_std(store, "disc.c3", 2 * features, 1, 3, 1, 1, 0.02, rng),
         }
     }
@@ -125,8 +135,14 @@ impl ImageModel for Pix2PixModel {
                     // real pair
                     let real_mask = tape.leaf(s.target_cls.clone());
                     let real_pair = tape.concat_rows(x, real_mask);
-                    let real_logits =
-                        self.discriminator.forward(&mut tape, &self.disc_store, real_pair, h, w, false);
+                    let real_logits = self.discriminator.forward(
+                        &mut tape,
+                        &self.disc_store,
+                        real_pair,
+                        h,
+                        w,
+                        false,
+                    );
                     let loss_real = Self::uniform_bce(&mut tape, real_logits, 1.0);
                     // fake pair: generator output as a constant
                     let fake_value = {
@@ -140,8 +156,14 @@ impl ImageModel for Pix2PixModel {
                     let x2 = tape.leaf(s.input.clone());
                     let fake_mask = tape.leaf(fake_value);
                     let fake_pair = tape.concat_rows(x2, fake_mask);
-                    let fake_logits =
-                        self.discriminator.forward(&mut tape, &self.disc_store, fake_pair, h, w, false);
+                    let fake_logits = self.discriminator.forward(
+                        &mut tape,
+                        &self.disc_store,
+                        fake_pair,
+                        h,
+                        w,
+                        false,
+                    );
                     let loss_fake = Self::uniform_bce(&mut tape, fake_logits, 0.0);
                     let d_loss = tape.add(loss_real, loss_fake);
                     tape.backward(d_loss);
@@ -161,11 +183,7 @@ impl ImageModel for Pix2PixModel {
                     // task loss (γ-weighted congestion BCE)
                     let targets = s.target_cls.clone();
                     let weights = targets.map(|y| y + (1.0 - y) * cfg.gamma);
-                    let task = tape.bce_with_logits(
-                        logits,
-                        Arc::new(targets),
-                        Arc::new(weights),
-                    );
+                    let task = tape.bce_with_logits(logits, Arc::new(targets), Arc::new(weights));
                     // adversarial loss through a frozen discriminator
                     let gprob = tape.sigmoid(logits);
                     let x2 = tape.leaf(s.input.clone());
@@ -190,8 +208,7 @@ impl ImageModel for Pix2PixModel {
     fn predict(&self, sample: &ImageSample) -> Matrix {
         let mut tape = Tape::new();
         let x = tape.leaf(sample.input.clone());
-        let logits =
-            self.generator.forward(&mut tape, &self.gen_store, x, sample.ny, sample.nx);
+        let logits = self.generator.forward(&mut tape, &self.gen_store, x, sample.ny, sample.nx);
         let prob = tape.sigmoid(logits);
         tape.value(prob).clone()
     }

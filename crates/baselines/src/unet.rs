@@ -100,7 +100,10 @@ impl UNetNet {
         h: usize,
         w: usize,
     ) -> Var {
-        assert!(h.is_multiple_of(4) && w.is_multiple_of(4), "u-net needs dims divisible by 4, got {h}x{w}");
+        assert!(
+            h.is_multiple_of(4) && w.is_multiple_of(4),
+            "u-net needs dims divisible by 4, got {h}x{w}"
+        );
         assert_eq!(
             tape.shape(x),
             (self.in_dim, h * w),
@@ -117,7 +120,7 @@ impl UNetNet {
         let (h4, w4) = (h2 / 2, w2 / 2);
         let b = self.bottleneck.forward(tape, store, p2, h4, w4); // (4f, ...)
         let u2 = tape.upsample_nearest2(b, h4, w4); // back to h/2
-        // channel concat = row concat in (C, HW) layout
+                                                    // channel concat = row concat in (C, HW) layout
         let cat2 = tape.concat_rows(u2, e2);
         let d2 = self.dec2.forward(tape, store, cat2, h2, w2);
         let u1 = tape.upsample_nearest2(d2, h2, w2);

@@ -21,8 +21,9 @@ fn sample(n_cells: usize, grid: u32) -> Sample {
     let synth = generate(&cfg).expect("generate");
     let g = cfg.grid();
     let placed = GlobalPlacer::default().place_synth(&synth, &g).expect("place");
-    let routed = route(&synth.circuit, &placed.placement, &g, &synth.macro_rects, &RouterConfig::default())
-        .expect("route");
+    let routed =
+        route(&synth.circuit, &placed.placement, &g, &synth.macro_rects, &RouterConfig::default())
+            .expect("route");
     let graph = LhGraph::build(&synth.circuit, &placed.placement, &g, &LhGraphConfig::default())
         .expect("graph");
     let (gd, nd) = FeatureSet::default_divisors();

@@ -64,7 +64,5 @@ fn main() {
     }
     println!("\nNeighbour-sampling ablation (uni-channel):");
     println!("{}", table.render());
-    table
-        .write_csv(&Path::new(&args.out_dir).join("fanout_ablation.csv"))
-        .expect("write csv");
+    table.write_csv(&Path::new(&args.out_dir).join("fanout_ablation.csv")).expect("write csv");
 }

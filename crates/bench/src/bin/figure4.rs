@@ -66,13 +66,10 @@ fn main() {
     // The paper shows superblue 5, 6, 9: two lowest-congestion test
     // designs plus the highest.
     let by_rate = prep.test_by_congestion();
-    let picks: Vec<&DesignData> =
-        vec![by_rate[0], by_rate[1], by_rate[by_rate.len() - 1]];
+    let picks: Vec<&DesignData> = vec![by_rate[0], by_rate[1], by_rate[by_rate.len() - 1]];
 
     let out_dir = Path::new(&args.out_dir).join("figure4");
-    let mut summary = TextTable::new(&[
-        "Design", "Rate (%)", "Model", "Pred rate (%)", "FP", "FN",
-    ]);
+    let mut summary = TextTable::new(&["Design", "Rate (%)", "Model", "Pred rate (%)", "FP", "FN"]);
     for d in picks {
         let (nx, ny) = (d.grid.nx() as usize, d.grid.ny() as usize);
         let (lhnn_prob, label) = predict_map(&lhnn, &d.sample, &AblationSpec::full());
@@ -84,11 +81,7 @@ fn main() {
             ("unet", unet.predict(&img).into_vec()),
             ("pix2pix", pix.predict(&img).into_vec()),
         ];
-        println!(
-            "=== {} (congestion rate {}%) ===",
-            d.name,
-            pct1(d.stats.congestion_rate)
-        );
+        println!("=== {} (congestion rate {}%) ===", d.name, pct1(d.stats.congestion_rate));
         for (name, map) in &preds {
             let bin = binary(map);
             let (fp, fn_) = fp_fn(&bin, &label);
@@ -116,8 +109,6 @@ fn main() {
     }
     println!("Figure 4 summary (per-design calibration):");
     println!("{}", summary.render());
-    summary
-        .write_csv(&Path::new(&args.out_dir).join("figure4_summary.csv"))
-        .expect("write csv");
+    summary.write_csv(&Path::new(&args.out_dir).join("figure4_summary.csv")).expect("write csv");
     eprintln!("pgm maps + csv written under {}/", args.out_dir);
 }

@@ -18,7 +18,12 @@ use neurograd::mean_std;
 fn main() {
     let args = HarnessArgs::from_env();
     let base = args.experiment_config();
-    eprintln!("gamma sweep: scale {}, {} epochs, {} seeds", args.scale, base.lhnn_train.epochs, base.seeds.len());
+    eprintln!(
+        "gamma sweep: scale {}, {} epochs, {} seeds",
+        args.scale,
+        base.lhnn_train.epochs,
+        base.seeds.len()
+    );
     let prep = PreparedDataset::build(&base.dataset).expect("dataset build failed");
 
     let mut table = TextTable::new(&["gamma", "F1", "ACC"]);
@@ -35,7 +40,8 @@ fn main() {
                     let cfg = &cfg;
                     let prep = &prep;
                     scope.spawn(move || {
-                        let s = run_lhnn_seed(prep, cfg, ChannelMode::Uni, &AblationSpec::full(), seed);
+                        let s =
+                            run_lhnn_seed(prep, cfg, ChannelMode::Uni, &AblationSpec::full(), seed);
                         (s.f1, s.accuracy)
                     })
                 })
@@ -51,7 +57,5 @@ fn main() {
     }
     println!("\nGamma sensitivity (uni-channel):");
     println!("{}", table.render());
-    table
-        .write_csv(&Path::new(&args.out_dir).join("gamma_sweep.csv"))
-        .expect("write csv");
+    table.write_csv(&Path::new(&args.out_dir).join("gamma_sweep.csv")).expect("write csv");
 }

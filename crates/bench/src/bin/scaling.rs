@@ -36,7 +36,13 @@ fn time_ms(mut f: impl FnMut()) -> f64 {
 fn main() {
     let args = HarnessArgs::from_env();
     let mut table = TextTable::new(&[
-        "G-cells", "#cells", "route (ms)", "rudy (ms)", "lhnn (ms)", "unet (ms)", "router/lhnn",
+        "G-cells",
+        "#cells",
+        "route (ms)",
+        "rudy (ms)",
+        "lhnn (ms)",
+        "unet (ms)",
+        "router/lhnn",
     ]);
     for grid in [16u32, 24, 32, 48, 64] {
         let n_cells = (grid * grid) as usize;
@@ -51,16 +57,29 @@ fn main() {
         let g = cfg.grid();
         let placed = GlobalPlacer::default().place_synth(&synth, &g).expect("place");
         let route_ms = time_ms(|| {
-            route(&synth.circuit, &placed.placement, &g, &synth.macro_rects, &RouterConfig::default())
-                .expect("route");
+            route(
+                &synth.circuit,
+                &placed.placement,
+                &g,
+                &synth.macro_rects,
+                &RouterConfig::default(),
+            )
+            .expect("route");
         });
         let rudy_ms = time_ms(|| {
             rudy_maps(&synth.circuit, &placed.placement, &g);
         });
-        let routed = route(&synth.circuit, &placed.placement, &g, &synth.macro_rects, &RouterConfig::default())
-            .expect("route");
-        let graph = LhGraph::build(&synth.circuit, &placed.placement, &g, &LhGraphConfig::default())
-            .expect("graph");
+        let routed = route(
+            &synth.circuit,
+            &placed.placement,
+            &g,
+            &synth.macro_rects,
+            &RouterConfig::default(),
+        )
+        .expect("route");
+        let graph =
+            LhGraph::build(&synth.circuit, &placed.placement, &g, &LhGraphConfig::default())
+                .expect("graph");
         let (gd, nd) = FeatureSet::default_divisors();
         let features = FeatureSet::build(&graph, &synth.circuit, &placed.placement, &g)
             .expect("features")

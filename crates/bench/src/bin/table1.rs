@@ -17,7 +17,8 @@ fn main() {
     let prep = PreparedDataset::build(&cfg.dataset).expect("dataset build failed");
 
     // Per-design statistics.
-    let mut per_design = TextTable::new(&["Design", "#cells", "#nets", "#G-cells", "Congestion rate (%)", "Split"]);
+    let mut per_design =
+        TextTable::new(&["Design", "#cells", "#nets", "#G-cells", "Congestion rate (%)", "Split"]);
     for (i, d) in prep.designs.iter().enumerate() {
         let split = if prep.search.split.test.contains(&i) { "test" } else { "train" };
         per_design.add_row(vec![
@@ -37,7 +38,8 @@ fn main() {
         idx.iter().map(|&i| f(&prep.designs[i].stats)).sum::<f64>() / idx.len().max(1) as f64
     };
     let all: Vec<usize> = (0..prep.designs.len()).collect();
-    let mut table1 = TextTable::new(&["Split", "Designs", "#cells", "#nets", "#G-cells", "Congestion rate (%)"]);
+    let mut table1 =
+        TextTable::new(&["Split", "Designs", "#cells", "#nets", "#G-cells", "Congestion rate (%)"]);
     for (name, idx) in [
         ("Training", prep.search.split.train.clone()),
         ("Testing", prep.search.split.test.clone()),

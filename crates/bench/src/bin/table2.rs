@@ -26,13 +26,7 @@ fn main() {
     let prep = PreparedDataset::build(&cfg.dataset).expect("dataset build failed");
     eprintln!("dataset ready in {:.0}s", t0.elapsed().as_secs_f64());
 
-    let mut table = TextTable::new(&[
-        "Model",
-        "Uni F1",
-        "Uni ACC",
-        "Duo F1",
-        "Duo ACC",
-    ]);
+    let mut table = TextTable::new(&["Model", "Uni F1", "Uni ACC", "Duo F1", "Duo ACC"]);
     let t1 = Instant::now();
     let uni = model_comparison(&prep, &cfg, ChannelMode::Uni);
     eprintln!("uni-channel done in {:.0}s", t1.elapsed().as_secs_f64());

@@ -21,6 +21,25 @@ use lhnn::TrainConfig;
 use lhnn_baselines::BaselineTrainConfig;
 use lhnn_data::{DatasetConfig, ExperimentConfig};
 
+/// Usage text for a harness binary: the flags [`HarnessArgs::parse`]
+/// understands (binaries may accept further flags of their own).
+pub fn usage(binary: &str) -> String {
+    format!(
+        "\
+{binary} — LHNN evaluation harness binary
+
+USAGE:
+  cargo run --release -p lhnn-bench --bin {binary} [-- OPTIONS]
+
+OPTIONS:
+  --scale F     dataset scale multiplier (default 1.0)
+  --epochs N    training epochs for all models (default 150)
+  --seeds N     number of random seeds (default 5)
+  --out DIR     output directory for CSV/PGM results (default results/)
+  -h, --help    print this help and exit"
+    )
+}
+
 /// Command-line overrides shared by all harness binaries.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
@@ -75,8 +94,25 @@ impl HarnessArgs {
     }
 
     /// Parses from the process arguments.
+    ///
+    /// `--help` / `-h` prints the shared usage text and exits, so every
+    /// harness binary supports a cheap smoke invocation that never starts
+    /// the (expensive) experiment protocol.
     pub fn from_env() -> Self {
-        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut args = std::env::args();
+        let binary = args
+            .next()
+            .map(|p| {
+                std::path::Path::new(&p)
+                    .file_stem()
+                    .map_or_else(|| p.clone(), |s| s.to_string_lossy().into_owned())
+            })
+            .unwrap_or_else(|| "lhnn-bench".into());
+        let args: Vec<String> = args.collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", usage(&binary));
+            std::process::exit(0);
+        }
         Self::parse(&args)
     }
 

@@ -45,10 +45,7 @@ pub fn generate(args: &Args) -> CmdResult {
 }
 
 fn load_design(args: &Args) -> Result<(Circuit, Placement), Box<dyn Error>> {
-    let dir = args
-        .opt("dir")
-        .ok_or("missing --dir")?
-        .to_string();
+    let dir = args.opt("dir").ok_or("missing --dir")?.to_string();
     let design = args.opt("design").ok_or("missing --design")?;
     let (circuit, placement) = bookshelf::read_design(Path::new(&dir), design)?;
     circuit.validate()?;
@@ -57,11 +54,7 @@ fn load_design(args: &Args) -> Result<(Circuit, Placement), Box<dyn Error>> {
 
 fn grid_for(args: &Args, circuit: &Circuit) -> GcellGrid {
     let g = args.num("grid", 24u32);
-    let die = if circuit.die.area() > 0.0 {
-        circuit.die
-    } else {
-        Rect::new(0.0, 0.0, 1.0, 1.0)
-    };
+    let die = if circuit.die.area() > 0.0 { circuit.die } else { Rect::new(0.0, 0.0, 1.0, 1.0) };
     GcellGrid::new(die, g, g)
 }
 
@@ -71,7 +64,12 @@ pub fn stats(args: &Args) -> CmdResult {
     let s = netlist_stats(&circuit);
     println!("design: {}", circuit.name);
     println!("cells: {} ({} terminals)", circuit.num_cells(), circuit.num_terminals());
-    println!("nets: {} (mean degree {:.2}, max {})", circuit.num_nets(), s.mean_degree, s.max_degree);
+    println!(
+        "nets: {} (mean degree {:.2}, max {})",
+        circuit.num_nets(),
+        s.mean_degree,
+        s.max_degree
+    );
     println!("2-pin fraction: {:.1}%", s.two_pin_fraction * 100.0);
     println!("mean nets per cell: {:.2}", s.mean_cell_fanout);
     match rent_exponent(&circuit, 7) {
@@ -97,7 +95,10 @@ pub fn route(args: &Args) -> CmdResult {
     let routed = route_circuit(&circuit, &placement, &grid, &[], &rcfg)?;
     println!("design: {} on {}x{} g-cells", circuit.name, grid.nx(), grid.ny());
     println!("wirelength: {} g-cell steps", routed.wirelength);
-    println!("overflowed edges: {} (total overflow {:.1})", routed.overflowed_edges, routed.total_overflow);
+    println!(
+        "overflowed edges: {} (total overflow {:.1})",
+        routed.overflowed_edges, routed.total_overflow
+    );
     println!(
         "congestion rate: {:.2}% (h {:.2}%, v {:.2}%)",
         routed.congestion_rate() * 100.0,
@@ -124,8 +125,13 @@ pub fn train(args: &Args) -> CmdResult {
     let prep = PreparedDataset::build(&ds)?;
     let train_set = prep.train_samples();
     let test_set = prep.test_samples();
-    let mut model = Lhnn::new(LhnnConfig { channel_mode: ChannelMode::Uni, ..Default::default() }, seed);
-    eprintln!("training {} parameters for {epochs} epochs on {} designs...", model.num_parameters(), train_set.len());
+    let mut model =
+        Lhnn::new(LhnnConfig { channel_mode: ChannelMode::Uni, ..Default::default() }, seed);
+    eprintln!(
+        "training {} parameters for {epochs} epochs on {} designs...",
+        model.num_parameters(),
+        train_set.len()
+    );
     let cfg = TrainConfig { epochs, seed, ..Default::default() };
     let history = train_model(&mut model, &train_set, &AblationSpec::full(), &cfg);
     let eval = evaluate(&model, &test_set, &AblationSpec::full());
@@ -148,13 +154,11 @@ pub fn predict(args: &Args) -> CmdResult {
     let grid = grid_for(args, &circuit);
     let graph = LhGraph::build(&circuit, &placement, &grid, &LhGraphConfig::default())?;
     let (gd, nd) = FeatureSet::default_divisors();
-    let features =
-        FeatureSet::build(&graph, &circuit, &placement, &grid)?.scaled_fixed(&gd, &nd);
+    let features = FeatureSet::build(&graph, &circuit, &placement, &grid)?.scaled_fixed(&gd, &nd);
     let ops = lhnn::GraphOps::from_graph(&graph, &AblationSpec::full());
     let pred = model.predict(&ops, &features);
     let prob: Vec<f32> = (0..pred.cls_prob.rows()).map(|r| pred.cls_prob[(r, 0)]).collect();
-    let predicted_rate =
-        prob.iter().filter(|&&p| p >= 0.5).count() as f64 / prob.len() as f64;
+    let predicted_rate = prob.iter().filter(|&&p| p >= 0.5).count() as f64 / prob.len() as f64;
     println!("design: {} on {}x{} g-cells", circuit.name, grid.nx(), grid.ny());
     println!("predicted congestion rate: {:.2}%", predicted_rate * 100.0);
     println!("{}", ascii_map(&prob, grid.nx() as usize, grid.ny() as usize));
@@ -179,12 +183,7 @@ pub fn predict(args: &Args) -> CmdResult {
             routed.congestion_rate() * 100.0
         );
         // keep the sample around so the types stay exercised
-        let _ = Sample {
-            name: circuit.name.clone(),
-            graph,
-            features,
-            targets,
-        };
+        let _ = Sample { name: circuit.name.clone(), graph, features, targets };
     }
     Ok(())
 }

@@ -39,8 +39,24 @@ impl FeatureGenBlock {
     fn new(store: &mut ParamStore, cfg: &LhnnConfig, rng: &mut StdRng) -> Self {
         let h = cfg.hidden;
         Self {
-            f_c: ResBlock::new(store, "featuregen.f_c", cfg.gcell_in_dim, h, h, Activation::Relu, rng),
-            f_n: ResBlock::new(store, "featuregen.f_n", cfg.gnet_in_dim, h, h, Activation::Relu, rng),
+            f_c: ResBlock::new(
+                store,
+                "featuregen.f_c",
+                cfg.gcell_in_dim,
+                h,
+                h,
+                Activation::Relu,
+                rng,
+            ),
+            f_n: ResBlock::new(
+                store,
+                "featuregen.f_n",
+                cfg.gnet_in_dim,
+                h,
+                h,
+                Activation::Relu,
+                rng,
+            ),
             phi_c: Linear::new(store, "featuregen.phi_c", 2 * h, h, Activation::Relu, rng),
             phi_n: Linear::new(store, "featuregen.phi_n", h, h, Activation::Relu, rng),
         }
@@ -82,11 +98,43 @@ impl HyperMpBlock {
     fn new(store: &mut ParamStore, name: &str, hidden: usize, rng: &mut StdRng) -> Self {
         let h = hidden;
         Self {
-            res_c_in: ResBlock::new(store, &format!("{name}.res_c_in"), h, h, h, Activation::Relu, rng),
-            res_n_prev: ResBlock::new(store, &format!("{name}.res_n_prev"), h, h, h, Activation::Relu, rng),
+            res_c_in: ResBlock::new(
+                store,
+                &format!("{name}.res_c_in"),
+                h,
+                h,
+                h,
+                Activation::Relu,
+                rng,
+            ),
+            res_n_prev: ResBlock::new(
+                store,
+                &format!("{name}.res_n_prev"),
+                h,
+                h,
+                h,
+                Activation::Relu,
+                rng,
+            ),
             fuse_n: Linear::new(store, &format!("{name}.fuse_n"), 2 * h, h, Activation::Relu, rng),
-            res_n_in: ResBlock::new(store, &format!("{name}.res_n_in"), h, h, h, Activation::Relu, rng),
-            res_c_prev: ResBlock::new(store, &format!("{name}.res_c_prev"), h, h, h, Activation::Relu, rng),
+            res_n_in: ResBlock::new(
+                store,
+                &format!("{name}.res_n_in"),
+                h,
+                h,
+                h,
+                Activation::Relu,
+                rng,
+            ),
+            res_c_prev: ResBlock::new(
+                store,
+                &format!("{name}.res_c_prev"),
+                h,
+                h,
+                h,
+                Activation::Relu,
+                rng,
+            ),
             fuse_c: Linear::new(store, &format!("{name}.fuse_c"), 2 * h, h, Activation::Relu, rng),
         }
     }
@@ -130,7 +178,15 @@ struct LatticeMpBlock {
 impl LatticeMpBlock {
     fn new(store: &mut ParamStore, name: &str, hidden: usize, rng: &mut StdRng) -> Self {
         Self {
-            res: ResBlock::new(store, &format!("{name}.res"), hidden, hidden, hidden, Activation::Relu, rng),
+            res: ResBlock::new(
+                store,
+                &format!("{name}.res"),
+                hidden,
+                hidden,
+                hidden,
+                Activation::Relu,
+                rng,
+            ),
             lin: Linear::new(store, &format!("{name}.lin"), hidden, hidden, Activation::Relu, rng),
         }
     }
@@ -185,10 +241,14 @@ impl Lhnn {
             .map(|i| HyperMpBlock::new(&mut store, &format!("hypermp{i}"), cfg.hidden, &mut rng))
             .collect();
         let lattice_encode = (0..cfg.latticemp_encode_layers)
-            .map(|i| LatticeMpBlock::new(&mut store, &format!("lattice_enc{i}"), cfg.hidden, &mut rng))
+            .map(|i| {
+                LatticeMpBlock::new(&mut store, &format!("lattice_enc{i}"), cfg.hidden, &mut rng)
+            })
             .collect();
         let lattice_joint = (0..cfg.latticemp_joint_layers)
-            .map(|i| LatticeMpBlock::new(&mut store, &format!("lattice_joint{i}"), cfg.hidden, &mut rng))
+            .map(|i| {
+                LatticeMpBlock::new(&mut store, &format!("lattice_joint{i}"), cfg.hidden, &mut rng)
+            })
             .collect();
         let out = cfg.channel_mode.channels();
         let cls_head =
@@ -254,10 +314,7 @@ impl Lhnn {
         let mut tape = Tape::new();
         let out = self.forward(&mut tape, ops, features);
         let prob = tape.sigmoid(out.cls_logits);
-        Prediction {
-            cls_prob: tape.value(prob).clone(),
-            reg: tape.value(out.reg).clone(),
-        }
+        Prediction { cls_prob: tape.value(prob).clone(), reg: tape.value(out.reg).clone() }
     }
 }
 
@@ -356,11 +413,8 @@ mod tests {
         let loss = tape.add(s1, s2);
         tape.backward(loss);
         model.store_mut().absorb_grads(&mut tape);
-        let with_grad = model
-            .store()
-            .iter()
-            .filter(|p| p.grad.as_slice().iter().any(|&g| g != 0.0))
-            .count();
+        let with_grad =
+            model.store().iter().filter(|p| p.grad.as_slice().iter().any(|&g| g != 0.0)).count();
         let total = model.store().len();
         // every parameter tensor should receive gradient (relu dead units
         // can zero a few, allow some slack)

@@ -144,8 +144,7 @@ mod tests {
         let synth = generate(&cfg).unwrap();
         let grid = cfg.grid();
         let placed = GlobalPlacer::default().place_synth(&synth, &grid).unwrap();
-        LhGraph::build(&synth.circuit, &placed.placement, &grid, &LhGraphConfig::default())
-            .unwrap()
+        LhGraph::build(&synth.circuit, &placed.placement, &grid, &LhGraphConfig::default()).unwrap()
     }
 
     #[test]
@@ -223,11 +222,8 @@ mod tests {
     fn sampled_sum_is_unbiased_in_expectation() {
         // A row with 4 unit entries sampled at fanout 2 and rescaled by 2
         // has expected row sum 4.
-        let csr = CsrMatrix::from_triplets(
-            1,
-            4,
-            &[(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)],
-        );
+        let csr =
+            CsrMatrix::from_triplets(1, 4, &[(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)]);
         let mut rng = StdRng::seed_from_u64(3);
         let mut total = 0.0;
         let trials = 200;

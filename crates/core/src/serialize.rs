@@ -180,9 +180,8 @@ impl Lhnn {
                 data_line.split_whitespace().map(str::parse::<f32>).collect();
             let values =
                 values.map_err(|e| ModelIoError::Format(format!("bad value in `{name}`: {e}")))?;
-            let matrix = Matrix::from_vec(rows, cols, values).map_err(|_| {
-                ModelIoError::Format(format!("value count mismatch for `{name}`"))
-            })?;
+            let matrix = Matrix::from_vec(rows, cols, values)
+                .map_err(|_| ModelIoError::Format(format!("value count mismatch for `{name}`")))?;
             let id = model.store().id_at(i);
             let param = model.store().param(id);
             if param.name != name {
@@ -261,7 +260,11 @@ mod tests {
         model.save(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         // corrupt the first tensor's declared shape
-        let tampered = text.replacen("param featuregen.f_c.lin1.weight 4 32", "param featuregen.f_c.lin1.weight 5 32", 1);
+        let tampered = text.replacen(
+            "param featuregen.f_c.lin1.weight 4 32",
+            "param featuregen.f_c.lin1.weight 5 32",
+            1,
+        );
         let err = Lhnn::load(tampered.as_bytes()).unwrap_err();
         assert!(matches!(err, ModelIoError::Mismatch(_) | ModelIoError::Format(_)));
     }

@@ -184,8 +184,7 @@ pub fn evaluate_regression(model: &Lhnn, samples: &[Sample], ablation: &Ablation
         truths.extend(target.as_slice().iter().map(|&v| f64::from(v)));
     }
     let n = preds.len().max(1) as f64;
-    let rmse =
-        (preds.iter().zip(&truths).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / n).sqrt();
+    let rmse = (preds.iter().zip(&truths).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / n).sqrt();
     let mp = preds.iter().sum::<f64>() / n;
     let mt = truths.iter().sum::<f64>() / n;
     let cov: f64 = preds.iter().zip(&truths).map(|(p, t)| (p - mp) * (t - mt)).sum();

@@ -177,9 +177,8 @@ pub fn build_design(synth_cfg: &SynthConfig, cfg: &DatasetConfig) -> Result<Desi
                 rrr_rounds: 0,
                 ..Default::default()
             };
-            let probe =
-                route(&synth.circuit, &placed.placement, &grid, &[], &probe_cfg)
-                    .map_err(|e| DataError::pipeline("route-probe", &e))?;
+            let probe = route(&synth.circuit, &placed.placement, &grid, &[], &probe_cfg)
+                .map_err(|e| DataError::pipeline("route-probe", &e))?;
             let h = positive_quantile(&probe.labels.demand_h, q);
             let v = positive_quantile(&probe.labels.demand_v, q);
             (h.max(1.0), v.max(1.0))
@@ -211,8 +210,7 @@ pub fn build_design(synth_cfg: &SynthConfig, cfg: &DatasetConfig) -> Result<Desi
         gcells: grid.num_gcells(),
         congestion_rate: routed.congestion_rate(),
     };
-    let sample =
-        Sample { name: synth_cfg.name.clone(), graph, features, targets };
+    let sample = Sample { name: synth_cfg.name.clone(), graph, features, targets };
     Ok(DesignData {
         name: synth_cfg.name.clone(),
         circuit: synth.circuit,
@@ -234,11 +232,7 @@ pub fn build_suite(cfg: &DatasetConfig) -> Result<Vec<DesignData>> {
     superblue_suite(cfg.base_seed, cfg.scale)
         .into_iter()
         .map(|sc| {
-            let sc = SynthConfig {
-                nets_per_cell: cfg.nets_per_cell,
-                degree_p: cfg.degree_p,
-                ..sc
-            };
+            let sc = SynthConfig { nets_per_cell: cfg.nets_per_cell, degree_p: cfg.degree_p, ..sc };
             build_design(&sc, cfg)
         })
         .collect()

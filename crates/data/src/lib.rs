@@ -22,7 +22,9 @@ pub mod runner;
 pub mod split;
 pub mod viz;
 
-pub use dataset::{build_design, build_suite, CapacityMode, DatasetConfig, DesignData, DesignStats};
+pub use dataset::{
+    build_design, build_suite, CapacityMode, DatasetConfig, DesignData, DesignStats,
+};
 pub use error::{DataError, Result};
 pub use report::{pct, pct1, TextTable};
 pub use runner::{

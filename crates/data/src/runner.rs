@@ -128,10 +128,7 @@ impl PreparedDataset {
         let mut v: Vec<&DesignData> =
             self.search.split.test.iter().map(|&i| &self.designs[i]).collect();
         v.sort_by(|a, b| {
-            a.stats
-                .congestion_rate
-                .partial_cmp(&b.stats.congestion_rate)
-                .expect("finite rates")
+            a.stats.congestion_rate.partial_cmp(&b.stats.congestion_rate).expect("finite rates")
         });
         v
     }
@@ -237,9 +234,7 @@ pub fn run_model(
             .iter()
             .map(|&seed| {
                 scope.spawn(move || match kind {
-                    ModelKind::Lhnn => {
-                        run_lhnn_seed(prep, cfg, mode, &AblationSpec::full(), seed)
-                    }
+                    ModelKind::Lhnn => run_lhnn_seed(prep, cfg, mode, &AblationSpec::full(), seed),
                     other => run_baseline_seed(other, prep, cfg, mode, seed),
                 })
             })
@@ -347,7 +342,10 @@ mod tests {
 
     #[test]
     fn lhnn_seed_run_produces_scores() {
-        let cfg = quick_cfg();
+        let mut cfg = quick_cfg();
+        // Range-check only — 4 epochs keeps this comfortably inside the
+        // ~60s single-test budget on slow machines.
+        cfg.lhnn_train.epochs = 4;
         let prep = PreparedDataset::build(&cfg.dataset).unwrap();
         let s = run_lhnn_seed(&prep, &cfg, ChannelMode::Uni, &AblationSpec::full(), 0);
         assert!((0.0..=1.0).contains(&s.f1));

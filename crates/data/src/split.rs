@@ -139,8 +139,7 @@ mod tests {
         let s = best_split(&rates, 5);
         assert_eq!(s.split.train.len(), 10);
         assert_eq!(s.split.test.len(), 5);
-        let mut all: Vec<usize> =
-            s.split.train.iter().chain(&s.split.test).copied().collect();
+        let mut all: Vec<usize> = s.split.train.iter().chain(&s.split.test).copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..15).collect::<Vec<_>>());
     }

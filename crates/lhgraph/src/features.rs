@@ -375,13 +375,12 @@ mod tests {
         p.set_position(m, Point::new(2.0, 2.0)); // covers lower-left 2x2 gcells
         p.set_position(a, Point::new(5.0, 5.0));
         p.set_position(b, Point::new(7.0, 7.0));
-        let graph = LhGraph::build(&c, &p, &grid, &LhGraphConfig { max_gnet_fraction: 1.0 }).unwrap();
+        let graph =
+            LhGraph::build(&c, &p, &grid, &LhGraphConfig { max_gnet_fraction: 1.0 }).unwrap();
         let feats = FeatureSet::build(&graph, &c, &p, &grid).unwrap();
         let mask_at = |gx: u32, gy: u32| {
-            feats.gcell[(
-                grid.index(vlsi_netlist::GcellCoord { gx, gy }),
-                gcell_channel::TERMINAL_MASK,
-            )]
+            feats.gcell
+                [(grid.index(vlsi_netlist::GcellCoord { gx, gy }), gcell_channel::TERMINAL_MASK)]
         };
         assert_eq!(mask_at(0, 0), 1.0);
         assert_eq!(mask_at(1, 1), 1.0);

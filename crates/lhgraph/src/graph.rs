@@ -89,8 +89,7 @@ impl LhGraph {
                 dropped += 1;
                 continue;
             };
-            let area =
-                ((hi.gx - lo.gx + 1) as usize) * ((hi.gy - lo.gy + 1) as usize);
+            let area = ((hi.gx - lo.gx + 1) as usize) * ((hi.gy - lo.gy + 1) as usize);
             if area > max_area {
                 dropped += 1;
                 continue;

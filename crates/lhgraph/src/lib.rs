@@ -40,8 +40,7 @@ pub mod targets;
 
 pub use error::{LhGraphError, Result};
 pub use features::{
-    gcell_channel, gnet_channel, recover_net_density, recover_pin_density, recover_rudy,
-    FeatureSet,
+    gcell_channel, gnet_channel, recover_net_density, recover_pin_density, recover_rudy, FeatureSet,
 };
 pub use graph::{LhGraph, LhGraphConfig};
 pub use targets::{ChannelMode, Targets};

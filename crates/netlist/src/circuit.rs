@@ -204,11 +204,7 @@ impl Circuit {
 
     /// Builds a name → id map for all cells.
     pub fn cell_name_map(&self) -> HashMap<&str, CellId> {
-        self.cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (c.name.as_str(), CellId(i as u32)))
-            .collect()
+        self.cells.iter().enumerate().map(|(i, c)| (c.name.as_str(), CellId(i as u32))).collect()
     }
 
     /// For each cell, the list of nets touching it.
@@ -419,7 +415,10 @@ mod tests {
         let a = c.add_cell(Cell::movable("a", 1.0, 1.0));
         let b = c.add_cell(Cell::movable("b", 1.0, 1.0));
         // net touches cell a with two pins
-        c.add_net(Net::new("n", vec![Pin::with_offset(a, 0.1, 0.0), Pin::with_offset(a, -0.1, 0.0), Pin::at_center(b)]));
+        c.add_net(Net::new(
+            "n",
+            vec![Pin::with_offset(a, 0.1, 0.0), Pin::with_offset(a, -0.1, 0.0), Pin::at_center(b)],
+        ));
         let map = c.cell_to_nets();
         assert_eq!(map[a.index()].len(), 1);
         assert_eq!(map[b.index()].len(), 1);

@@ -93,10 +93,7 @@ impl GcellGrid {
         let clamped = self.die.clamp(p);
         let fx = (clamped.x - self.die.lx) / self.gcell_width();
         let fy = (clamped.y - self.die.ly) / self.gcell_height();
-        GcellCoord {
-            gx: (fx as u32).min(self.nx - 1),
-            gy: (fy as u32).min(self.ny - 1),
-        }
+        GcellCoord { gx: (fx as u32).min(self.nx - 1), gy: (fy as u32).min(self.ny - 1) }
     }
 
     /// The rectangle covered by a G-cell.
@@ -138,8 +135,7 @@ impl GcellGrid {
         lo: GcellCoord,
         hi: GcellCoord,
     ) -> impl Iterator<Item = GcellCoord> + '_ {
-        (lo.gy..=hi.gy)
-            .flat_map(move |gy| (lo.gx..=hi.gx).map(move |gx| GcellCoord { gx, gy }))
+        (lo.gy..=hi.gy).flat_map(move |gy| (lo.gx..=hi.gx).map(move |gx| GcellCoord { gx, gy }))
     }
 
     /// The 4-neighbourhood of a G-cell (lattice-graph edges).

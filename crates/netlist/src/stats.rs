@@ -113,8 +113,7 @@ pub fn rent_exponent(circuit: &Circuit, seed: u64) -> Option<f64> {
                 }
                 for &net in &cell_nets[c as usize] {
                     for &other in &net_cells[net.index()] {
-                        if !block.contains(&other)
-                            && !circuit.cells()[other as usize].is_terminal()
+                        if !block.contains(&other) && !circuit.cells()[other as usize].is_terminal()
                         {
                             queue.push(other);
                         }

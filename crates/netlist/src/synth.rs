@@ -181,11 +181,8 @@ pub fn generate(cfg: &SynthConfig) -> Result<SynthCircuit> {
     let cell_w = cfg.gcell_size * 0.25;
     let cell_h = cfg.gcell_size * 0.25;
     for i in 0..cfg.n_cells {
-        let cluster = if rng.gen_bool(0.85) {
-            i % cfg.n_clusters
-        } else {
-            rng.gen_range(0..cfg.n_clusters)
-        };
+        let cluster =
+            if rng.gen_bool(0.85) { i % cfg.n_clusters } else { rng.gen_range(0..cfg.n_clusters) };
         circuit.add_cell(Cell::movable(format!("c{i}"), cell_w, cell_h));
         cluster_of.push(cluster);
     }
@@ -222,8 +219,9 @@ pub fn generate(cfg: &SynthConfig) -> Result<SynthCircuit> {
     let mut macro_rects = Vec::new();
     let mside = cfg.macro_gcells as f32 * cfg.gcell_size;
     for i in 0..cfg.n_macros {
-        let lx = die.lx + rng.gen_range(0.05..0.95_f32).min(1.0 - mside / die.width().max(1.0))
-            * (die.width() - mside).max(0.0);
+        let lx = die.lx
+            + rng.gen_range(0.05..0.95_f32).min(1.0 - mside / die.width().max(1.0))
+                * (die.width() - mside).max(0.0);
         let ly = die.ly
             + rng.gen_range(0.05..0.95_f32).min(1.0 - mside / die.height().max(1.0))
                 * (die.height() - mside).max(0.0);
@@ -303,21 +301,21 @@ pub fn superblue_suite(base_seed: u64, scale: f32) -> Vec<SynthConfig> {
     // (grid, density multiplier, clusters, macros, cross-cluster prob)
     // chosen to spread congestion rates; ids mirror superblue numbering.
     let specs: [(u32, f32, usize, usize, f64); 15] = [
-        (36, 1.15, 6, 4, 0.14),  // sb1
-        (32, 1.00, 5, 3, 0.12),  // sb2
-        (40, 1.10, 7, 4, 0.13),  // sb3
-        (32, 0.90, 5, 2, 0.10),  // sb4
-        (36, 0.40, 6, 1, 0.06),  // sb5  (low congestion)
-        (32, 0.35, 4, 1, 0.05),  // sb6  (low congestion)
-        (40, 1.20, 8, 5, 0.15),  // sb7
-        (32, 0.95, 5, 3, 0.11),  // sb9
-        (36, 1.05, 6, 3, 0.12),  // sb10
-        (32, 1.60, 5, 6, 0.20),  // sb11 (high congestion)
-        (36, 0.85, 6, 2, 0.10),  // sb12
-        (32, 1.10, 5, 4, 0.13),  // sb14
-        (40, 1.00, 7, 3, 0.11),  // sb16
-        (32, 1.25, 5, 4, 0.16),  // sb18
-        (36, 1.45, 6, 5, 0.18),  // sb19 (high congestion)
+        (36, 1.15, 6, 4, 0.14), // sb1
+        (32, 1.00, 5, 3, 0.12), // sb2
+        (40, 1.10, 7, 4, 0.13), // sb3
+        (32, 0.90, 5, 2, 0.10), // sb4
+        (36, 0.40, 6, 1, 0.06), // sb5  (low congestion)
+        (32, 0.35, 4, 1, 0.05), // sb6  (low congestion)
+        (40, 1.20, 8, 5, 0.15), // sb7
+        (32, 0.95, 5, 3, 0.11), // sb9
+        (36, 1.05, 6, 3, 0.12), // sb10
+        (32, 1.60, 5, 6, 0.20), // sb11 (high congestion)
+        (36, 0.85, 6, 2, 0.10), // sb12
+        (32, 1.10, 5, 4, 0.13), // sb14
+        (40, 1.00, 7, 3, 0.11), // sb16
+        (32, 1.25, 5, 4, 0.16), // sb18
+        (36, 1.45, 6, 5, 0.18), // sb19 (high congestion)
     ];
     let ids = [1, 2, 3, 4, 5, 6, 7, 9, 10, 11, 12, 14, 16, 18, 19];
     specs

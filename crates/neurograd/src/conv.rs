@@ -29,7 +29,13 @@ pub struct Conv2dCfg {
 
 impl Conv2dCfg {
     /// A stride-1 "same" convolution for odd kernels (`padding = k/2`).
-    pub fn same(in_channels: usize, out_channels: usize, height: usize, width: usize, kernel: usize) -> Self {
+    pub fn same(
+        in_channels: usize,
+        out_channels: usize,
+        height: usize,
+        width: usize,
+        kernel: usize,
+    ) -> Self {
         Self { in_channels, out_channels, height, width, kernel, stride: 1, padding: kernel / 2 }
     }
 
@@ -365,14 +371,30 @@ mod tests {
         let cfg = Conv2dCfg::same(2, 3, 4, 4, 3);
         assert_eq!(cfg.out_height(), 4);
         assert_eq!(cfg.out_width(), 4);
-        let cfg = Conv2dCfg { in_channels: 1, out_channels: 1, height: 5, width: 5, kernel: 3, stride: 2, padding: 1 };
+        let cfg = Conv2dCfg {
+            in_channels: 1,
+            out_channels: 1,
+            height: 5,
+            width: 5,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         assert_eq!(cfg.out_height(), 3);
     }
 
     #[test]
     fn conv_identity_kernel_preserves_input() {
         // 1x1 kernel with weight 1 and bias 0 is the identity.
-        let cfg = Conv2dCfg { in_channels: 1, out_channels: 1, height: 3, width: 3, kernel: 1, stride: 1, padding: 0 };
+        let cfg = Conv2dCfg {
+            in_channels: 1,
+            out_channels: 1,
+            height: 3,
+            width: 3,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
         let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]]);
         let w = Matrix::scalar(1.0);
         let b = Matrix::zeros(1, 1);
@@ -395,7 +417,15 @@ mod tests {
 
     #[test]
     fn conv_bias_is_added_per_channel() {
-        let cfg = Conv2dCfg { in_channels: 1, out_channels: 2, height: 2, width: 2, kernel: 1, stride: 1, padding: 0 };
+        let cfg = Conv2dCfg {
+            in_channels: 1,
+            out_channels: 2,
+            height: 2,
+            width: 2,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
         let x = Matrix::zeros(1, 4);
         let w = Matrix::zeros(2, 1);
         let b = Matrix::col_vector(&[1.5, -2.5]);

@@ -62,8 +62,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let m = kaiming_normal(64, 64, 64, &mut rng);
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
-            / m.len() as f32;
+        let var =
+            m.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / m.len() as f32;
         let expected = 2.0 / 64.0;
         assert!((var - expected).abs() < expected * 0.3, "var = {var}");
     }

@@ -190,8 +190,10 @@ impl ResBlock {
         out_activation: Activation,
         rng: &mut impl Rng,
     ) -> Self {
-        let lin1 = Linear::new(store, &format!("{name}.lin1"), in_dim, hidden, Activation::Relu, rng);
-        let lin2 = Linear::new(store, &format!("{name}.lin2"), hidden, out_dim, Activation::Identity, rng);
+        let lin1 =
+            Linear::new(store, &format!("{name}.lin1"), in_dim, hidden, Activation::Relu, rng);
+        let lin2 =
+            Linear::new(store, &format!("{name}.lin2"), hidden, out_dim, Activation::Identity, rng);
         let proj = (in_dim != out_dim).then(|| {
             Linear::new(store, &format!("{name}.proj"), in_dim, out_dim, Activation::Identity, rng)
         });

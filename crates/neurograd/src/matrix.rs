@@ -261,11 +261,7 @@ impl Matrix {
 
     /// Elementwise map into a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// In-place elementwise map.
@@ -589,5 +585,47 @@ mod tests {
     fn debug_is_never_empty() {
         let s = format!("{:?}", Matrix::zeros(0, 0));
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn from_vec_reports_expected_and_got_shapes() {
+        match Matrix::from_vec(2, 3, vec![0.0; 5]) {
+            Err(NeuroError::ShapeMismatch { expected, got, context }) => {
+                assert_eq!(expected, (2, 3));
+                assert_eq!(got, (5, 1));
+                assert_eq!(context, "Matrix::from_vec");
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_rejects_inner_dimension_mismatch() {
+        Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "zip_map shape mismatch")]
+    fn elementwise_add_rejects_shape_mismatch() {
+        let _ = Matrix::zeros(2, 2).add(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "row broadcast shape mismatch")]
+    fn add_row_broadcast_rejects_wrong_bias_shape() {
+        let _ = Matrix::zeros(2, 3).add_row_broadcast(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "concat_rows col mismatch")]
+    fn concat_rows_rejects_column_mismatch() {
+        let _ = Matrix::zeros(1, 2).concat_rows(&Matrix::zeros(1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "slice_cols out of bounds")]
+    fn slice_cols_rejects_out_of_range() {
+        let _ = Matrix::zeros(2, 3).slice_cols(1, 4);
     }
 }

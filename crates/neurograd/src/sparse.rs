@@ -57,7 +57,10 @@ impl CsrMatrix {
         for &(r, c, v) in &sorted {
             if let (Some(&last_c), true) = (indices.last(), indptr[r + 1] > 0) {
                 // Merge duplicate within the same (already-started) row.
-                if last_c == c && indptr[r + 1] == indices.len() && row_started(&indptr, r, indices.len()) {
+                if last_c == c
+                    && indptr[r + 1] == indices.len()
+                    && row_started(&indptr, r, indices.len())
+                {
                     *values.last_mut().expect("values non-empty when indices non-empty") += v;
                     continue;
                 }
@@ -223,8 +226,7 @@ impl CsrMatrix {
 
     /// Returns the explicit transpose in CSR form.
     pub fn transpose(&self) -> CsrMatrix {
-        let triplets: Vec<(usize, usize, f32)> =
-            self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        let triplets: Vec<(usize, usize, f32)> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
         CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
     }
 
@@ -280,8 +282,7 @@ impl CsrMatrix {
     /// Panics if `keep.len() != rows`.
     pub fn mask_rows(&self, keep: &[bool]) -> CsrMatrix {
         assert_eq!(keep.len(), self.rows, "mask_rows length mismatch");
-        let triplets: Vec<(usize, usize, f32)> =
-            self.iter().filter(|&(r, _, _)| keep[r]).collect();
+        let triplets: Vec<(usize, usize, f32)> = self.iter().filter(|&(r, _, _)| keep[r]).collect();
         CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
     }
 
@@ -293,8 +294,7 @@ impl CsrMatrix {
     /// Panics if `keep.len() != cols`.
     pub fn mask_cols(&self, keep: &[bool]) -> CsrMatrix {
         assert_eq!(keep.len(), self.cols, "mask_cols length mismatch");
-        let triplets: Vec<(usize, usize, f32)> =
-            self.iter().filter(|&(_, c, _)| keep[c]).collect();
+        let triplets: Vec<(usize, usize, f32)> = self.iter().filter(|&(_, c, _)| keep[c]).collect();
         CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
     }
 
@@ -345,12 +345,10 @@ mod tests {
 
     #[test]
     fn unsorted_triplets_are_sorted() {
-        let s = CsrMatrix::from_triplets(2, 2, &[(1, 1, 4.0), (0, 1, 2.0), (1, 0, 3.0), (0, 0, 1.0)]);
+        let s =
+            CsrMatrix::from_triplets(2, 2, &[(1, 1, 4.0), (0, 1, 2.0), (1, 0, 3.0), (0, 0, 1.0)]);
         let d = s.to_dense();
-        assert_eq!(
-            (d[(0, 0)], d[(0, 1)], d[(1, 0)], d[(1, 1)]),
-            (1.0, 2.0, 3.0, 4.0)
-        );
+        assert_eq!((d[(0, 0)], d[(0, 1)], d[(1, 0)], d[(1, 1)]), (1.0, 2.0, 3.0, 4.0));
     }
 
     #[test]
@@ -433,5 +431,58 @@ mod tests {
         let s = example();
         let items: Vec<_> = s.iter().collect();
         assert_eq!(items, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+    }
+
+    #[test]
+    fn same_column_across_row_boundary_is_not_merged() {
+        // (0,2) and (1,2) share a column and sort adjacently; the merge
+        // pass must still treat them as distinct entries.
+        let s = CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.0), (1, 2, 2.0)]);
+        assert_eq!(s.nnz(), 2);
+        let d = s.to_dense();
+        assert_eq!(d[(0, 2)], 1.0);
+        assert_eq!(d[(1, 2)], 2.0);
+    }
+
+    #[test]
+    fn multiple_duplicate_groups_merge_independently() {
+        let s = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(2, 0, 5.0), (0, 1, 1.0), (0, 1, 2.0), (0, 1, 4.0), (2, 0, -1.0), (1, 2, 0.5)],
+        );
+        assert_eq!(s.nnz(), 3);
+        let d = s.to_dense();
+        assert_eq!(d[(0, 1)], 7.0);
+        assert_eq!(d[(1, 2)], 0.5);
+        assert_eq!(d[(2, 0)], 4.0);
+    }
+
+    #[test]
+    fn duplicates_around_empty_rows_keep_indptr_consistent() {
+        // Row 1 is empty; duplicates sit in the first and last rows.
+        let s =
+            CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (0, 0, 1.0), (2, 1, 3.0), (2, 1, -3.0)]);
+        assert_eq!(s.nnz(), 2);
+        let d = s.to_dense();
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(2, 1)], 0.0); // merged to an explicit zero entry
+                                    // spmm still works on the merged structure.
+        let y = s.spmm(&Matrix::from_rows(&[&[1.0], &[1.0]]));
+        assert_eq!(y[(0, 0)], 2.0);
+        assert_eq!(y[(1, 0)], 0.0);
+        assert_eq!(y[(2, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_triplets_rejects_out_of_bounds() {
+        CsrMatrix::from_triplets(2, 2, &[(0, 2, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm shape mismatch")]
+    fn spmm_rejects_mismatched_operand() {
+        example().spmm(&Matrix::zeros(2, 2));
     }
 }

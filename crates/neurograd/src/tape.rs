@@ -382,14 +382,18 @@ impl Tape {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn bce_with_logits(&mut self, logits: Var, targets: Arc<Matrix>, weights: Arc<Matrix>) -> Var {
+    pub fn bce_with_logits(
+        &mut self,
+        logits: Var,
+        targets: Arc<Matrix>,
+        weights: Arc<Matrix>,
+    ) -> Var {
         assert_eq!(self.shape(logits), targets.shape(), "bce logits/targets mismatch");
         assert_eq!(self.shape(logits), weights.shape(), "bce logits/weights mismatch");
         let z = self.value(logits);
         let n = z.len().max(1) as f32;
         let mut total = 0.0f32;
-        for ((&zi, &yi), &wi) in
-            z.as_slice().iter().zip(targets.as_slice()).zip(weights.as_slice())
+        for ((&zi, &yi), &wi) in z.as_slice().iter().zip(targets.as_slice()).zip(weights.as_slice())
         {
             let loss = zi.max(0.0) - zi * yi + (1.0 + (-zi.abs()).exp()).ln();
             total += wi * loss;
@@ -413,7 +417,11 @@ impl Tape {
         let (value, cols) =
             conv::conv2d_forward(self.value(input), self.value(weight), self.value(bias), cfg);
         let rg = self.rg(input.0) || self.rg(weight.0) || self.rg(bias.0);
-        self.push(value, Op::Conv2d { input: input.0, weight: weight.0, bias: bias.0, cfg, cols }, rg)
+        self.push(
+            value,
+            Op::Conv2d { input: input.0, weight: weight.0, bias: bias.0, cfg, cols },
+            rg,
+        )
     }
 
     /// 2×2 max-pooling with stride 2 over a `(C, H·W)` feature map.
@@ -750,10 +758,7 @@ mod tests {
 
     fn check_grad(build: impl Fn(&mut Tape, Var) -> Var, x0: &Matrix, tol: f32) {
         let (a, n) = finite_diff(build, x0, 1e-2);
-        assert!(
-            a.approx_eq(&n, tol),
-            "gradient mismatch:\nanalytic={a:?}\nnumeric={n:?}"
-        );
+        assert!(a.approx_eq(&n, tol), "gradient mismatch:\nanalytic={a:?}\nnumeric={n:?}");
     }
 
     fn test_input() -> Matrix {
@@ -902,11 +907,7 @@ mod tests {
 
     #[test]
     fn grad_spmm_matches_finite_diff() {
-        let s = Arc::new(CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 0.5), (0, 1, 0.5), (1, 1, 2.0)],
-        ));
+        let s = Arc::new(CsrMatrix::from_triplets(2, 2, &[(0, 0, 0.5), (0, 1, 0.5), (1, 1, 2.0)]));
         let x0 = Matrix::from_rows(&[&[1.0, -1.0, 0.5], &[0.2, 0.4, 0.6]]);
         check_grad(
             move |t, x| {
@@ -921,11 +922,7 @@ mod tests {
 
     #[test]
     fn grad_spmm_t_matches_finite_diff() {
-        let s = Arc::new(CsrMatrix::from_triplets(
-            3,
-            2,
-            &[(0, 0, 1.0), (1, 0, 1.0), (2, 1, 0.7)],
-        ));
+        let s = Arc::new(CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (1, 0, 1.0), (2, 1, 0.7)]));
         let x0 = Matrix::from_rows(&[&[1.0, 2.0], &[0.5, -0.5], &[1.5, 0.1]]);
         check_grad(
             move |t, x| {

@@ -17,7 +17,11 @@ pub struct DensityMap {
 impl DensityMap {
     /// Creates a zero map with the grid's dimensions.
     pub fn zeros(grid: &GcellGrid) -> Self {
-        Self { nx: grid.nx() as usize, ny: grid.ny() as usize, values: vec![0.0; grid.num_gcells()] }
+        Self {
+            nx: grid.nx() as usize,
+            ny: grid.ny() as usize,
+            values: vec![0.0; grid.num_gcells()],
+        }
     }
 
     /// Grid columns.

@@ -92,10 +92,7 @@ impl RandomPlacer {
         let die = circuit.die;
         let mut placement = Placement::zeroed(circuit.num_cells());
         for i in 0..circuit.num_cells() {
-            let p = Point::new(
-                rng.gen_range(die.lx..=die.ux),
-                rng.gen_range(die.ly..=die.uy),
-            );
+            let p = Point::new(rng.gen_range(die.lx..=die.ux), rng.gen_range(die.ly..=die.uy));
             placement.set_position(CellId(i as u32), p);
         }
         for (id, p) in fixed {

@@ -134,9 +134,8 @@ pub fn solve_quadratic(
     let m = movables.len();
 
     // Fixed-cell position lookup.
-    let pos_of_fixed = |i: usize| -> Point {
-        fixed_map.get(&(i as u32)).copied().unwrap_or(die_center)
-    };
+    let pos_of_fixed =
+        |i: usize| -> Point { fixed_map.get(&(i as u32)).copied().unwrap_or(die_center) };
 
     let mut lap = Laplacian::new(m);
     let mut bx = vec![0.0f64; m];

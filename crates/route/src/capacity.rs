@@ -35,11 +35,8 @@ fn coverage(grid: &GcellGrid, idx: usize, blockages: &[Rect]) -> f32 {
     if area <= 0.0 {
         return 0.0;
     }
-    let covered: f32 = blockages
-        .iter()
-        .filter_map(|b| rect.intersection(b))
-        .map(|i| i.area())
-        .sum();
+    let covered: f32 =
+        blockages.iter().filter_map(|b| rect.intersection(b)).map(|i| i.area()).sum();
     (covered / area).min(1.0)
 }
 

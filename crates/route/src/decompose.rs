@@ -149,8 +149,7 @@ mod tests {
         let a = circuit.add_cell(Cell::movable("a", 0.5, 0.5));
         let b = circuit.add_cell(Cell::movable("b", 0.5, 0.5));
         let d = circuit.add_cell(Cell::movable("d", 0.5, 0.5));
-        let net =
-            Net::new("n", vec![Pin::at_center(a), Pin::at_center(b), Pin::at_center(d)]);
+        let net = Net::new("n", vec![Pin::at_center(a), Pin::at_center(b), Pin::at_center(d)]);
         let mut p = Placement::zeroed(3);
         p.set_position(a, Point::new(1.0, 1.0)); // (0,0)
         p.set_position(b, Point::new(7.0, 1.0)); // (3,0)

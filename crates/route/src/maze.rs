@@ -23,10 +23,7 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // min-heap on (f, counter): reversed comparison, total_cmp for NaN
         // safety, counter as deterministic tie-break (FIFO).
-        other
-            .f
-            .total_cmp(&self.f)
-            .then_with(|| other.counter.cmp(&self.counter))
+        other.f.total_cmp(&self.f).then_with(|| other.counter.cmp(&self.counter))
     }
 }
 

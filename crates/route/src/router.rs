@@ -189,10 +189,8 @@ pub fn route(
             let old = std::mem::take(&mut paths[i]);
             usage.add_path(&old, -1.0);
             let seg = segments[i];
-            let new = maze_route(
-                grid, seg.from, seg.to, &usage, &capacity, &history, &cfg.cost,
-            )
-            .unwrap_or(old);
+            let new = maze_route(grid, seg.from, seg.to, &usage, &capacity, &history, &cfg.cost)
+                .unwrap_or(old);
             usage.add_path(&new, 1.0);
             paths[i] = new;
         }
@@ -210,11 +208,8 @@ pub fn route(
     let overflowed_edges = usage.count_exceeding(&capacity);
     let total_overflow = usage.total_overflow(&capacity);
     let wirelength = paths.iter().map(|p| p.len().saturating_sub(1) as u64).sum();
-    let net_paths = if cfg.keep_paths {
-        segment_net.into_iter().zip(paths).collect()
-    } else {
-        Vec::new()
-    };
+    let net_paths =
+        if cfg.keep_paths { segment_net.into_iter().zip(paths).collect() } else { Vec::new() };
     Ok(RouteResult {
         usage,
         capacity,
@@ -261,12 +256,7 @@ mod tests {
     use vlsi_place::GlobalPlacer;
 
     fn routed_synth(n_cells: usize, tracks: f32) -> RouteResult {
-        let cfg = SynthConfig {
-            n_cells,
-            grid_nx: 16,
-            grid_ny: 16,
-            ..SynthConfig::default()
-        };
+        let cfg = SynthConfig { n_cells, grid_nx: 16, grid_ny: 16, ..SynthConfig::default() };
         let synth = generate(&cfg).unwrap();
         let grid = cfg.grid();
         let placed = GlobalPlacer::default().place_synth(&synth, &grid).unwrap();
@@ -311,8 +301,7 @@ mod tests {
             p.set_position(b, Point::new(4.5, 1.5)); // gcell (4,1)
         }
         let tight = CapacityConfig { h_tracks: 1.0, v_tracks: 1.0, blockage_factor: 0.0 };
-        let no_rrr =
-            RouterConfig { capacity: tight.clone(), rrr_rounds: 0, ..Default::default() };
+        let no_rrr = RouterConfig { capacity: tight.clone(), rrr_rounds: 0, ..Default::default() };
         let with_rrr = RouterConfig { capacity: tight, rrr_rounds: 8, ..Default::default() };
         let a = route(&c, &p, &grid, &[], &no_rrr).unwrap();
         let b = route(&c, &p, &grid, &[], &with_rrr).unwrap();
@@ -331,13 +320,12 @@ mod tests {
         let grid = cfg.grid();
         let placed = GlobalPlacer::default().place_synth(&synth, &grid).unwrap();
         let caps = CapacityConfig { h_tracks: 12.0, v_tracks: 12.0, ..Default::default() };
-        let no_rrr =
-            RouterConfig { capacity: caps.clone(), rrr_rounds: 0, ..Default::default() };
+        let no_rrr = RouterConfig { capacity: caps.clone(), rrr_rounds: 0, ..Default::default() };
         let with_rrr = RouterConfig { capacity: caps, rrr_rounds: 8, ..Default::default() };
-        let a = route(&synth.circuit, &placed.placement, &grid, &synth.macro_rects, &no_rrr)
-            .unwrap();
-        let b = route(&synth.circuit, &placed.placement, &grid, &synth.macro_rects, &with_rrr)
-            .unwrap();
+        let a =
+            route(&synth.circuit, &placed.placement, &grid, &synth.macro_rects, &no_rrr).unwrap();
+        let b =
+            route(&synth.circuit, &placed.placement, &grid, &synth.macro_rects, &with_rrr).unwrap();
         assert!(
             b.total_overflow < a.total_overflow,
             "rrr did not reduce overflow: {} -> {}",
@@ -399,8 +387,8 @@ mod tests {
         let synth = generate(&cfg).unwrap();
         let grid = cfg.grid();
         let placed = GlobalPlacer::default().place_synth(&synth, &grid).unwrap();
-        let without = route(&synth.circuit, &placed.placement, &grid, &[], &RouterConfig::default())
-            .unwrap();
+        let without =
+            route(&synth.circuit, &placed.placement, &grid, &[], &RouterConfig::default()).unwrap();
         assert!(without.net_paths().is_empty());
         let with_cfg = RouterConfig { keep_paths: true, ..Default::default() };
         let with = route(&synth.circuit, &placed.placement, &grid, &[], &with_cfg).unwrap();

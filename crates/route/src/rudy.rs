@@ -59,17 +59,14 @@ pub fn rudy_maps(circuit: &Circuit, placement: &Placement, grid: &GcellGrid) -> 
         let Some((lo, hi)) = grid.span(&bbox) else { continue };
         for cc in grid.iter_span(lo, hi) {
             let cell_rect = grid.gcell_rect(cc);
-            let overlap = cell_rect
-                .intersection(&bbox)
-                .map_or(0.0, |r| {
-                    // degenerate (zero-width/height) boxes still cover the
-                    // cells they run through: use fractional linear overlap
-                    let fx = if bbox.width() > 0.0 { r.width() / cell_rect.width() } else { 1.0 };
-                    let fy =
-                        if bbox.height() > 0.0 { r.height() / cell_rect.height() } else { 1.0 };
-                    let _ = gcell_area;
-                    fx * fy
-                });
+            let overlap = cell_rect.intersection(&bbox).map_or(0.0, |r| {
+                // degenerate (zero-width/height) boxes still cover the
+                // cells they run through: use fractional linear overlap
+                let fx = if bbox.width() > 0.0 { r.width() / cell_rect.width() } else { 1.0 };
+                let fy = if bbox.height() > 0.0 { r.height() / cell_rect.height() } else { 1.0 };
+                let _ = gcell_area;
+                fx * fy
+            });
             if overlap <= 0.0 {
                 continue;
             }

@@ -24,11 +24,18 @@ fn sample(seed: u64) -> Result<Sample, Box<dyn std::error::Error>> {
     let synth = generate(&cfg)?;
     let grid = cfg.grid();
     let placed = GlobalPlacer::default().place_synth(&synth, &grid)?;
-    let routed = route(&synth.circuit, &placed.placement, &grid, &synth.macro_rects, &RouterConfig::default())?;
-    let graph = LhGraph::build(&synth.circuit, &placed.placement, &grid, &LhGraphConfig::default())?;
+    let routed = route(
+        &synth.circuit,
+        &placed.placement,
+        &grid,
+        &synth.macro_rects,
+        &RouterConfig::default(),
+    )?;
+    let graph =
+        LhGraph::build(&synth.circuit, &placed.placement, &grid, &LhGraphConfig::default())?;
     let (gd, nd) = FeatureSet::default_divisors();
-    let features = FeatureSet::build(&graph, &synth.circuit, &placed.placement, &grid)?
-        .scaled_fixed(&gd, &nd);
+    let features =
+        FeatureSet::build(&graph, &synth.circuit, &placed.placement, &grid)?.scaled_fixed(&gd, &nd);
     Ok(Sample { name: cfg.name, graph, features, targets: Targets::from_labels(&routed.labels) })
 }
 

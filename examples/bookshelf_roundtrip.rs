@@ -46,10 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rcfg = RouterConfig::default();
     let r1 = route(&synth.circuit, &placed.placement, &grid, &synth.macro_rects, &rcfg)?;
     let r2 = route(&circuit2, &placement2, &grid, &synth.macro_rects, &rcfg)?;
-    println!(
-        "wirelength: original {} vs round-tripped {}",
-        r1.wirelength, r2.wirelength
-    );
+    println!("wirelength: original {} vs round-tripped {}", r1.wirelength, r2.wirelength);
     println!(
         "congestion rate: original {:.3}% vs round-tripped {:.3}%",
         r1.congestion_rate() * 100.0,

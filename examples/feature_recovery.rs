@@ -44,7 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let synth = generate(&cfg)?;
     let grid = cfg.grid();
     let placed = GlobalPlacer::default().place_synth(&synth, &grid)?;
-    let graph = LhGraph::build(&synth.circuit, &placed.placement, &grid, &LhGraphConfig::default())?;
+    let graph =
+        LhGraph::build(&synth.circuit, &placed.placement, &grid, &LhGraphConfig::default())?;
     let feats = FeatureSet::build(&graph, &synth.circuit, &placed.placement, &grid)?;
     let n_c = graph.num_gcells();
 
@@ -55,7 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let direct_h = feats.gcell[(i, gcell_channel::NET_DENSITY_H)];
         max_err = max_err.max((recovered[(i, 0)] - direct_h).abs());
     }
-    println!("net density:  one-step H·(1/spanV) vs crafted map, max |err| = {max_err:.2e} (exact)");
+    println!(
+        "net density:  one-step H·(1/spanV) vs crafted map, max |err| = {max_err:.2e} (exact)"
+    );
 
     // 2. Pin density: recovery in expectation.
     let rec_pin = recover_pin_density(&graph, &feats.gnet);

@@ -30,10 +30,21 @@ fn build_sample(seed: u64) -> Result<Sample, Box<dyn std::error::Error>> {
 
     // 2. Analytic placement (quadratic + spreading).
     let placed = GlobalPlacer::default().place_synth(&synth, &grid)?;
-    println!("[{}] placed {} cells, hpwl = {:.0}", cfg.name, synth.circuit.num_cells(), placed.hpwl);
+    println!(
+        "[{}] placed {} cells, hpwl = {:.0}",
+        cfg.name,
+        synth.circuit.num_cells(),
+        placed.hpwl
+    );
 
     // 3. Global routing → demand + congestion labels.
-    let routed = route(&synth.circuit, &placed.placement, &grid, &synth.macro_rects, &RouterConfig::default())?;
+    let routed = route(
+        &synth.circuit,
+        &placed.placement,
+        &grid,
+        &synth.macro_rects,
+        &RouterConfig::default(),
+    )?;
     println!(
         "[{}] routed, wirelength = {}, congestion rate = {:.1}%",
         cfg.name,
@@ -42,10 +53,11 @@ fn build_sample(seed: u64) -> Result<Sample, Box<dyn std::error::Error>> {
     );
 
     // 4. LH-graph + features + targets.
-    let graph = LhGraph::build(&synth.circuit, &placed.placement, &grid, &LhGraphConfig::default())?;
+    let graph =
+        LhGraph::build(&synth.circuit, &placed.placement, &grid, &LhGraphConfig::default())?;
     let (gd, nd) = FeatureSet::default_divisors();
-    let features = FeatureSet::build(&graph, &synth.circuit, &placed.placement, &grid)?
-        .scaled_fixed(&gd, &nd);
+    let features =
+        FeatureSet::build(&graph, &synth.circuit, &placed.placement, &grid)?.scaled_fixed(&gd, &nd);
     println!(
         "[{}] lh-graph: {} g-cells, {} g-nets ({} filtered)",
         cfg.name,
@@ -53,22 +65,17 @@ fn build_sample(seed: u64) -> Result<Sample, Box<dyn std::error::Error>> {
         graph.num_gnets(),
         graph.dropped_gnets()
     );
-    Ok(Sample {
-        name: cfg.name,
-        graph,
-        features,
-        targets: Targets::from_labels(&routed.labels),
-    })
+    Ok(Sample { name: cfg.name, graph, features, targets: Targets::from_labels(&routed.labels) })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Three designs to train on, one held out.
-    let train_set: Vec<Sample> =
-        (1..=3).map(build_sample).collect::<Result<_, _>>()?;
+    let train_set: Vec<Sample> = (1..=3).map(build_sample).collect::<Result<_, _>>()?;
     let test_sample = build_sample(9)?;
 
     // 5. Train LHNN (shortened protocol for the example).
-    let mut model = Lhnn::new(LhnnConfig { channel_mode: ChannelMode::Uni, ..Default::default() }, 0);
+    let mut model =
+        Lhnn::new(LhnnConfig { channel_mode: ChannelMode::Uni, ..Default::default() }, 0);
     println!("\ntraining LHNN ({} parameters) for 40 epochs...", model.num_parameters());
     let cfg = TrainConfig { epochs: 40, ..Default::default() };
     let history = train(&mut model, &train_set, &AblationSpec::full(), &cfg);

@@ -30,7 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let placed = GlobalPlacer::default().place_synth(&synth, &grid)?;
 
     let t0 = std::time::Instant::now();
-    let routed = route(&synth.circuit, &placed.placement, &grid, &synth.macro_rects, &RouterConfig::default())?;
+    let routed = route(
+        &synth.circuit,
+        &placed.placement,
+        &grid,
+        &synth.macro_rects,
+        &RouterConfig::default(),
+    )?;
     let route_time = t0.elapsed();
 
     let t1 = std::time::Instant::now();
@@ -46,12 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Ground truth: horizontal congestion mask.
-    let label: Vec<f32> = routed
-        .labels
-        .congestion(Dir::H)
-        .iter()
-        .map(|&b| if b { 1.0 } else { 0.0 })
-        .collect();
+    let label: Vec<f32> =
+        routed.labels.congestion(Dir::H).iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
 
     // Sweep RUDY thresholds and report the best F1 it can achieve.
     println!("\nRUDY-h threshold sweep vs routed congestion mask:");

@@ -108,12 +108,24 @@ fn ablations_train_without_panicking_and_full_wins_on_train_fit() {
 #[test]
 fn router_labels_match_demand_threshold() {
     // The congestion target must be exactly demand > capacity per g-cell.
-    let cfg = SynthConfig { name: "lbl".into(), n_cells: 200, grid_nx: 10, grid_ny: 10, ..SynthConfig::default() };
+    let cfg = SynthConfig {
+        name: "lbl".into(),
+        n_cells: 200,
+        grid_nx: 10,
+        grid_ny: 10,
+        ..SynthConfig::default()
+    };
     let synth = generate(&cfg).expect("generate");
     let grid = cfg.grid();
     let placed = GlobalPlacer::default().place_synth(&synth, &grid).expect("place");
-    let routed = route(&synth.circuit, &placed.placement, &grid, &synth.macro_rects, &RouterConfig::default())
-        .expect("route");
+    let routed = route(
+        &synth.circuit,
+        &placed.placement,
+        &grid,
+        &synth.macro_rects,
+        &RouterConfig::default(),
+    )
+    .expect("route");
     let mask = routed.labels.congestion(Dir::H);
     for i in 0..mask.len() {
         assert_eq!(

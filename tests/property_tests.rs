@@ -1,8 +1,8 @@
 //! Property-based tests (proptest) over the core data structures and
 //! invariants of the reproduction.
 
-use lhnn_suite::nn::{CsrMatrix, Matrix};
 use lhnn_suite::netlist::{GcellGrid, Point, Rect};
+use lhnn_suite::nn::{CsrMatrix, Matrix};
 use lhnn_suite::route::{candidate_paths, mst_segments, EdgeField, Segment};
 use proptest::prelude::*;
 use vlsi_netlist::GcellCoord;

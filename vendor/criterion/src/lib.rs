@@ -1,0 +1,252 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the API subset the `lhnn-bench` suites use — [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size` / `bench_function` / `bench_with_input`
+//! / `finish`), [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — as a plain
+//! wall-clock harness: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples, and prints min/mean/max per iteration.
+//! There is no statistical analysis, plotting, or saved baselines.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times a single benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `routine` for a warm-up pass plus `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark (criterion's
+    /// `sample_size`; the stand-in honours it directly).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a routine under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, |b| f(b));
+        self
+    }
+
+    /// Benchmark a routine that also receives `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream consumes the group to emit summaries; the
+    /// stand-in prints per-benchmark lines eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Entry point: collects and runs benchmarks.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench forwards CLI args (e.g. `--bench`, a name filter);
+        // honour a bare name filter, ignore flags.
+        let filter =
+            std::env::args().skip(1).find(|a| !a.starts_with('-')).filter(|a| !a.is_empty());
+        Criterion { default_sample_size: 20, filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        let sample_size = self.default_sample_size;
+        self.run_one(&id, sample_size, |b| f(b));
+        self
+    }
+
+    fn run_one(&mut self, id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { samples: Vec::with_capacity(sample_size), sample_size };
+        f(&mut bencher);
+        if bencher.samples.is_empty() {
+            println!("{id:<48} (no samples recorded)");
+            return;
+        }
+        let min = bencher.samples.iter().min().unwrap();
+        let max = bencher.samples.iter().max().unwrap();
+        let mean = bencher.samples.iter().sum::<Duration>() / bencher.samples.len() as u32;
+        println!(
+            "{id:<48} time: [{} {} {}]",
+            fmt_duration(*min),
+            fmt_duration(mean),
+            fmt_duration(*max)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Group benchmark functions into a single callable, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion { default_sample_size: 3, filter: None };
+        let mut group = c.benchmark_group("demo");
+        let mut runs = 0usize;
+        group.sample_size(5).bench_function("count", |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        // one warm-up + five samples
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion { default_sample_size: 2, filter: None };
+        let mut group = c.benchmark_group("demo");
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("sq", 7u64), &7u64, |b, &n| {
+            b.iter(|| seen = n * n);
+        });
+        group.finish();
+        assert_eq!(seen, 49);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { default_sample_size: 2, filter: Some("other".into()) };
+        let mut group = c.benchmark_group("demo");
+        let mut runs = 0usize;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 0);
+    }
+}

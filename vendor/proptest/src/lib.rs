@@ -1,0 +1,228 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Supports the subset the workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` inner
+//! attribute, numeric [`Range`](std::ops::Range) strategies, tuple
+//! strategies, [`collection::vec`], and the `prop_assert!` /
+//! `prop_assert_eq!` assertions. Cases are generated from per-case seeded
+//! [`rand::rngs::StdRng`] streams, so failures are deterministic and
+//! reproducible; there is no shrinking — the failing inputs are printed via
+//! the assertion message instead.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of random values of some type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! numeric_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+numeric_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Range, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn __case_rng(case: u64) -> StdRng {
+    // Distinct, deterministic stream per case index.
+    StdRng::seed_from_u64(0x5bf0_3635_dee9_31d1u64.wrapping_mul(case.wrapping_add(1)))
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ..)` body
+/// runs for `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::__case_rng(__case as u64);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Skip the current case when its sampled inputs don't satisfy a
+/// precondition. The [`proptest!`] runner inlines each case body in a
+/// loop, so rejection is simply `continue`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Assert a condition inside a property (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The usual glob import: strategies, config, and the macros.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_hold(x in 2usize..9, f in -1.0f32..1.0) {
+            prop_assert!((2..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_hold(v in collection::vec((0u8..4, 0.0f32..1.0), 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            for (b, f) in v {
+                prop_assert!(b < 4);
+                prop_assert!((0.0..1.0).contains(&f));
+            }
+        }
+
+        #[test]
+        fn fixed_size_vec(v in collection::vec(0i32..5, 4)) {
+            prop_assert_eq!(v.len(), 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_arm_works(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never routes them through a serde serialiser (model persistence uses the
+//! plain-text `lhnn-model v1` format in `lhnn::serialize`). With no registry
+//! access at build time, this crate supplies just enough for those derives
+//! to compile: empty marker traits plus the derive macros from the sibling
+//! `serde_derive` stand-in. If real serde-based serialisation is ever
+//! needed, replace this vendored pair with the upstream crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that upstream serde could serialise.
+pub trait Serialize {}
+
+/// Marker for types that upstream serde could deserialise.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,51 @@
+//! Derive shims for the vendored `serde` stand-in.
+//!
+//! Each derive emits an empty impl of the corresponding marker trait for
+//! the annotated type. Implemented directly on `proc_macro` (no `syn` /
+//! `quote` — those are unavailable offline): we scan the item's tokens for
+//! the `struct` / `enum` / `union` keyword and take the following
+//! identifier as the type name. Generic deriving types would need the
+//! parameter list propagated; the workspace has none, so that case is a
+//! compile error here rather than silent misbehaviour.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name from a `DeriveInput` token stream.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        let name = name.to_string();
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "vendored serde_derive cannot handle generic type `{name}`"
+                            );
+                        }
+                        return name;
+                    }
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("vendored serde_derive: no struct/enum/union found in derive input");
+}
+
+/// Derive the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+/// Derive the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+}
