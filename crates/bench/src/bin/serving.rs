@@ -1,0 +1,116 @@
+//! Serving harness: throughput, latency percentiles and cache behaviour
+//! of the `lhnn-serve` engine under a synthetic placement-loop workload.
+//!
+//! Sweeps worker counts over a fixed request stream (each design queried
+//! repeatedly, as a placer polling congestion would) and reports wall
+//! time, req/s, p50/p95/p99 latency and cache hit rate per configuration.
+//!
+//! ```text
+//! cargo run --release -p lhnn-bench --bin serving -- [--scale F] [--out DIR]
+//! ```
+//!
+//! `--scale` shrinks the workload (designs, requests and design size) for
+//! smoke runs, like every other harness binary.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use lh_graph::FeatureSet;
+use lhnn::{GraphOps, Lhnn, LhnnConfig};
+use lhnn_bench::HarnessArgs;
+use lhnn_data::TextTable;
+use lhnn_serve::{EngineConfig, ModelRegistry, PredictRequest, ServeEngine};
+
+fn design(seed: u64, n_cells: usize, grid: u32) -> (Arc<GraphOps>, Arc<FeatureSet>) {
+    let (ops, features) = lhnn_data::serving_inputs(seed, n_cells, grid).expect("build design");
+    (Arc::new(ops), Arc::new(features))
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = args.scale.max(0.05);
+    let designs_n = ((4.0 * scale).round() as usize).max(2);
+    let requests = ((96.0 * scale).round() as usize).max(8);
+    let cells = ((600.0 * scale) as usize).max(80);
+    let grid = (((20.0 * scale.sqrt()) as u32).max(8)).min(32);
+    let max_workers =
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get).min(8);
+
+    eprintln!(
+        "workload: {requests} requests over {designs_n} designs ({cells} cells, {grid}x{grid} g-cells)"
+    );
+    let designs: Vec<_> = (0..designs_n as u64).map(|s| design(s, cells, grid)).collect();
+    // Repeat stream: each design queried over and over — the placer-loop
+    // access pattern the cache rows measure.
+    let repeat_stream: Vec<PredictRequest> = (0..requests)
+        .map(|i| {
+            let (ops, feats) = &designs[i % designs_n];
+            PredictRequest::new("m", Arc::clone(ops), Arc::clone(feats))
+        })
+        .collect();
+    // Unique stream: every request gets a distinct fingerprint (a tiny
+    // same-shape feature rescale), so neither the cache nor single-flight
+    // dedup collapses it — the cache-0 rows measure raw forward
+    // throughput across the pool.
+    let unique_stream: Vec<PredictRequest> = (0..requests)
+        .map(|i| {
+            let (ops, feats) = &designs[i % designs_n];
+            let eps = 1.0 + i as f32 * 1e-6;
+            let variant = Arc::new(FeatureSet {
+                gnet: feats.gnet.map(|v| v * eps),
+                gcell: feats.gcell.map(|v| v * eps),
+            });
+            PredictRequest::new("m", Arc::clone(ops), variant)
+        })
+        .collect();
+
+    let mut table = TextTable::new(&[
+        "workers", "cache", "wall (s)", "req/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "hit rate",
+    ]);
+    let mut workers_col: Vec<usize> = vec![1];
+    let mut w = 2;
+    while w <= max_workers {
+        workers_col.push(w);
+        w *= 2;
+    }
+    for &workers in &workers_col {
+        for cache in [0usize, 128] {
+            let registry = Arc::new(ModelRegistry::new());
+            registry.register("m", Lhnn::new(LhnnConfig::default(), 0)).expect("register");
+            let engine = ServeEngine::new(
+                registry,
+                EngineConfig { workers, cache_capacity: cache, ..EngineConfig::default() },
+            );
+            let handle = engine.handle();
+            let stream = if cache == 0 { &unique_stream } else { &repeat_stream };
+            let start = Instant::now();
+            for reply in handle.predict_batch(stream) {
+                reply.expect("serve");
+            }
+            let wall = start.elapsed().as_secs_f64();
+            let stats = handle.stats();
+            engine.shutdown();
+            println!(
+                "workers {workers}, cache {cache:>3}: {wall:.2}s, {:.1} req/s, hit rate {:.0}%",
+                requests as f64 / wall.max(1e-9),
+                stats.cache_hit_rate * 100.0
+            );
+            table.add_row(vec![
+                workers.to_string(),
+                cache.to_string(),
+                format!("{wall:.2}"),
+                format!("{:.1}", requests as f64 / wall.max(1e-9)),
+                format!("{:.2}", stats.p50_us as f64 / 1000.0),
+                format!("{:.2}", stats.p95_us as f64 / 1000.0),
+                format!("{:.2}", stats.p99_us as f64 / 1000.0),
+                format!("{:.1}%", stats.cache_hit_rate * 100.0),
+            ]);
+        }
+    }
+    println!(
+        "\nServing scaling (requests repeat per design — cache rows show the placer-loop case):"
+    );
+    println!("{}", table.render());
+    table.write_csv(&Path::new(&args.out_dir).join("serving.csv")).expect("write csv");
+}

@@ -8,7 +8,9 @@
 //! * `table3` — the uni-channel ablation study,
 //! * `figure4` — prediction-map visualisations for three test designs,
 //! * `gamma_sweep`, `fanout_ablation`, `scaling` — extensions beyond the
-//!   paper (DESIGN.md §7).
+//!   paper (DESIGN.md §7),
+//! * `serving` — throughput/latency/cache sweep of the `lhnn-serve`
+//!   inference engine across worker counts.
 //!
 //! Every binary accepts `--scale`, `--epochs` and `--seeds` to shrink the
 //! protocol for smoke runs, and writes CSV mirrors under `results/`.

@@ -3,10 +3,12 @@
 use std::error::Error;
 use std::fs::File;
 use std::path::Path;
+use std::sync::Arc;
 
 use lh_graph::{ChannelMode, FeatureSet, LhGraph, LhGraphConfig, Targets};
 use lhnn::{evaluate, train as train_model, AblationSpec, Lhnn, LhnnConfig, Sample, TrainConfig};
 use lhnn_data::{ascii_map, write_pgm, DatasetConfig, PreparedDataset};
+use lhnn_serve::{EngineConfig, ModelRegistry, PredictRequest, ServeEngine};
 use neurograd::Confusion;
 use vlsi_netlist::synth::{generate as synth_generate, SynthConfig};
 use vlsi_netlist::{bookshelf, netlist_stats, rent_exponent, Circuit, GcellGrid, Placement, Rect};
@@ -146,21 +148,39 @@ pub fn train(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `lhnn predict`: load a model, predict a congestion map for a design.
+/// `lhnn predict`: predict a congestion map for a design through the
+/// serving engine (registry + worker pool + prediction cache).
 pub fn predict(args: &Args) -> CmdResult {
     let model_path = args.opt("model").ok_or("missing --model")?;
-    let model = Lhnn::load(File::open(model_path)?)?;
+    let threshold = args.num("threshold", 0.5f32);
     let (circuit, placement) = load_design(args)?;
     let grid = grid_for(args, &circuit);
     let graph = LhGraph::build(&circuit, &placement, &grid, &LhGraphConfig::default())?;
     let (gd, nd) = FeatureSet::default_divisors();
-    let features = FeatureSet::build(&graph, &circuit, &placement, &grid)?.scaled_fixed(&gd, &nd);
+    let features =
+        Arc::new(FeatureSet::build(&graph, &circuit, &placement, &grid)?.scaled_fixed(&gd, &nd));
     let ops = lhnn::GraphOps::from_graph(&graph, &AblationSpec::full());
-    let pred = model.predict(&ops, &features);
+
+    // The one-shot CLI rides the same path a long-running service uses: a
+    // registry entry, an engine (single worker — one design, one forward),
+    // and a per-request threshold.
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load_file("default", model_path)?;
+    let engine = ServeEngine::new(
+        Arc::clone(&registry),
+        EngineConfig { workers: 1, ..EngineConfig::default() },
+    );
+    let handle = engine.handle();
+    let request = PredictRequest::new("default", Arc::new(ops), Arc::clone(&features))
+        .with_threshold(threshold);
+    let reply = handle.predict(&request)?;
+    let pred = &reply.prediction;
     let prob: Vec<f32> = (0..pred.cls_prob.rows()).map(|r| pred.cls_prob[(r, 0)]).collect();
-    let predicted_rate = prob.iter().filter(|&&p| p >= 0.5).count() as f64 / prob.len() as f64;
     println!("design: {} on {}x{} g-cells", circuit.name, grid.nx(), grid.ny());
-    println!("predicted congestion rate: {:.2}%", predicted_rate * 100.0);
+    println!(
+        "predicted congestion rate: {:.2}% (threshold {threshold})",
+        reply.congested_fraction * 100.0
+    );
     println!("{}", ascii_map(&prob, grid.nx() as usize, grid.ny() as usize));
     if let Some(path) = args.opt("pgm") {
         write_pgm(&prob, grid.nx() as usize, grid.ny() as usize, Path::new(path))?;
@@ -175,7 +195,7 @@ pub fn predict(args: &Args) -> CmdResult {
         let routed = route_circuit(&circuit, &placement, &grid, &[], &rcfg)?;
         let targets = Targets::from_labels(&routed.labels);
         let label = targets.congestion_channels(ChannelMode::Uni);
-        let conf = Confusion::from_scores(&prob, label.as_slice(), 0.5);
+        let conf = Confusion::from_scores(&prob, label.as_slice(), threshold);
         println!(
             "vs global router: F1 {:.3}, accuracy {:.3} (router congestion rate {:.2}%)",
             conf.f1(),
@@ -183,7 +203,119 @@ pub fn predict(args: &Args) -> CmdResult {
             routed.congestion_rate() * 100.0
         );
         // keep the sample around so the types stay exercised
-        let _ = Sample { name: circuit.name.clone(), graph, features, targets };
+        let _ =
+            Sample { name: circuit.name.clone(), graph, features: (*features).clone(), targets };
     }
+    engine.shutdown();
+    Ok(())
+}
+
+/// One prepared synthetic design for `serve-bench`.
+fn bench_design(
+    seed: u64,
+    n_cells: usize,
+    grid: u32,
+) -> Result<(Arc<lhnn::GraphOps>, Arc<FeatureSet>), Box<dyn Error>> {
+    let (ops, features) = lhnn_data::serving_inputs(seed, n_cells, grid)?;
+    Ok((Arc::new(ops), Arc::new(features)))
+}
+
+/// Runs `requests` predictions over `designs` from `clients` threads
+/// against a fresh engine with `workers` workers; returns (elapsed
+/// seconds, stats line).
+fn drive_engine(
+    designs: &[(Arc<lhnn::GraphOps>, Arc<FeatureSet>)],
+    workers: usize,
+    clients: usize,
+    requests: usize,
+    cache_capacity: usize,
+    threshold: f32,
+) -> Result<(f64, lhnn_serve::ServeStats), Box<dyn Error>> {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("default", Lhnn::new(LhnnConfig::default(), 0))?;
+    let engine = ServeEngine::new(
+        registry,
+        EngineConfig { workers, cache_capacity, ..EngineConfig::default() },
+    );
+    let handle = engine.handle();
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| -> Result<(), Box<dyn Error>> {
+        let mut joins = Vec::new();
+        for client in 0..clients.max(1) {
+            let handle = handle.clone();
+            joins.push(scope.spawn(move || -> Result<(), String> {
+                let mut i = client;
+                while i < requests {
+                    let (ops, features) = &designs[i % designs.len()];
+                    let req = PredictRequest::new("default", Arc::clone(ops), Arc::clone(features))
+                        .with_threshold(threshold);
+                    handle.predict(&req).map_err(|e| e.to_string())?;
+                    i += clients.max(1);
+                }
+                Ok(())
+            }));
+        }
+        for j in joins {
+            j.join().map_err(|_| "client thread panicked")??;
+        }
+        Ok(())
+    })?;
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = handle.stats();
+    engine.shutdown();
+    Ok((elapsed, stats))
+}
+
+/// `lhnn serve-bench`: drive synthetic designs through the inference
+/// engine and report latency, throughput and cache behaviour.
+pub fn serve_bench(args: &Args) -> CmdResult {
+    let designs_n = args.num("designs", 4usize).max(1);
+    let requests = args.num("requests", 64usize).max(1);
+    let workers = args.num("workers", 4usize).max(1);
+    let clients = args.num("clients", workers.max(2)).max(1);
+    let cells = args.num("cells", 200usize);
+    let grid = args.num("grid", 12u32);
+    let cache = args.num("cache", 128usize);
+    let threshold = args.num("threshold", 0.5f32);
+
+    eprintln!("preparing {designs_n} synthetic designs ({cells} cells, {grid}x{grid} g-cells)...");
+    let designs: Result<Vec<_>, _> =
+        (0..designs_n as u64).map(|s| bench_design(s, cells, grid)).collect();
+    let designs = designs?;
+
+    println!(
+        "workload: {requests} requests over {designs_n} designs, {clients} client threads, cache {cache}"
+    );
+    let mut baseline_rps = 0.0;
+    for (label, w, cache_cap) in [
+        ("1 worker, cold cache", 1, 0),
+        (&format!("{workers} workers, cold cache")[..], workers, 0),
+    ] {
+        let (elapsed, stats) = drive_engine(&designs, w, clients, requests, cache_cap, threshold)?;
+        let rps = requests as f64 / elapsed.max(1e-9);
+        if w == 1 {
+            baseline_rps = rps;
+        }
+        println!(
+            "  {label:<24} {elapsed:>7.2}s  {rps:>8.1} req/s  p50 {:>7.2} ms  p95 {:>7.2} ms  p99 {:>7.2} ms",
+            stats.p50_us as f64 / 1000.0,
+            stats.p95_us as f64 / 1000.0,
+            stats.p99_us as f64 / 1000.0,
+        );
+        if w != 1 && baseline_rps > 0.0 {
+            println!("  parallel speedup at {w} workers: {:.2}x", rps / baseline_rps);
+        }
+    }
+    // Warm-cache pass: every design repeats, so hits dominate.
+    let (elapsed, stats) = drive_engine(&designs, workers, clients, requests, cache, threshold)?;
+    println!(
+        "  {:<24} {elapsed:>7.2}s  {:>8.1} req/s  cache hit rate {:.1}% ({} of {} served from cache)",
+        format!("{workers} workers, LRU cache"),
+        requests as f64 / elapsed.max(1e-9),
+        stats.cache_hit_rate * 100.0,
+        stats.cache_hits,
+        stats.requests,
+    );
+    println!("engine stats: {stats}");
     Ok(())
 }

@@ -26,8 +26,13 @@ USAGE:
       global-route a placed Bookshelf design, print congestion stats
   lhnn train [--scale F] [--epochs N] [--seed S] --out MODEL
       train LHNN on the synthetic suite, save the model
-  lhnn predict --model MODEL --dir DIR --design NAME --grid G [--compare] [--pgm FILE]
-      predict a congestion map for a placed design
+  lhnn predict --model MODEL --dir DIR --design NAME --grid G [--threshold T] [--compare] [--pgm FILE]
+      predict a congestion map for a placed design (served through the
+      inference engine; --threshold sets the congestion cutoff, default 0.5)
+  lhnn serve-bench [--designs N] [--requests N] [--workers N] [--clients N]
+                   [--cells N] [--grid G] [--cache N] [--threshold T]
+      drive synthetic designs through the lhnn-serve engine and report
+      latency percentiles, throughput, parallel speedup and cache hit rate
 ";
 
 fn main() {
@@ -39,6 +44,7 @@ fn main() {
         "route" => commands::route(&args),
         "train" => commands::train(&args),
         "predict" => commands::predict(&args),
+        "serve-bench" => commands::serve_bench(&args),
         _ => {
             eprint!("{USAGE}");
             std::process::exit(2);

@@ -81,7 +81,40 @@ fn train_then_predict_roundtrip() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("predicted congestion rate"), "{text}");
     assert!(text.contains("vs global router"), "{text}");
+
+    // --threshold is plumbed through the served path: an impossible
+    // threshold flags nothing, threshold 0 flags everything
+    let out = bin()
+        .args(["predict", "--model", model.to_str().unwrap(), "--threshold", "2.0"])
+        .args(["--dir", dir.to_str().unwrap(), "--design", "p", "--grid", "12"])
+        .output()
+        .expect("predict hi threshold");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("predicted congestion rate: 0.00%"), "{text}");
+    let out = bin()
+        .args(["predict", "--model", model.to_str().unwrap(), "--threshold", "0.0"])
+        .args(["--dir", dir.to_str().unwrap(), "--design", "p", "--grid", "12"])
+        .output()
+        .expect("predict lo threshold");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("predicted congestion rate: 100.00%"), "{text}");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_bench_smoke() {
+    let out = bin()
+        .args(["serve-bench", "--designs", "2", "--requests", "8", "--workers", "2"])
+        .args(["--clients", "2", "--cells", "80", "--grid", "8"])
+        .output()
+        .expect("serve-bench");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("parallel speedup"), "{text}");
+    assert!(text.contains("cache hit rate"), "{text}");
+    assert!(text.contains("engine stats"), "{text}");
 }
 
 #[test]

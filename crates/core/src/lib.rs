@@ -30,7 +30,7 @@ pub mod serialize;
 pub mod trainer;
 
 pub use config::{AblationSpec, LhnnConfig, TrainConfig};
-pub use model::{Lhnn, LhnnOutput, Prediction};
+pub use model::{InferenceScratch, Lhnn, LhnnOutput, Prediction};
 pub use ops::GraphOps;
 pub use serialize::ModelIoError;
 pub use trainer::{

@@ -218,6 +218,30 @@ pub struct Prediction {
     pub reg: Matrix,
 }
 
+/// Reusable per-thread scratch state for tape-free inference.
+///
+/// [`Lhnn::predict_into`] records its forward pass on the scratch tape,
+/// clearing (but not deallocating) it first, so a long-lived worker thread
+/// re-uses the tape's node storage across requests instead of growing a
+/// fresh `Vec` per forward. One scratch belongs to one thread at a time;
+/// it is `Send`, so a pool can move it between workers.
+#[derive(Debug, Default)]
+pub struct InferenceScratch {
+    tape: Tape,
+}
+
+impl InferenceScratch {
+    /// Creates an empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tape nodes currently allocated (capacity diagnostics).
+    pub fn tape_len(&self) -> usize {
+        self.tape.len()
+    }
+}
+
 /// The LHNN model: parameters plus architecture.
 #[derive(Debug)]
 pub struct Lhnn {
@@ -311,10 +335,47 @@ impl Lhnn {
 
     /// Inference: returns dense probability and regression maps.
     pub fn predict(&self, ops: &GraphOps, features: &FeatureSet) -> Prediction {
-        let mut tape = Tape::new();
-        let out = self.forward(&mut tape, ops, features);
+        self.predict_into(ops, features, &mut InferenceScratch::new())
+    }
+
+    /// Inference re-using a caller-owned [`InferenceScratch`].
+    ///
+    /// Bitwise-identical to [`Lhnn::predict`] — the same operation sequence
+    /// runs on the scratch tape — but repeated calls on one scratch avoid
+    /// reallocating the tape's node vector. This is the hot path of the
+    /// serving worker pool.
+    pub fn predict_into(
+        &self,
+        ops: &GraphOps,
+        features: &FeatureSet,
+        scratch: &mut InferenceScratch,
+    ) -> Prediction {
+        let tape = &mut scratch.tape;
+        tape.clear();
+        let out = self.forward(tape, ops, features);
         let prob = tape.sigmoid(out.cls_logits);
         Prediction { cls_prob: tape.value(prob).clone(), reg: tape.value(out.reg).clone() }
+    }
+
+    /// A content fingerprint over the architecture and every weight tensor.
+    ///
+    /// Serving registries use this as the model *version*: retraining,
+    /// fine-tuning or loading a different checkpoint all change the value,
+    /// so stale cache entries can never be served for updated weights.
+    pub fn weights_fingerprint(&self) -> u64 {
+        let mut h = neurograd::Fnv64::new();
+        h.write_usize(self.cfg.hidden);
+        h.write_usize(self.cfg.hypermp_layers);
+        h.write_usize(self.cfg.latticemp_encode_layers);
+        h.write_usize(self.cfg.latticemp_joint_layers);
+        h.write_usize(self.cfg.gcell_in_dim);
+        h.write_usize(self.cfg.gnet_in_dim);
+        h.write_usize(self.cfg.channel_mode.channels());
+        for p in self.store.iter() {
+            h.write_str(&p.name);
+            p.value.hash_into(&mut h);
+        }
+        h.finish()
     }
 }
 
@@ -357,6 +418,37 @@ mod tests {
         let model = Lhnn::new(cfg, 0);
         let pred = model.predict(&ops, &feats);
         assert_eq!(pred.cls_prob.shape(), (ops.num_gcells, 2));
+    }
+
+    #[test]
+    fn predict_into_reuses_scratch_and_matches_predict() {
+        let (ops, feats) = sample();
+        let model = Lhnn::new(LhnnConfig::default(), 3);
+        let direct = model.predict(&ops, &feats);
+        let mut scratch = InferenceScratch::new();
+        for _ in 0..3 {
+            let again = model.predict_into(&ops, &feats, &mut scratch);
+            // bitwise equality — tolerance 0.0
+            assert!(direct.cls_prob.approx_eq(&again.cls_prob, 0.0));
+            assert!(direct.reg.approx_eq(&again.reg, 0.0));
+        }
+        assert!(scratch.tape_len() > 0);
+    }
+
+    #[test]
+    fn weights_fingerprint_tracks_weights_and_config() {
+        let a = Lhnn::new(LhnnConfig::default(), 0);
+        let b = Lhnn::new(LhnnConfig::default(), 0);
+        assert_eq!(a.weights_fingerprint(), b.weights_fingerprint());
+        let other_seed = Lhnn::new(LhnnConfig::default(), 1);
+        assert_ne!(a.weights_fingerprint(), other_seed.weights_fingerprint());
+        let other_cfg = Lhnn::new(LhnnConfig { hidden: 16, ..Default::default() }, 0);
+        assert_ne!(a.weights_fingerprint(), other_cfg.weights_fingerprint());
+        // mutating any tensor changes the version
+        let mut c = Lhnn::new(LhnnConfig::default(), 0);
+        let id = c.store().id_at(0);
+        c.store_mut().param_mut(id).value.as_mut_slice()[0] += 1.0;
+        assert_ne!(a.weights_fingerprint(), c.weights_fingerprint());
     }
 
     #[test]

@@ -65,6 +65,22 @@ impl GraphOps {
         }
     }
 
+    /// A content fingerprint over all four operators and the node counts.
+    ///
+    /// Serving caches key predictions on this value: two `GraphOps`
+    /// fingerprint equal iff every aggregation matrix is bitwise equal
+    /// (ablated, sampled or rebuilt graphs all hash differently).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = neurograd::Fnv64::new();
+        h.write_usize(self.num_gcells);
+        h.write_usize(self.num_gnets);
+        self.gnc_sum.hash_into(&mut h);
+        self.gnc_mean.hash_into(&mut h);
+        self.gcn_mean.hash_into(&mut h);
+        self.lattice_mean.hash_into(&mut h);
+        h.finish()
+    }
+
     /// Returns a copy with each relation subsampled to the given fanouts
     /// `[featuregen, hypermp, latticemp]` (the paper's {6, 3, 2}).
     ///

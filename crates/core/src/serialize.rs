@@ -270,6 +270,69 @@ mod tests {
     }
 
     #[test]
+    fn load_rejects_version_mismatch() {
+        let model = Lhnn::new(LhnnConfig::default(), 0);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap().replacen("lhnn-model v1", "lhnn-model v2", 1);
+        let err = Lhnn::load(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, ModelIoError::Format(_)), "got {err}");
+    }
+
+    #[test]
+    fn load_rejects_corrupted_header_dims() {
+        let model = Lhnn::new(LhnnConfig::default(), 0);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for (from, to) in [("hidden 32", "hidden banana"), ("gcell_in_dim 4", "gcell_in_dim -4")] {
+            let bad = text.replacen(from, to, 1);
+            let err = Lhnn::load(bad.as_bytes()).unwrap_err();
+            assert!(matches!(err, ModelIoError::Format(_)), "`{to}` gave {err}");
+        }
+        // a wrong-but-parseable dim must fail as an architecture mismatch,
+        // not load garbage
+        let bad = text.replacen("gnet_in_dim 4", "gnet_in_dim 5", 1);
+        let err = Lhnn::load(bad.as_bytes()).unwrap_err();
+        assert!(matches!(err, ModelIoError::Mismatch(_)), "got {err}");
+    }
+
+    #[test]
+    fn load_rejects_truncation_at_every_header_line() {
+        let model = Lhnn::new(LhnnConfig::default(), 0);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // cut the stream after each of the first 10 lines; all must error
+        let mut offset = 0;
+        for line in text.lines().take(10) {
+            offset += line.len() + 1;
+            assert!(
+                Lhnn::load(text[..offset.min(text.len())].as_bytes()).is_err(),
+                "truncation after {offset} bytes was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn load_rejects_corrupted_values() {
+        let model = Lhnn::new(LhnnConfig::default(), 0);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // corrupt a weight payload into a non-number
+        let line_start = text.find("param featuregen.f_c.lin1.weight").unwrap();
+        let data_start = text[line_start..].find('\n').unwrap() + line_start + 1;
+        let data_end = text[data_start..].find(' ').unwrap() + data_start;
+        let mut bad = String::new();
+        bad.push_str(&text[..data_start]);
+        bad.push_str("not_a_float");
+        bad.push_str(&text[data_end..]);
+        let err = Lhnn::load(bad.as_bytes()).unwrap_err();
+        assert!(matches!(err, ModelIoError::Format(_)), "got {err}");
+    }
+
+    #[test]
     fn duo_mode_roundtrips() {
         let cfg = LhnnConfig { channel_mode: lh_graph::ChannelMode::Duo, ..Default::default() };
         let model = Lhnn::new(cfg, 1);

@@ -150,6 +150,44 @@ impl DesignData {
     }
 }
 
+/// Builds the inference-side inputs of one synthetic design: generate →
+/// place → LH-graph → fixed-scaled features → full-ablation operators.
+///
+/// This is the request payload of the serving path (`lhnn-serve`), shared
+/// by the CLI `serve-bench`, the serving harness/benches and the serving
+/// determinism tests — no routing pass, because serving needs no labels.
+///
+/// # Errors
+///
+/// Propagates failures from any pipeline stage.
+pub fn serving_inputs(
+    seed: u64,
+    n_cells: usize,
+    grid: u32,
+) -> Result<(lhnn::GraphOps, FeatureSet)> {
+    let synth_cfg = SynthConfig {
+        name: format!("serving{seed}"),
+        seed,
+        n_cells,
+        grid_nx: grid,
+        grid_ny: grid,
+        ..SynthConfig::default()
+    };
+    let synth = generate(&synth_cfg).map_err(|e| DataError::pipeline("generate", &e))?;
+    let g = synth_cfg.grid();
+    let placed = GlobalPlacer::default()
+        .place_synth(&synth, &g)
+        .map_err(|e| DataError::pipeline("place", &e))?;
+    let graph = LhGraph::build(&synth.circuit, &placed.placement, &g, &LhGraphConfig::default())
+        .map_err(|e| DataError::pipeline("lh-graph", &e))?;
+    let (gd, nd) = FeatureSet::default_divisors();
+    let features = FeatureSet::build(&graph, &synth.circuit, &placed.placement, &g)
+        .map_err(|e| DataError::pipeline("features", &e))?
+        .scaled_fixed(&gd, &nd);
+    let ops = lhnn::GraphOps::from_graph(&graph, &lhnn::AblationSpec::full());
+    Ok((ops, features))
+}
+
 /// Builds one design end-to-end from its synthesis config.
 ///
 /// # Errors

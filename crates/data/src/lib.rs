@@ -23,7 +23,7 @@ pub mod split;
 pub mod viz;
 
 pub use dataset::{
-    build_design, build_suite, CapacityMode, DatasetConfig, DesignData, DesignStats,
+    build_design, build_suite, serving_inputs, CapacityMode, DatasetConfig, DesignData, DesignStats,
 };
 pub use error::{DataError, Result};
 pub use report::{pct, pct1, TextTable};

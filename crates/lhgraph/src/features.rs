@@ -138,6 +138,19 @@ impl FeatureSet {
         Ok(Self { gnet, gcell })
     }
 
+    /// A content fingerprint over both feature blocks.
+    ///
+    /// Two feature sets fingerprint equal iff their matrices are bitwise
+    /// equal, so an unchanged placement always maps to the same serving
+    /// cache key while any feature perturbation (normalisation choice,
+    /// moved cell) produces a different one.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = neurograd::Fnv64::new();
+        self.gnet.hash_into(&mut h);
+        self.gcell.hash_into(&mut h);
+        h.finish()
+    }
+
     /// Returns a copy with every G-cell channel except the terminal mask
     /// zeroed — the "no G-cell feature" ablation of Table 3.
     pub fn without_gcell_features(&self) -> FeatureSet {

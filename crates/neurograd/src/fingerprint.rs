@@ -1,0 +1,193 @@
+//! Content fingerprints for dense and sparse tensors.
+//!
+//! The serving layer caches predictions keyed by *what went into the
+//! forward pass*: the model weights, the graph operators and the input
+//! features. [`Fnv64`] is a seedless FNV-1a 64-bit hasher over raw bytes —
+//! deterministic across runs and platforms of the same endianness, unlike
+//! `std::hash::DefaultHasher` whose keys are randomised per process.
+//!
+//! Floats are hashed by their IEEE-754 bit pattern ([`f32::to_bits`]), so
+//! two tensors fingerprint equal iff they are bitwise equal — exactly the
+//! contract a prediction cache needs (`-0.0` vs `0.0` and NaN payloads are
+//! distinguished; a cache miss on such hair-splitting is merely a recompute).
+//!
+//! # Examples
+//!
+//! ```
+//! use neurograd::{Fnv64, Matrix};
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+//! let b = Matrix::from_rows(&[&[1.0, 2.0]]);
+//! assert_eq!(a.fingerprint(), b.fingerprint());
+//! assert_ne!(a.fingerprint(), a.transpose().fingerprint()); // shape matters
+//!
+//! let mut h = Fnv64::new();
+//! h.write_u64(7);
+//! let once = h.finish();
+//! assert_ne!(once, Fnv64::new().finish());
+//! ```
+
+use crate::matrix::Matrix;
+use crate::sparse::CsrMatrix;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a streaming hasher.
+///
+/// Not cryptographic — collisions are possible in principle but are
+/// vanishingly unlikely for the tensor sizes involved, and a collision
+/// costs only a wrong cache hit in trusted-input settings. Callers that
+/// serve untrusted inputs should treat the cache as advisory.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` as `u64` so fingerprints agree across pointer
+    /// widths.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs an `f32` slice by IEEE-754 bit pattern.
+    pub fn write_f32s(&mut self, values: &[f32]) {
+        for &v in values {
+            self.write_bytes(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Absorbs a string (length-prefixed, so `"ab" + "c"` ≠ `"a" + "bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Matrix {
+    /// Hashes shape and contents into `h`.
+    pub fn hash_into(&self, h: &mut Fnv64) {
+        h.write_usize(self.rows());
+        h.write_usize(self.cols());
+        h.write_f32s(self.as_slice());
+    }
+
+    /// A content fingerprint: equal iff shape and every element's bit
+    /// pattern are equal.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+}
+
+impl CsrMatrix {
+    /// Hashes shape, sparsity pattern and values into `h`.
+    pub fn hash_into(&self, h: &mut Fnv64) {
+        h.write_usize(self.rows());
+        h.write_usize(self.cols());
+        h.write_usize(self.nnz());
+        for (r, c, v) in self.iter() {
+            h.write_usize(r);
+            h.write_usize(c);
+            h.write_bytes(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// A content fingerprint over shape, pattern and values.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        let mut h = Fnv64::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn matrix_fingerprint_is_content_sensitive() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.as_mut_slice()[3] += 1e-4;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // bitwise sensitivity: -0.0 and 0.0 are distinct cache keys
+        let zero = Matrix::from_rows(&[&[0.0f32]]);
+        let neg_zero = Matrix::from_rows(&[&[-0.0f32]]);
+        assert_ne!(zero.fingerprint(), neg_zero.fingerprint());
+    }
+
+    #[test]
+    fn matrix_fingerprint_distinguishes_shape() {
+        let flat = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let tall = Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_ne!(flat.fingerprint(), tall.fingerprint());
+    }
+
+    #[test]
+    fn csr_fingerprint_tracks_pattern_and_values() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]);
+        let same = CsrMatrix::from_triplets(2, 2, &[(1, 1, 2.0), (0, 0, 1.0)]);
+        assert_eq!(a.fingerprint(), same.fingerprint());
+        let moved = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 1, 2.0)]);
+        assert_ne!(a.fingerprint(), moved.fingerprint());
+        let rescaled = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.5), (1, 1, 2.0)]);
+        assert_ne!(a.fingerprint(), rescaled.fingerprint());
+    }
+
+    #[test]
+    fn empty_and_zero_distinguished() {
+        let empty = CsrMatrix::empty(2, 2);
+        let explicit_zero = CsrMatrix::from_triplets(2, 2, &[(0, 0, 0.0)]);
+        assert_ne!(empty.fingerprint(), explicit_zero.fingerprint());
+    }
+
+    #[test]
+    fn str_hashing_is_length_prefixed() {
+        let mut a = Fnv64::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -42,6 +42,7 @@
 
 pub mod conv;
 pub mod error;
+pub mod fingerprint;
 pub mod init;
 pub mod layers;
 pub mod matrix;
@@ -52,9 +53,26 @@ pub mod tape;
 
 pub use conv::Conv2dCfg;
 pub use error::{NeuroError, Result};
+pub use fingerprint::Fnv64;
 pub use layers::{Activation, Linear, Mlp, ResBlock};
 pub use matrix::Matrix;
 pub use metrics::{mean_std, Confusion};
 pub use optim::{Adam, Optimizer, Param, ParamStore, Sgd};
 pub use sparse::CsrMatrix;
 pub use tape::{stable_sigmoid, ParamId, Tape, Var};
+
+// Concurrency contract: the serving layer shares models and graph
+// operators across worker threads (`Arc<Lhnn>`, `Arc<CsrMatrix>`) and owns
+// one scratch `Tape` per worker. These compile-time assertions keep the
+// substrate `Send + Sync` — adding an `Rc`/`RefCell`/raw-pointer field to
+// any of these types becomes a build error rather than a runtime surprise.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Matrix>();
+    assert_send_sync::<CsrMatrix>();
+    assert_send_sync::<Tape>();
+    assert_send_sync::<ParamStore>();
+    assert_send_sync::<Param>();
+    assert_send_sync::<Linear>();
+    assert_send_sync::<ResBlock>();
+};

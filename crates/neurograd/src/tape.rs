@@ -103,6 +103,21 @@ impl Tape {
         Self { nodes: Vec::new() }
     }
 
+    /// Creates an empty tape with room for `nodes` recorded operations.
+    pub fn with_capacity(nodes: usize) -> Self {
+        Self { nodes: Vec::with_capacity(nodes) }
+    }
+
+    /// Clears all recorded nodes while keeping the tape's allocation.
+    ///
+    /// This is the scratch-buffer entry point for inference servers: one
+    /// long-lived tape per worker thread, cleared between forwards, avoids
+    /// re-growing the node vector on every request. All previously returned
+    /// [`Var`] handles are invalidated.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
     /// Number of recorded nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()

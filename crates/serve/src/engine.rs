@@ -1,0 +1,728 @@
+//! The inference engine: bounded request queue, worker pool,
+//! micro-batching and the synchronous client API.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  ServeHandle::predict ──► cache fast path ──► hit? reply immediately
+//!        │ miss
+//!        ▼
+//!  bounded queue (Mutex<VecDeque> + Condvars, backpressure when full)
+//!        │
+//!        ▼ drain up to `max_batch` jobs per wake-up
+//!  worker threads (one scratch Tape each; tape-free forwards in parallel)
+//!        │ identical jobs in a batch are deduplicated: one forward,
+//!        │ every requester gets the shared Arc<Prediction>
+//!        ▼
+//!  LRU prediction cache + latency/throughput stats
+//! ```
+//!
+//! Requests are answered synchronously: `predict` blocks the calling
+//! thread until its reply arrives, so N placer threads naturally keep up
+//! to N requests in flight. Shutdown is cooperative — workers drain the
+//! queue they were handed and exit; unserved requests observe
+//! [`ServeError::ShuttingDown`].
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lh_graph::FeatureSet;
+use lhnn::{GraphOps, InferenceScratch, Prediction};
+
+use crate::cache::{CacheKey, PredictionCache};
+use crate::error::{Result, ServeError};
+use crate::registry::{ModelEntry, ModelRegistry};
+use crate::stats::{ServeStats, StatsInner};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads executing forwards (default: available parallelism).
+    pub workers: usize,
+    /// Maximum queued (accepted, unserved) requests before submitters
+    /// block — the backpressure bound.
+    pub queue_depth: usize,
+    /// Maximum jobs a worker drains per wake-up (micro-batch size).
+    pub max_batch: usize,
+    /// LRU prediction-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            queue_depth: 256,
+            max_batch: 8,
+            cache_capacity: 128,
+        }
+    }
+}
+
+/// One congestion-inference request.
+#[derive(Debug, Clone)]
+pub struct PredictRequest {
+    /// Registry name of the model to serve with.
+    pub model: String,
+    /// Graph operators of the design (shared; typically built once per
+    /// placement iteration).
+    pub ops: Arc<GraphOps>,
+    /// Input features of the design.
+    pub features: Arc<FeatureSet>,
+    /// Per-request congestion threshold applied to channel-0
+    /// probabilities for [`ServeReply::congested_fraction`].
+    pub threshold: f32,
+}
+
+impl PredictRequest {
+    /// A request against `model` with the conventional 0.5 threshold.
+    pub fn new(model: &str, ops: Arc<GraphOps>, features: Arc<FeatureSet>) -> Self {
+        Self { model: model.to_string(), ops, features, threshold: 0.5 }
+    }
+
+    /// Sets the congestion threshold.
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: f32) -> Self {
+        self.threshold = threshold;
+        self
+    }
+}
+
+/// The answer to one request.
+#[derive(Debug, Clone)]
+pub struct ServeReply {
+    /// The prediction (shared with the cache and concurrent requesters).
+    pub prediction: Arc<Prediction>,
+    /// Whether the prediction came from the cache or from deduplication
+    /// against an identical in-flight request (no forward was run for it).
+    pub cached: bool,
+    /// Fraction of G-cells whose channel-0 congestion probability meets
+    /// the request's threshold.
+    pub congested_fraction: f64,
+    /// Submission-to-reply latency as measured by the engine.
+    pub latency: Duration,
+}
+
+struct Job {
+    entry: Arc<ModelEntry>,
+    ops: Arc<GraphOps>,
+    features: Arc<FeatureSet>,
+    key: CacheKey,
+    threshold: f32,
+    submitted: Instant,
+    reply: mpsc::Sender<ServeReply>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Single-flight marker: the first worker to claim a key computes; every
+/// concurrent worker with the same key waits for the result instead of
+/// duplicating the forward pass.
+#[derive(Default)]
+struct InFlight {
+    done: Mutex<InFlightState>,
+    cv: Condvar,
+}
+
+#[derive(Default, Clone)]
+enum InFlightState {
+    /// The owner is still computing.
+    #[default]
+    Pending,
+    /// The owner finished; the shared result is here.
+    Done(Arc<Prediction>),
+    /// The owner's forward panicked; waiters must compute for themselves.
+    Abandoned,
+}
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    cfg: EngineConfig,
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cache: Mutex<PredictionCache>,
+    in_flight: Mutex<HashMap<CacheKey, Arc<InFlight>>>,
+    stats: Mutex<StatsInner>,
+    started: Instant,
+}
+
+/// The engine: owns the worker pool; hand out [`ServeHandle`]s to use it.
+///
+/// Dropping (or [`ServeEngine::shutdown`]) stops the workers; requests
+/// still queued are abandoned and their submitters receive
+/// [`ServeError::WorkerLost`], new submissions [`ServeError::ShuttingDown`].
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServeEngine({} workers)", self.workers.len())
+    }
+}
+
+impl ServeEngine {
+    /// Starts `cfg.workers` long-lived worker threads over `registry`.
+    pub fn new(registry: Arc<ModelRegistry>, cfg: EngineConfig) -> Self {
+        let workers_n = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            registry,
+            cache: Mutex::new(PredictionCache::new(cfg.cache_capacity)),
+            in_flight: Mutex::new(HashMap::new()),
+            stats: Mutex::new(StatsInner::new()),
+            queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            started: Instant::now(),
+            cfg,
+        });
+        let workers = (0..workers_n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lhnn-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// A convenience engine with default tuning but an explicit thread
+    /// count (the knob benchmarks sweep).
+    pub fn with_workers(registry: Arc<ModelRegistry>, workers: usize) -> Self {
+        Self::new(registry, EngineConfig { workers, ..EngineConfig::default() })
+    }
+
+    /// A cloneable client handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Stops accepting work, wakes every worker and joins them.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.shutdown = true;
+            // Abandoned jobs: dropping them closes their reply channels,
+            // so blocked submitters observe WorkerLost rather than hanging.
+            q.jobs.clear();
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Cloneable, thread-safe client of a [`ServeEngine`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for ServeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServeHandle")
+    }
+}
+
+impl ServeHandle {
+    /// Serves one request, blocking until the prediction is available.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] for unregistered names,
+    /// [`ServeError::Incompatible`] when the inputs do not fit the model,
+    /// [`ServeError::ShuttingDown`] / [`ServeError::WorkerLost`] around
+    /// engine shutdown.
+    pub fn predict(&self, request: &PredictRequest) -> Result<ServeReply> {
+        let submitted = Instant::now();
+        let (entry, key) = self.admit(request)?;
+        // Fast path: answer from the cache without touching the queue.
+        // (The guard is scoped to the lookup — never held across other locks.)
+        let hit = self.shared.cache.lock().expect("cache lock").get(&key);
+        if let Some(hit) = hit {
+            let latency = submitted.elapsed();
+            self.shared.stats.lock().expect("stats lock").record_request(latency, true);
+            return Ok(reply_from(hit, true, request.threshold, latency));
+        }
+        let rx = self.enqueue(entry, request, key, submitted)?;
+        rx.recv().map_err(|_| ServeError::WorkerLost)
+    }
+
+    /// Serves many requests, keeping all of them in flight at once.
+    ///
+    /// Replies come back in request order; each slot fails independently
+    /// (one unknown model does not sink the batch).
+    pub fn predict_batch(&self, requests: &[PredictRequest]) -> Vec<Result<ServeReply>> {
+        let submitted = Instant::now();
+        // Phase 1: admit + enqueue everything (cache hits answered inline).
+        let pending: Vec<Result<PendingReply>> = requests
+            .iter()
+            .map(|request| {
+                let (entry, key) = self.admit(request)?;
+                let hit = self.shared.cache.lock().expect("cache lock").get(&key);
+                if let Some(hit) = hit {
+                    let latency = submitted.elapsed();
+                    self.shared.stats.lock().expect("stats lock").record_request(latency, true);
+                    return Ok(PendingReply::Ready(reply_from(
+                        hit,
+                        true,
+                        request.threshold,
+                        latency,
+                    )));
+                }
+                let rx = self.enqueue(Arc::clone(&entry), request, key, submitted)?;
+                Ok(PendingReply::InFlight(rx))
+            })
+            .collect();
+        // Phase 2: collect in order.
+        pending
+            .into_iter()
+            .map(|p| match p {
+                Ok(PendingReply::Ready(r)) => Ok(r),
+                Ok(PendingReply::InFlight(rx)) => rx.recv().map_err(|_| ServeError::WorkerLost),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    /// A snapshot of the engine's counters and latency percentiles.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.lock().expect("stats lock").snapshot(self.shared.started.elapsed())
+    }
+
+    /// Number of predictions currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.lock().expect("cache lock").len()
+    }
+
+    /// Drops every cached prediction.
+    pub fn clear_cache(&self) {
+        self.shared.cache.lock().expect("cache lock").clear();
+    }
+
+    /// The registry this engine serves from.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    fn admit(&self, request: &PredictRequest) -> Result<(Arc<ModelEntry>, CacheKey)> {
+        let entry = self
+            .shared
+            .registry
+            .get(&request.model)
+            .ok_or_else(|| ServeError::UnknownModel(request.model.clone()))?;
+        let cfg = entry.model.config();
+        if request.features.gcell.cols() != cfg.gcell_in_dim
+            || request.features.gnet.cols() != cfg.gnet_in_dim
+        {
+            return Err(ServeError::Incompatible(format!(
+                "feature dims ({}, {}) do not match model `{}` input dims ({}, {})",
+                request.features.gcell.cols(),
+                request.features.gnet.cols(),
+                entry.name,
+                cfg.gcell_in_dim,
+                cfg.gnet_in_dim
+            )));
+        }
+        if request.features.gcell.rows() != request.ops.num_gcells {
+            return Err(ServeError::Incompatible(format!(
+                "features describe {} g-cells, operators {}",
+                request.features.gcell.rows(),
+                request.ops.num_gcells
+            )));
+        }
+        // FeatureSet::build pads an empty g-net block to one zero row, so
+        // the operators' column count is num_gnets.max(1).
+        if request.features.gnet.rows() != request.ops.num_gnets.max(1) {
+            return Err(ServeError::Incompatible(format!(
+                "features describe {} g-nets, operators {}",
+                request.features.gnet.rows(),
+                request.ops.num_gnets
+            )));
+        }
+        let key = CacheKey {
+            model: entry.version,
+            ops: request.ops.fingerprint(),
+            features: request.features.fingerprint(),
+        };
+        Ok((entry, key))
+    }
+
+    fn enqueue(
+        &self,
+        entry: Arc<ModelEntry>,
+        request: &PredictRequest,
+        key: CacheKey,
+        submitted: Instant,
+    ) -> Result<mpsc::Receiver<ServeReply>> {
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            entry,
+            ops: Arc::clone(&request.ops),
+            features: Arc::clone(&request.features),
+            key,
+            threshold: request.threshold,
+            submitted,
+            reply: tx,
+        };
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        while q.jobs.len() >= self.shared.cfg.queue_depth.max(1) {
+            if q.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            q = self.shared.not_full.wait(q).expect("queue lock");
+        }
+        if q.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        q.jobs.push_back(job);
+        drop(q);
+        self.shared.not_empty.notify_one();
+        Ok(rx)
+    }
+}
+
+enum PendingReply {
+    Ready(ServeReply),
+    InFlight(mpsc::Receiver<ServeReply>),
+}
+
+fn reply_from(
+    prediction: Arc<Prediction>,
+    cached: bool,
+    threshold: f32,
+    latency: Duration,
+) -> ServeReply {
+    let rows = prediction.cls_prob.rows().max(1);
+    let congested = (0..prediction.cls_prob.rows())
+        .filter(|&r| prediction.cls_prob[(r, 0)] >= threshold)
+        .count();
+    ServeReply { prediction, cached, congested_fraction: congested as f64 / rows as f64, latency }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut scratch = InferenceScratch::new();
+    loop {
+        let batch: Vec<Job> = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if !q.jobs.is_empty() {
+                    break;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.not_empty.wait(q).expect("queue lock");
+            }
+            let n = q.jobs.len().min(shared.cfg.max_batch.max(1));
+            let batch = q.jobs.drain(..n).collect();
+            drop(q);
+            shared.not_full.notify_all();
+            batch
+        };
+        shared.stats.lock().expect("stats lock").record_batch(batch.len());
+        // Same-key jobs in the batch share one forward pass. Lock scopes
+        // are kept explicit: the cache guard must be released before the
+        // (long) forward pass and before any other lock is taken. Jobs
+        // whose key is owned by ANOTHER worker are deferred to the end of
+        // the batch so a slow peer never head-of-line-blocks work this
+        // worker could run immediately.
+        let mut local: HashMap<CacheKey, Arc<Prediction>> = HashMap::new();
+        let mut deferred: Vec<(Job, Arc<InFlight>)> = Vec::new();
+        for job in batch {
+            let in_batch = local.get(&job.key).map(Arc::clone);
+            let (prediction, cached) = if let Some(p) = in_batch {
+                (p, true)
+            } else {
+                // Another worker (or an earlier batch) may have filled the
+                // cache since the submitter's fast-path miss.
+                let from_cache = shared.cache.lock().expect("cache lock").get(&job.key);
+                if let Some(p) = from_cache {
+                    local.insert(job.key, Arc::clone(&p));
+                    (p, true)
+                } else {
+                    // Single-flight: the first claimant computes;
+                    // concurrent claimants wait for its result (after
+                    // finishing the rest of their own batch).
+                    match claim_key(shared, job.key) {
+                        Ok(marker) => match compute_owned(shared, &job, &marker, &mut scratch) {
+                            Some((p, cached)) => {
+                                local.insert(job.key, Arc::clone(&p));
+                                (p, cached)
+                            }
+                            // Forward panicked: marker cleaned up, reply
+                            // dropped (requester sees WorkerLost), worker
+                            // keeps serving.
+                            None => continue,
+                        },
+                        Err(marker) => {
+                            deferred.push((job, marker));
+                            continue;
+                        }
+                    }
+                }
+            };
+            send_reply(shared, &job, prediction, cached);
+        }
+        // Second pass: resolve waits on keys owned by other workers.
+        for (job, first_marker) in deferred {
+            let mut marker = first_marker;
+            loop {
+                let state = {
+                    let mut done = marker.done.lock().expect("marker lock");
+                    while matches!(*done, InFlightState::Pending) {
+                        done = marker.cv.wait(done).expect("marker lock");
+                    }
+                    done.clone()
+                };
+                match state {
+                    InFlightState::Done(p) => {
+                        send_reply(shared, &job, p, true);
+                        break;
+                    }
+                    InFlightState::Abandoned => {
+                        // The owner's forward panicked on ITS inputs (only
+                        // key-equal to ours); retry the claim protocol.
+                        // compute_owned re-checks the cache after claiming.
+                        match claim_key(shared, job.key) {
+                            Ok(m) => {
+                                if let Some((p, cached)) =
+                                    compute_owned(shared, &job, &m, &mut scratch)
+                                {
+                                    send_reply(shared, &job, p, cached);
+                                }
+                                break;
+                            }
+                            // another worker re-claimed first: wait on it
+                            Err(m) => marker = m,
+                        }
+                    }
+                    InFlightState::Pending => unreachable!("waited out of Pending above"),
+                }
+            }
+        }
+    }
+}
+
+/// Claims `key` in the single-flight map: `Ok` hands the caller ownership
+/// (it must publish via `compute_owned`), `Err` returns the current
+/// owner's marker to wait on.
+fn claim_key(shared: &Shared, key: CacheKey) -> std::result::Result<Arc<InFlight>, Arc<InFlight>> {
+    let mut map = shared.in_flight.lock().expect("in-flight lock");
+    match map.get(&key) {
+        Some(m) => Err(Arc::clone(m)),
+        None => {
+            let m = Arc::new(InFlight::default());
+            map.insert(key, Arc::clone(&m));
+            Ok(m)
+        }
+    }
+}
+
+/// Resolves the forward for a claimed key, publishing the result to the
+/// cache and the single-flight marker. The cache is re-checked first —
+/// another worker may have finished (and unclaimed) this key between the
+/// caller's miss and its claim — so the returned flag reports whether the
+/// prediction was cached. Returns `None` (after unclaiming the key and
+/// waking waiters) if the forward panics, so one malformed request cannot
+/// wedge the pool — see `ServeError::WorkerLost`.
+fn compute_owned(
+    shared: &Shared,
+    job: &Job,
+    marker: &Arc<InFlight>,
+    scratch: &mut InferenceScratch,
+) -> Option<(Arc<Prediction>, bool)> {
+    let recheck = shared.cache.lock().expect("cache lock").get(&job.key);
+    let outcome = match recheck {
+        Some(p) => Ok((p, true)),
+        None => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (Arc::new(job.entry.model.predict_into(&job.ops, &job.features, scratch)), false)
+        })),
+    };
+    let (result, state) = match outcome {
+        Ok((p, cached)) => {
+            if !cached {
+                shared.stats.lock().expect("stats lock").record_computed();
+                // cache before unmarking, so latecomers that miss the
+                // marker hit the cache
+                shared.cache.lock().expect("cache lock").insert(job.key, Arc::clone(&p));
+            }
+            (Some((Arc::clone(&p), cached)), InFlightState::Done(p))
+        }
+        Err(_) => (None, InFlightState::Abandoned),
+    };
+    shared.in_flight.lock().expect("in-flight lock").remove(&job.key);
+    *marker.done.lock().expect("marker lock") = state;
+    marker.cv.notify_all();
+    result
+}
+
+fn send_reply(shared: &Shared, job: &Job, prediction: Arc<Prediction>, cached: bool) {
+    let latency = job.submitted.elapsed();
+    shared.stats.lock().expect("stats lock").record_request(latency, cached);
+    // A requester that gave up (dropped the receiver) is fine.
+    let _ = job.reply.send(reply_from(prediction, cached, job.threshold, latency));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhnn::{Lhnn, LhnnConfig};
+
+    fn design(seed: u64, n_cells: usize, grid: u32) -> (Arc<GraphOps>, Arc<FeatureSet>) {
+        let (ops, feats) = lhnn_data::serving_inputs(seed, n_cells, grid).expect("build design");
+        (Arc::new(ops), Arc::new(feats))
+    }
+
+    fn engine_with_default_model(workers: usize, cache: usize) -> ServeEngine {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register("default", Lhnn::new(LhnnConfig::default(), 0)).unwrap();
+        ServeEngine::new(
+            registry,
+            EngineConfig { workers, cache_capacity: cache, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn serves_and_caches() {
+        let engine = engine_with_default_model(2, 16);
+        let handle = engine.handle();
+        let (ops, feats) = design(1, 90, 6);
+        let req = PredictRequest::new("default", ops, feats);
+        let cold = handle.predict(&req).unwrap();
+        assert!(!cold.cached);
+        let warm = handle.predict(&req).unwrap();
+        assert!(warm.cached, "second identical request must hit the cache");
+        assert!(warm.prediction.cls_prob.approx_eq(&cold.prediction.cls_prob, 0.0));
+        let stats = handle.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.computed, 1);
+        assert!(stats.cache_hit_rate > 0.0);
+        assert_eq!(handle.cache_len(), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batch_mixes_models_and_errors_independently() {
+        let engine = engine_with_default_model(2, 16);
+        let handle = engine.handle();
+        let (ops, feats) = design(2, 80, 6);
+        let good = PredictRequest::new("default", Arc::clone(&ops), Arc::clone(&feats));
+        let unknown = PredictRequest::new("nope", ops, feats);
+        let replies = handle.predict_batch(&[good.clone(), unknown, good]);
+        assert_eq!(replies.len(), 3);
+        assert!(replies[0].is_ok());
+        assert!(matches!(replies[1], Err(ServeError::UnknownModel(_))));
+        assert!(replies[2].is_ok());
+    }
+
+    #[test]
+    fn per_request_threshold_changes_fraction() {
+        let engine = engine_with_default_model(1, 4);
+        let handle = engine.handle();
+        let (ops, feats) = design(3, 80, 6);
+        let lo = handle
+            .predict(
+                &PredictRequest::new("default", Arc::clone(&ops), Arc::clone(&feats))
+                    .with_threshold(0.0),
+            )
+            .unwrap();
+        let hi = handle
+            .predict(&PredictRequest::new("default", ops, feats).with_threshold(1.1))
+            .unwrap();
+        assert!((lo.congested_fraction - 1.0).abs() < 1e-12, "threshold 0 flags everything");
+        assert_eq!(hi.congested_fraction, 0.0, "threshold >1 flags nothing");
+        // the second request hit the cache — threshold is per-request, not
+        // part of the key
+        assert!(hi.cached);
+    }
+
+    #[test]
+    fn incompatible_inputs_rejected_at_submission() {
+        let engine = engine_with_default_model(1, 4);
+        let handle = engine.handle();
+        let (ops, feats) = design(4, 80, 6);
+        let narrow =
+            Arc::new(FeatureSet { gnet: feats.gnet.clone(), gcell: feats.gcell.slice_cols(0, 3) });
+        let err = handle.predict(&PredictRequest::new("default", ops, narrow)).unwrap_err();
+        assert!(matches!(err, ServeError::Incompatible(_)));
+    }
+
+    #[test]
+    fn mismatched_gnet_rows_rejected_at_submission() {
+        // ops from one design, features from another with equal g-cell
+        // count but different g-net count: must be rejected up front, not
+        // panic a worker.
+        let engine = engine_with_default_model(1, 4);
+        let handle = engine.handle();
+        let (ops_a, feats_a) = design(6, 80, 6);
+        let (_, feats_b) = design(7, 120, 6);
+        assert_eq!(feats_a.gcell.rows(), feats_b.gcell.rows(), "same grid, same g-cells");
+        assert_ne!(feats_a.gnet.rows(), feats_b.gnet.rows(), "different g-net counts");
+        let err = handle
+            .predict(&PredictRequest::new("default", Arc::clone(&ops_a), feats_b))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Incompatible(_)), "got {err:?}");
+        // the pool is still alive and serves the matching pair
+        let ok = handle.predict(&PredictRequest::new("default", ops_a, feats_a)).unwrap();
+        assert!(ok.prediction.cls_prob.is_finite());
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_answers() {
+        let engine = engine_with_default_model(4, 64);
+        let handle = engine.handle();
+        let designs: Vec<_> = (0..4).map(|s| design(10 + s, 70, 6)).collect();
+        std::thread::scope(|scope| {
+            for (ops, feats) in &designs {
+                for _ in 0..3 {
+                    let h = handle.clone();
+                    let ops = Arc::clone(ops);
+                    let feats = Arc::clone(feats);
+                    scope.spawn(move || {
+                        let r = h.predict(&PredictRequest::new("default", ops, feats)).unwrap();
+                        assert!(r.prediction.cls_prob.is_finite());
+                    });
+                }
+            }
+        });
+        let stats = handle.stats();
+        assert_eq!(stats.requests, 12);
+        // 4 unique designs → exactly 4 forwards; duplicates are served by
+        // the cache, in-batch dedup or single-flight waiting
+        assert_eq!(stats.computed, 4, "single-flight must deduplicate concurrent work");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let engine = engine_with_default_model(1, 4);
+        let handle = engine.handle();
+        let (ops, feats) = design(5, 80, 6);
+        engine.shutdown();
+        let err = handle.predict(&PredictRequest::new("default", ops, feats)).unwrap_err();
+        assert!(matches!(err, ServeError::ShuttingDown | ServeError::WorkerLost));
+    }
+}

@@ -1,0 +1,82 @@
+//! `lhnn-serve` — a batched, multi-threaded congestion-inference engine.
+//!
+//! The paper's end goal is congestion feedback *inside* placement loops: a
+//! placer queries "where will routing congest?" thousands of times per
+//! design, so inference must stay hot, parallel and deduplicated. This
+//! crate turns the one-shot [`lhnn::Lhnn::predict`] path into an always-on
+//! service skeleton:
+//!
+//! * [`ModelRegistry`] — loads `.lhnn` checkpoints once, validates them
+//!   against the feature pipeline, hands out shared entries; bad
+//!   checkpoints are rejected without touching serving state.
+//! * [`ServeEngine`] — a bounded request queue drained by long-lived
+//!   worker threads, each running tape-free forwards on a reusable
+//!   [`lhnn::InferenceScratch`]; same-shape identical requests drained in
+//!   one wake-up share a single forward (micro-batching).
+//! * [`PredictionCache`] — an LRU keyed by content fingerprints of
+//!   `(model weights, graph operators, features)`, so repeated queries on
+//!   an unchanged placement cost only hashing.
+//! * [`ServeHandle`] — the synchronous client API
+//!   ([`ServeHandle::predict`], [`ServeHandle::predict_batch`],
+//!   [`ServeHandle::stats`]) with latency percentiles, throughput and
+//!   cache hit rate.
+//!
+//! Served predictions are **bitwise identical** to direct
+//! [`lhnn::Lhnn::predict`] calls regardless of worker count or cache
+//! state (property-tested in `tests/determinism.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use lh_graph::{FeatureSet, LhGraph, LhGraphConfig};
+//! use lhnn::{AblationSpec, GraphOps, Lhnn, LhnnConfig};
+//! use lhnn_serve::{EngineConfig, ModelRegistry, PredictRequest, ServeEngine};
+//! use vlsi_netlist::synth::{generate, SynthConfig};
+//! use vlsi_place::GlobalPlacer;
+//!
+//! // Build one tiny design (generate → place → graph → features).
+//! let cfg = SynthConfig { n_cells: 60, grid_nx: 6, grid_ny: 6, ..SynthConfig::default() };
+//! let synth = generate(&cfg).unwrap();
+//! let grid = cfg.grid();
+//! let placed = GlobalPlacer::default().place_synth(&synth, &grid).unwrap();
+//! let graph =
+//!     LhGraph::build(&synth.circuit, &placed.placement, &grid, &LhGraphConfig::default())
+//!         .unwrap();
+//! let (gd, nd) = FeatureSet::default_divisors();
+//! let features = FeatureSet::build(&graph, &synth.circuit, &placed.placement, &grid)
+//!     .unwrap()
+//!     .scaled_fixed(&gd, &nd);
+//! let ops = Arc::new(GraphOps::from_graph(&graph, &AblationSpec::full()));
+//! let features = Arc::new(features);
+//!
+//! // Register a model and stand up a 2-worker engine.
+//! let registry = Arc::new(ModelRegistry::new());
+//! registry.register("default", Lhnn::new(LhnnConfig::default(), 0)).unwrap();
+//! let engine = ServeEngine::new(registry, EngineConfig { workers: 2, ..Default::default() });
+//! let handle = engine.handle();
+//!
+//! // First query computes, the repeat is served from the LRU cache.
+//! let req = PredictRequest::new("default", ops, features).with_threshold(0.5);
+//! let cold = handle.predict(&req).unwrap();
+//! let warm = handle.predict(&req).unwrap();
+//! assert!(!cold.cached && warm.cached);
+//! assert!(warm.prediction.cls_prob.approx_eq(&cold.prediction.cls_prob, 0.0));
+//! assert!(handle.stats().cache_hit_rate > 0.0);
+//! engine.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod registry;
+pub mod stats;
+
+pub use cache::{CacheKey, PredictionCache};
+pub use engine::{EngineConfig, PredictRequest, ServeEngine, ServeHandle, ServeReply};
+pub use error::{Result, ServeError};
+pub use registry::{ModelEntry, ModelRegistry};
+pub use stats::ServeStats;

@@ -1,0 +1,240 @@
+//! The model registry: load checkpoints once, hand out shared handles.
+//!
+//! A registry owns every model the engine can serve. Models are validated
+//! on the way in (input dimensions must match the feature pipeline, the
+//! architecture must be non-degenerate) and stored behind `Arc`, so the
+//! worker pool, caches and callers all share one copy of the weights. A
+//! checkpoint that fails to load or validate is rejected *before* the map
+//! is touched — a bad file can never poison a serving pool.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use lh_graph::{gcell_channel, gnet_channel};
+use lhnn::{Lhnn, LhnnConfig};
+
+use crate::error::{Result, ServeError};
+
+/// A registered model: weights plus its serving identity.
+#[derive(Debug)]
+pub struct ModelEntry {
+    /// Registry name (e.g. `"default"`, `"lhnn-duo-v3"`).
+    pub name: String,
+    /// Content version: [`Lhnn::weights_fingerprint`] at registration.
+    /// Part of every cache key, so hot-swapping a model under the same
+    /// name invalidates its cached predictions implicitly.
+    pub version: u64,
+    /// The model itself (immutable while registered).
+    pub model: Lhnn,
+}
+
+/// Thread-safe name → model map with load-time validation.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    expected_gcell_dim: usize,
+    expected_gnet_dim: usize,
+    models: RwLock<HashMap<String, Arc<ModelEntry>>>,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelRegistry {
+    /// A registry expecting the standard feature pipeline (4 G-cell and
+    /// 4 G-net channels, the paper's §3.1 layout).
+    pub fn new() -> Self {
+        Self::with_expected_dims(gcell_channel::COUNT, gnet_channel::COUNT)
+    }
+
+    /// A registry for a non-standard feature pipeline.
+    pub fn with_expected_dims(gcell_dim: usize, gnet_dim: usize) -> Self {
+        Self {
+            expected_gcell_dim: gcell_dim,
+            expected_gnet_dim: gnet_dim,
+            models: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn validate(&self, cfg: &LhnnConfig) -> Result<()> {
+        if cfg.gcell_in_dim != self.expected_gcell_dim {
+            return Err(ServeError::Incompatible(format!(
+                "model expects {} g-cell channels, pipeline produces {}",
+                cfg.gcell_in_dim, self.expected_gcell_dim
+            )));
+        }
+        if cfg.gnet_in_dim != self.expected_gnet_dim {
+            return Err(ServeError::Incompatible(format!(
+                "model expects {} g-net channels, pipeline produces {}",
+                cfg.gnet_in_dim, self.expected_gnet_dim
+            )));
+        }
+        if cfg.hidden == 0 {
+            return Err(ServeError::Incompatible("zero hidden dimension".into()));
+        }
+        Ok(())
+    }
+
+    /// Registers an in-memory model under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Incompatible`] if validation fails,
+    /// [`ServeError::AlreadyRegistered`] if the name is taken (use
+    /// [`ModelRegistry::replace`] to hot-swap).
+    pub fn register(&self, name: &str, model: Lhnn) -> Result<Arc<ModelEntry>> {
+        self.insert(name, model, false)
+    }
+
+    /// Registers or hot-swaps a model under `name`.
+    ///
+    /// Cached predictions of the displaced model become unreachable
+    /// because the weight fingerprint in the cache key changes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Incompatible`] if validation fails.
+    pub fn replace(&self, name: &str, model: Lhnn) -> Result<Arc<ModelEntry>> {
+        self.insert(name, model, true)
+    }
+
+    fn insert(&self, name: &str, model: Lhnn, allow_replace: bool) -> Result<Arc<ModelEntry>> {
+        self.validate(model.config())?;
+        let entry = Arc::new(ModelEntry {
+            name: name.to_string(),
+            version: model.weights_fingerprint(),
+            model,
+        });
+        let mut map = self.models.write().expect("registry lock");
+        if !allow_replace && map.contains_key(name) {
+            return Err(ServeError::AlreadyRegistered(name.to_string()));
+        }
+        map.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Loads a `.lhnn` checkpoint from a reader and registers it.
+    ///
+    /// The checkpoint is parsed and validated entirely before the registry
+    /// map is modified: a truncated, corrupted or architecturally
+    /// incompatible file leaves the registry exactly as it was.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Model`] for unparseable checkpoints, plus every error
+    /// [`ModelRegistry::register`] can return.
+    pub fn load_reader<R: Read>(&self, name: &str, reader: R) -> Result<Arc<ModelEntry>> {
+        let model = Lhnn::load(reader)?;
+        self.register(name, model)
+    }
+
+    /// Loads a `.lhnn` checkpoint file and registers it.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelRegistry::load_reader`]; file-open failures surface as
+    /// [`ServeError::Model`].
+    pub fn load_file<P: AsRef<Path>>(&self, name: &str, path: P) -> Result<Arc<ModelEntry>> {
+        let file = std::fs::File::open(path).map_err(lhnn::ModelIoError::from)?;
+        self.load_reader(name, std::io::BufReader::new(file))
+    }
+
+    /// Resolves a name to its current entry.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
+        self.models.read().expect("registry lock").get(name).cloned()
+    }
+
+    /// Removes a model; returns whether it existed. In-flight requests
+    /// holding the `Arc` finish normally.
+    pub fn remove(&self, name: &str) -> bool {
+        self.models.write().expect("registry lock").remove(name).is_some()
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> =
+            self.models.read().expect("registry lock").keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().expect("registry lock").len()
+    }
+
+    /// Whether no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_get_remove() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        let entry = reg.register("default", Lhnn::new(LhnnConfig::default(), 0)).unwrap();
+        assert_eq!(entry.name, "default");
+        assert_eq!(reg.len(), 1);
+        let got = reg.get("default").expect("registered");
+        assert_eq!(got.version, entry.version);
+        assert!(reg.get("missing").is_none());
+        assert!(reg.remove("default"));
+        assert!(!reg.remove("default"));
+    }
+
+    #[test]
+    fn duplicate_name_rejected_but_replace_swaps() {
+        let reg = ModelRegistry::new();
+        let v1 = reg.register("m", Lhnn::new(LhnnConfig::default(), 0)).unwrap().version;
+        let err = reg.register("m", Lhnn::new(LhnnConfig::default(), 1)).unwrap_err();
+        assert!(matches!(err, ServeError::AlreadyRegistered(_)));
+        let v2 = reg.replace("m", Lhnn::new(LhnnConfig::default(), 1)).unwrap().version;
+        assert_ne!(v1, v2, "hot-swap must change the serving version");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn incompatible_dims_rejected() {
+        let reg = ModelRegistry::new();
+        let bad = Lhnn::new(LhnnConfig { gcell_in_dim: 7, ..Default::default() }, 0);
+        let err = reg.register("bad", bad).unwrap_err();
+        assert!(matches!(err, ServeError::Incompatible(_)));
+        assert!(reg.is_empty(), "failed validation must not insert");
+    }
+
+    #[test]
+    fn bad_checkpoint_leaves_registry_untouched() {
+        let reg = ModelRegistry::new();
+        reg.register("good", Lhnn::new(LhnnConfig::default(), 0)).unwrap();
+        // corrupt stream
+        let err = reg.load_reader("evil", "lhnn-model v1\nhidden banana\n".as_bytes());
+        assert!(matches!(err, Err(ServeError::Model(_))));
+        // truncated stream
+        let model = Lhnn::new(LhnnConfig::default(), 0);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        buf.truncate(buf.len() / 3);
+        assert!(reg.load_reader("evil", &buf[..]).is_err());
+        assert_eq!(reg.names(), vec!["good".to_string()], "registry unpoisoned");
+    }
+
+    #[test]
+    fn load_reader_roundtrip() {
+        let reg = ModelRegistry::new();
+        let model = Lhnn::new(LhnnConfig::default(), 9);
+        let fp = model.weights_fingerprint();
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let entry = reg.load_reader("rt", &buf[..]).unwrap();
+        assert_eq!(entry.version, fp, "loaded weights carry the same version");
+    }
+}

@@ -1,0 +1,213 @@
+//! Latency and throughput accounting for the engine.
+//!
+//! Per-request latencies (submission to reply, cache hits included) land
+//! in a fixed-size ring so the memory footprint is bounded no matter how
+//! long the engine runs; percentiles are nearest-rank over the ring's
+//! current contents. Counters (requests, cache hits, computed forwards,
+//! batches) are exact over the whole lifetime.
+
+use std::time::Duration;
+
+const RING: usize = 4096;
+
+/// Mutable accumulator, lives behind the engine's stats mutex.
+#[derive(Debug)]
+pub(crate) struct StatsInner {
+    requests: u64,
+    cache_hits: u64,
+    computed: u64,
+    batches: u64,
+    batched_jobs: u64,
+    total_latency_us: u128,
+    ring: Vec<u64>,
+    next: usize,
+}
+
+impl StatsInner {
+    pub(crate) fn new() -> Self {
+        Self {
+            requests: 0,
+            cache_hits: 0,
+            computed: 0,
+            batches: 0,
+            batched_jobs: 0,
+            total_latency_us: 0,
+            ring: Vec::with_capacity(RING),
+            next: 0,
+        }
+    }
+
+    pub(crate) fn record_request(&mut self, latency: Duration, cache_hit: bool) {
+        self.requests += 1;
+        if cache_hit {
+            self.cache_hits += 1;
+        }
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.total_latency_us += u128::from(us);
+        if self.ring.len() < RING {
+            self.ring.push(us);
+        } else {
+            self.ring[self.next] = us;
+        }
+        self.next = (self.next + 1) % RING;
+    }
+
+    pub(crate) fn record_computed(&mut self) {
+        self.computed += 1;
+    }
+
+    pub(crate) fn record_batch(&mut self, jobs: usize) {
+        self.batches += 1;
+        self.batched_jobs += jobs as u64;
+    }
+
+    pub(crate) fn snapshot(&self, uptime: Duration) -> ServeStats {
+        let mut sorted = self.ring.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            // nearest-rank: ceil(p/100 * n), 1-indexed
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+            sorted[rank.min(sorted.len()) - 1]
+        };
+        let secs = uptime.as_secs_f64();
+        ServeStats {
+            requests: self.requests,
+            cache_hits: self.cache_hits,
+            computed: self.computed,
+            cache_hit_rate: if self.requests == 0 {
+                0.0
+            } else {
+                self.cache_hits as f64 / self.requests as f64
+            },
+            batches: self.batches,
+            mean_batch_size: if self.batches == 0 {
+                0.0
+            } else {
+                self.batched_jobs as f64 / self.batches as f64
+            },
+            p50_us: pct(50.0),
+            p95_us: pct(95.0),
+            p99_us: pct(99.0),
+            mean_us: if self.requests == 0 {
+                0.0
+            } else {
+                self.total_latency_us as f64 / self.requests as f64
+            },
+            throughput_rps: if secs > 0.0 { self.requests as f64 / secs } else { 0.0 },
+            uptime,
+        }
+    }
+}
+
+/// An immutable snapshot of engine counters and latency percentiles.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Requests answered (cache hits included).
+    pub requests: u64,
+    /// Requests answered from the prediction cache (fast path or worker
+    /// side) or deduplicated against an identical in-batch request.
+    pub cache_hits: u64,
+    /// Forward passes actually executed.
+    pub computed: u64,
+    /// `cache_hits / requests` (0 when idle).
+    pub cache_hit_rate: f64,
+    /// Worker wake-ups that processed at least one job.
+    pub batches: u64,
+    /// Mean jobs drained per worker wake-up (micro-batching factor).
+    pub mean_batch_size: f64,
+    /// Median request latency, microseconds (over the last 4096 requests).
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Mean latency over the whole lifetime, microseconds.
+    pub mean_us: f64,
+    /// Requests per second since the engine started.
+    pub throughput_rps: f64,
+    /// Time since the engine started.
+    pub uptime: Duration,
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} req ({} computed, {:.1}% cache hits) | p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms | {:.1} req/s | mean batch {:.2}",
+            self.requests,
+            self.computed,
+            self.cache_hit_rate * 100.0,
+            self.p50_us as f64 / 1000.0,
+            self.p95_us as f64 / 1000.0,
+            self.p99_us as f64 / 1000.0,
+            self.throughput_rps,
+            self.mean_batch_size,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = StatsInner::new();
+        for us in 1..=100u64 {
+            s.record_request(Duration::from_micros(us), false);
+        }
+        let snap = s.snapshot(Duration::from_secs(1));
+        assert_eq!(snap.p50_us, 50);
+        assert_eq!(snap.p95_us, 95);
+        assert_eq!(snap.p99_us, 99);
+        assert_eq!(snap.requests, 100);
+        assert!((snap.throughput_rps - 100.0).abs() < 1e-9);
+        assert!((snap.mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_rate_counts() {
+        let mut s = StatsInner::new();
+        s.record_request(Duration::from_micros(5), true);
+        s.record_request(Duration::from_micros(5), false);
+        s.record_computed();
+        let snap = s.snapshot(Duration::from_millis(10));
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.computed, 1);
+        assert!((snap.cache_hit_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let snap = StatsInner::new().snapshot(Duration::ZERO);
+        assert_eq!(snap.p50_us, 0);
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.cache_hit_rate, 0.0);
+        assert_eq!(snap.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let mut s = StatsInner::new();
+        for i in 0..(RING as u64 + 100) {
+            s.record_request(Duration::from_micros(i), false);
+        }
+        assert_eq!(s.ring.len(), RING);
+        // the oldest 100 samples were overwritten: min is now >= 100 or a
+        // wrapped recent value, so p50 reflects recent traffic
+        let snap = s.snapshot(Duration::from_secs(1));
+        assert!(snap.p50_us > 0);
+    }
+
+    #[test]
+    fn batch_factor() {
+        let mut s = StatsInner::new();
+        s.record_batch(1);
+        s.record_batch(7);
+        let snap = s.snapshot(Duration::from_secs(1));
+        assert!((snap.mean_batch_size - 4.0).abs() < 1e-12);
+    }
+}

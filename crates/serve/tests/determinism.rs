@@ -1,0 +1,64 @@
+//! Property: serving is a transparent wrapper — for random designs, any
+//! worker count and any cache state, [`ServeHandle::predict`] returns
+//! predictions bitwise-identical to a direct [`Lhnn::predict`] call.
+
+use std::sync::Arc;
+
+use lh_graph::FeatureSet;
+use lhnn::{GraphOps, Lhnn, LhnnConfig};
+use lhnn_serve::{EngineConfig, ModelRegistry, PredictRequest, ServeEngine};
+use proptest::prelude::*;
+
+fn design(seed: u64, n_cells: usize, grid: u32) -> (Arc<GraphOps>, Arc<FeatureSet>) {
+    let (ops, features) = lhnn_data::serving_inputs(seed, n_cells, grid).expect("build design");
+    (Arc::new(ops), Arc::new(features))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Cold cache, warm cache and every worker count agree bitwise with
+    /// the direct forward.
+    #[test]
+    fn served_prediction_is_bitwise_identical(
+        design_seed in 0u64..1000,
+        model_seed in 0u64..1000,
+        n_cells in 60usize..140,
+        grid in 6u32..10,
+        workers in 1usize..5,
+        cache_capacity in 0usize..8,
+    ) {
+        let (ops, features) = design(design_seed, n_cells, grid);
+        let model = Lhnn::new(LhnnConfig::default(), model_seed);
+        let direct = model.predict(&ops, &features);
+
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register("m", model).expect("register");
+        let engine = ServeEngine::new(
+            registry,
+            EngineConfig { workers, cache_capacity, ..Default::default() },
+        );
+        let handle = engine.handle();
+        let req = PredictRequest::new("m", ops, features);
+
+        // cold (computed) and repeated (cached when capacity > 0) replies
+        let cold = handle.predict(&req).expect("cold predict");
+        let warm = handle.predict(&req).expect("warm predict");
+        prop_assert!(!cold.cached);
+        prop_assert_eq!(warm.cached, cache_capacity > 0);
+        for reply in [&cold, &warm] {
+            // tolerance 0.0 = bitwise equality
+            prop_assert!(direct.cls_prob.approx_eq(&reply.prediction.cls_prob, 0.0));
+            prop_assert!(direct.reg.approx_eq(&reply.prediction.reg, 0.0));
+        }
+
+        // a concurrent burst through the pool agrees too
+        let replies = handle.predict_batch(&vec![req; 4]);
+        for reply in replies {
+            let reply = reply.expect("batch predict");
+            prop_assert!(direct.cls_prob.approx_eq(&reply.prediction.cls_prob, 0.0));
+            prop_assert!(direct.reg.approx_eq(&reply.prediction.reg, 0.0));
+        }
+        engine.shutdown();
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`nn`] — the `neurograd` deep-learning substrate,
 //! * [`model`] — the LHNN architecture and training (paper §4),
 //! * [`baselines`] — MLP / U-Net / Pix2Pix comparators (paper §5),
-//! * [`data`] — dataset assembly and the experiment harness.
+//! * [`data`] — dataset assembly and the experiment harness,
+//! * [`serve`] — the batched, multi-threaded inference engine (model
+//!   registry, worker pool, LRU prediction cache).
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@ pub use lh_graph as graph;
 pub use lhnn as model;
 pub use lhnn_baselines as baselines;
 pub use lhnn_data as data;
+pub use lhnn_serve as serve;
 pub use neurograd as nn;
 pub use vlsi_netlist as netlist;
 pub use vlsi_place as place;
