@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks for the parallel kernel backend: the same
+//! matmul/spmm workload at 1 compute thread vs 4, isolating pool speedup.
+//! Results are bitwise identical across the sweep (`neurograd::kernels`
+//! determinism contract), so only scheduling differs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurograd::{pool, CsrMatrix, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .expect("sized")
+}
+
+fn bench_matmul_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_matmul");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = random_matrix(8192, 64, &mut rng);
+    let b = random_matrix(64, 64, &mut rng);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("8192x64x64", threads), &threads, |bench, &t| {
+            pool::configure_threads(t);
+            bench.iter(|| a.matmul(&b));
+        });
+    }
+    group.finish();
+    pool::configure_threads(1);
+}
+
+fn bench_spmm_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_spmm");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(1);
+    let rows = 8192usize;
+    let triplets: Vec<(usize, usize, f32)> =
+        (0..rows).flat_map(|r| [1usize, 7, 63, 64].map(|d| (r, (r + d) % rows, 0.25))).collect();
+    let s = CsrMatrix::from_triplets(rows, rows, &triplets);
+    let _ = s.transpose_cached(); // exclude the one-time transpose build
+    let x = random_matrix(rows, 32, &mut rng);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("spmm_4nnz_x32", threads),
+            &threads,
+            |bench, &t| {
+                pool::configure_threads(t);
+                bench.iter(|| s.spmm(&x));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("spmm_t_4nnz_x32", threads),
+            &threads,
+            |bench, &t| {
+                pool::configure_threads(t);
+                bench.iter(|| s.spmm_t(&x));
+            },
+        );
+    }
+    group.finish();
+    pool::configure_threads(1);
+}
+
+criterion_group!(benches, bench_matmul_threads, bench_spmm_threads);
+criterion_main!(benches);

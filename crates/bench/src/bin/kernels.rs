@@ -1,0 +1,195 @@
+//! Kernel-level scaling harness: 1-thread vs N-thread wall clock for the
+//! hot compute kernels (dense matmul, sparse spmm/spmm_t) and for one full
+//! data-parallel training epoch.
+//!
+//! The parallel backend is bitwise deterministic at any thread count (see
+//! `neurograd::kernels`), so the two columns of every row compute the
+//! *identical* result — the table isolates pure scheduling speedup.
+//!
+//! ```text
+//! cargo run --release -p lhnn-bench --bin kernels [-- --threads N --out DIR]
+//! ```
+//!
+//! Writes `kernels.csv` plus the machine-readable perf-trajectory artifact
+//! `BENCH_kernels.json` under the output directory.
+
+use std::path::Path;
+use std::time::Instant;
+
+use lh_graph::{FeatureSet, LhGraph, LhGraphConfig, Targets};
+use lhnn::{AblationSpec, Lhnn, LhnnConfig, Sample, TrainConfig};
+use lhnn_bench::HarnessArgs;
+use lhnn_data::{write_bench_json, BenchRecord, TextTable};
+use neurograd::{pool, CsrMatrix, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vlsi_netlist::synth::{generate, SynthConfig};
+use vlsi_place::GlobalPlacer;
+use vlsi_route::{route, RouterConfig};
+
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    // warm-up + best of 3
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1000.0);
+    }
+    best
+}
+
+/// Times `f` at 1 compute thread and again at `threads`.
+fn scale_ms(threads: usize, mut f: impl FnMut()) -> (f64, f64) {
+    pool::configure_threads(1);
+    let ms_1t = time_ms(&mut f);
+    pool::configure_threads(threads);
+    let ms_nt = time_ms(&mut f);
+    (ms_1t, ms_nt)
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .expect("sized")
+}
+
+/// A lattice-like CSR operator: `rows × rows`, ~4 entries per row.
+fn lattice_like(rows: usize) -> CsrMatrix {
+    let mut triplets = Vec::with_capacity(rows * 4);
+    for r in 0..rows {
+        for d in [1usize, 7, 63, 64] {
+            triplets.push((r, (r + d) % rows, 0.25));
+        }
+    }
+    CsrMatrix::from_triplets(rows, rows, &triplets)
+}
+
+/// One synthetic training sample (same recipe as the trainer tests, sized
+/// for measurable epoch work).
+fn training_sample(seed: u64, grid: u32) -> Sample {
+    let cfg = SynthConfig {
+        name: format!("kbench{seed}"),
+        seed,
+        n_cells: (grid * grid) as usize,
+        grid_nx: grid,
+        grid_ny: grid,
+        ..SynthConfig::default()
+    };
+    let synth = generate(&cfg).expect("generate");
+    let g = cfg.grid();
+    let placed = GlobalPlacer::default().place_synth(&synth, &g).expect("place");
+    let routed =
+        route(&synth.circuit, &placed.placement, &g, &synth.macro_rects, &RouterConfig::default())
+            .expect("route");
+    let graph = LhGraph::build(&synth.circuit, &placed.placement, &g, &LhGraphConfig::default())
+        .expect("graph");
+    let features = FeatureSet::build(&graph, &synth.circuit, &placed.placement, &g)
+        .expect("features")
+        .normalized();
+    Sample { name: cfg.name, graph, features, targets: Targets::from_labels(&routed.labels) }
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let threads = raw
+        .windows(2)
+        .find(|w| w[0] == "--threads")
+        .and_then(|w| w[1].parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get).min(4)
+        })
+        .max(2);
+
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "host parallelism: {host} (expect ~min(threads, host)x scaling; \
+         on a 1-core host the columns measure pure dispatch overhead)"
+    );
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut records: Vec<BenchRecord> = Vec::new();
+
+    // dense matmul: LHNN-shaped (tall × hidden-sized) products
+    for rows in [4096usize, 16384] {
+        let a = random_matrix(rows, 64, &mut rng);
+        let b = random_matrix(64, 64, &mut rng);
+        let (ms_1t, ms_nt) = scale_ms(threads, || {
+            std::hint::black_box(a.matmul(&b));
+        });
+        records.push(BenchRecord { name: format!("matmul_{rows}x64x64"), ms_1t, ms_nt });
+    }
+
+    // sparse spmm / spmm_t: lattice-like aggregation over 32 channels
+    for rows in [4096usize, 16384] {
+        let s = lattice_like(rows);
+        let x = random_matrix(rows, 32, &mut rng);
+        let (ms_1t, ms_nt) = scale_ms(threads, || {
+            std::hint::black_box(s.spmm(&x));
+        });
+        records.push(BenchRecord { name: format!("spmm_{rows}x{rows}x32"), ms_1t, ms_nt });
+        let _ = s.transpose_cached(); // warm: measure the product, not the build
+        let (ms_1t, ms_nt) = scale_ms(threads, || {
+            std::hint::black_box(s.spmm_t(&x));
+        });
+        records.push(BenchRecord { name: format!("spmm_t_{rows}x{rows}x32"), ms_1t, ms_nt });
+    }
+
+    // one full data-parallel training epoch over the synthetic suite
+    let n_samples = threads.max(4);
+    eprintln!("building {n_samples} training designs for the epoch benchmark...");
+    let samples: Vec<Sample> = (0..n_samples as u64).map(|s| training_sample(s, 16)).collect();
+    let epoch = |train_threads: usize| {
+        let cfg = TrainConfig {
+            epochs: 1,
+            threads: train_threads,
+            batch_size: n_samples,
+            ..Default::default()
+        };
+        let mut model = Lhnn::new(LhnnConfig::default(), 0);
+        lhnn::train(&mut model, &samples, &AblationSpec::full(), &cfg)
+    };
+    pool::configure_threads(1);
+    let hist_1t = epoch(1);
+    let ms_1t = time_ms(|| {
+        std::hint::black_box(epoch(1));
+    });
+    pool::configure_threads(threads);
+    let hist_nt = epoch(threads);
+    let ms_nt = time_ms(|| {
+        std::hint::black_box(epoch(threads));
+    });
+    assert_eq!(
+        hist_1t.epoch_loss, hist_nt.epoch_loss,
+        "parallel epoch must reproduce the serial loss exactly"
+    );
+    records.push(BenchRecord {
+        name: format!("train_epoch_{n_samples}designs_16x16"),
+        ms_1t,
+        ms_nt,
+    });
+
+    let mut table = TextTable::new(&["kernel", "1T (ms)", &format!("{threads}T (ms)"), "speedup"]);
+    for r in &records {
+        println!(
+            "{}: {:.2} ms -> {:.2} ms at {threads} threads ({:.2}x)",
+            r.name,
+            r.ms_1t,
+            r.ms_nt,
+            r.speedup()
+        );
+        table.add_row(vec![
+            r.name.clone(),
+            format!("{:.2}", r.ms_1t),
+            format!("{:.2}", r.ms_nt),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    println!("\nKernel scaling (1 thread vs {threads}; identical bitwise results):");
+    println!("{}", table.render());
+    let out_dir = Path::new(&args.out_dir);
+    table.write_csv(&out_dir.join("kernels.csv")).expect("write csv");
+    write_bench_json(&out_dir.join("BENCH_kernels.json"), "kernels", threads, &records)
+        .expect("write json");
+    println!("wrote {}/kernels.csv and {}/BENCH_kernels.json", args.out_dir, args.out_dir);
+}

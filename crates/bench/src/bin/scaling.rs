@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use lh_graph::{ChannelMode, FeatureSet, LhGraph, LhGraphConfig, Targets};
-use lhnn::{AblationSpec, GraphOps, Lhnn, LhnnConfig, Sample};
+use lhnn::{train, AblationSpec, GraphOps, Lhnn, LhnnConfig, Sample, TrainConfig};
 use lhnn_baselines::{ImageModel, ImageSample, UNetModel};
 use lhnn_bench::HarnessArgs;
 use lhnn_data::TextTable;
@@ -70,6 +70,10 @@ fn main() {
             std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get).min(4)
         })
         .max(1);
+    // Pin the intra-op pool to one lane so the worker-pool columns keep
+    // measuring request-level parallelism; the epoch columns re-widen it
+    // explicitly. Kernel results are bitwise identical either way.
+    neurograd::pool::configure_threads(1);
     let mut table = TextTable::new(&[
         "G-cells",
         "#cells",
@@ -79,6 +83,9 @@ fn main() {
         "lhnn 1T (ms)",
         &format!("lhnn {threads}T (ms)"),
         "pool speedup",
+        "epoch 1T (ms)",
+        &format!("epoch {threads}T (ms)"),
+        "epoch speedup",
         "unet (ms)",
         "router/lhnn",
     ]);
@@ -148,6 +155,19 @@ fn main() {
         let serve_1t_ms = serve_burst_ms(&ops, &variants, 1);
         let serve_nt_ms = serve_burst_ms(&ops, &variants, threads);
         let speedup = serve_1t_ms / serve_nt_ms.max(1e-9);
+        // One training epoch (forward + backward + Adam step) on this
+        // design, intra-op serial vs the pooled kernels.
+        let epoch_samples = [sample.clone()];
+        let epoch_cfg = TrainConfig { epochs: 1, ..Default::default() };
+        let run_epoch = || {
+            let mut model = Lhnn::new(LhnnConfig::default(), 0);
+            train(&mut model, &epoch_samples, &AblationSpec::full(), &epoch_cfg);
+        };
+        let epoch_1t_ms = time_ms(run_epoch);
+        neurograd::pool::configure_threads(threads);
+        let epoch_nt_ms = time_ms(run_epoch);
+        neurograd::pool::configure_threads(1);
+        let epoch_speedup = epoch_1t_ms / epoch_nt_ms.max(1e-9);
         let unet = UNetModel::new(4, 1, 8, 0);
         let img = ImageSample::from_node_major(
             cfg.name.clone(),
@@ -160,7 +180,7 @@ fn main() {
             unet.predict(&img);
         });
         println!(
-            "grid {grid}x{grid}: route {route_ms:.1} ms, rudy {rudy_ms:.2} ms, lhnn {lhnn_ms:.1} ms (pool {serve_1t_ms:.1} -> {serve_nt_ms:.1} ms/req at {threads}T, {speedup:.2}x), unet {unet_ms:.1} ms"
+            "grid {grid}x{grid}: route {route_ms:.1} ms, rudy {rudy_ms:.2} ms, lhnn {lhnn_ms:.1} ms (pool {serve_1t_ms:.1} -> {serve_nt_ms:.1} ms/req at {threads}T, {speedup:.2}x; epoch {epoch_1t_ms:.1} -> {epoch_nt_ms:.1} ms, {epoch_speedup:.2}x), unet {unet_ms:.1} ms"
         );
         table.add_row(vec![
             (grid * grid).to_string(),
@@ -171,6 +191,9 @@ fn main() {
             format!("{serve_1t_ms:.1}"),
             format!("{serve_nt_ms:.1}"),
             format!("{speedup:.2}x"),
+            format!("{epoch_1t_ms:.1}"),
+            format!("{epoch_nt_ms:.1}"),
+            format!("{epoch_speedup:.2}x"),
             format!("{unet_ms:.1}"),
             format!("{:.1}x", route_ms / lhnn_ms.max(1e-9)),
         ]);

@@ -122,19 +122,32 @@ pub fn train(args: &Args) -> CmdResult {
     let epochs = args.num("epochs", 60usize);
     let seed = args.num("seed", 0u64);
     let out = args.get("out", "model.lhnn");
+    // --threads 0 (the default) inherits the process-wide compute pool;
+    // batch defaults to 1 (the paper's per-sample stepping) so --threads
+    // alone never changes the optimisation trajectory; --batch opts into
+    // gradient accumulation, which the threads then shard.
+    let threads = args.num("threads", 0usize);
+    let batch_size = args.num("batch", 1usize).max(1);
     eprintln!("building training suite (scale {scale})...");
     let ds = DatasetConfig { scale, ..Default::default() };
     let prep = PreparedDataset::build(&ds)?;
     let train_set = prep.train_samples();
     let test_set = prep.test_samples();
-    let mut model =
-        Lhnn::new(LhnnConfig { channel_mode: ChannelMode::Uni, ..Default::default() }, seed);
-    eprintln!(
-        "training {} parameters for {epochs} epochs on {} designs...",
-        model.num_parameters(),
-        train_set.len()
+    let mut model = Lhnn::new(
+        LhnnConfig { channel_mode: ChannelMode::Uni, threads, ..Default::default() },
+        seed,
     );
-    let cfg = TrainConfig { epochs, seed, ..Default::default() };
+    // the pool width comes from the model's config knob, not the raw flag
+    model.configure_pool();
+    eprintln!(
+        "training {} parameters for {epochs} epochs on {} designs \
+         ({} data-parallel threads, batch {batch_size})...",
+        model.num_parameters(),
+        train_set.len(),
+        threads.max(1)
+    );
+    let cfg =
+        TrainConfig { epochs, seed, threads: threads.max(1), batch_size, ..Default::default() };
     let history = train_model(&mut model, &train_set, &AblationSpec::full(), &cfg);
     let eval = evaluate(&model, &test_set, &AblationSpec::full());
     println!(
@@ -153,6 +166,7 @@ pub fn train(args: &Args) -> CmdResult {
 pub fn predict(args: &Args) -> CmdResult {
     let model_path = args.opt("model").ok_or("missing --model")?;
     let threshold = args.num("threshold", 0.5f32);
+    let compute_threads = args.num("threads", 0usize);
     let (circuit, placement) = load_design(args)?;
     let grid = grid_for(args, &circuit);
     let graph = LhGraph::build(&circuit, &placement, &grid, &LhGraphConfig::default())?;
@@ -168,7 +182,7 @@ pub fn predict(args: &Args) -> CmdResult {
     registry.load_file("default", model_path)?;
     let engine = ServeEngine::new(
         Arc::clone(&registry),
-        EngineConfig { workers: 1, ..EngineConfig::default() },
+        EngineConfig { workers: 1, compute_threads, ..EngineConfig::default() },
     );
     let handle = engine.handle();
     let request = PredictRequest::new("default", Arc::new(ops), Arc::clone(&features))
@@ -230,12 +244,13 @@ fn drive_engine(
     requests: usize,
     cache_capacity: usize,
     threshold: f32,
+    compute_threads: usize,
 ) -> Result<(f64, lhnn_serve::ServeStats), Box<dyn Error>> {
     let registry = Arc::new(ModelRegistry::new());
     registry.register("default", Lhnn::new(LhnnConfig::default(), 0))?;
     let engine = ServeEngine::new(
         registry,
-        EngineConfig { workers, cache_capacity, ..EngineConfig::default() },
+        EngineConfig { workers, cache_capacity, compute_threads, ..EngineConfig::default() },
     );
     let handle = engine.handle();
     let start = std::time::Instant::now();
@@ -277,6 +292,10 @@ pub fn serve_bench(args: &Args) -> CmdResult {
     let grid = args.num("grid", 12u32);
     let cache = args.num("cache", 128usize);
     let threshold = args.num("threshold", 0.5f32);
+    let compute_threads = args.num("threads", 0usize);
+    if compute_threads > 0 {
+        neurograd::pool::configure_threads(compute_threads);
+    }
 
     eprintln!("preparing {designs_n} synthetic designs ({cells} cells, {grid}x{grid} g-cells)...");
     let designs: Result<Vec<_>, _> =
@@ -286,12 +305,19 @@ pub fn serve_bench(args: &Args) -> CmdResult {
     println!(
         "workload: {requests} requests over {designs_n} designs, {clients} client threads, cache {cache}"
     );
+    println!(
+        "compute pool: {} intra-op threads, shared by all {workers} workers \
+         (host parallelism {}; kernels are bitwise thread-count-invariant)",
+        neurograd::pool::current_threads(),
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
     let mut baseline_rps = 0.0;
     for (label, w, cache_cap) in [
         ("1 worker, cold cache", 1, 0),
         (&format!("{workers} workers, cold cache")[..], workers, 0),
     ] {
-        let (elapsed, stats) = drive_engine(&designs, w, clients, requests, cache_cap, threshold)?;
+        let (elapsed, stats) =
+            drive_engine(&designs, w, clients, requests, cache_cap, threshold, compute_threads)?;
         let rps = requests as f64 / elapsed.max(1e-9);
         if w == 1 {
             baseline_rps = rps;
@@ -307,7 +333,8 @@ pub fn serve_bench(args: &Args) -> CmdResult {
         }
     }
     // Warm-cache pass: every design repeats, so hits dominate.
-    let (elapsed, stats) = drive_engine(&designs, workers, clients, requests, cache, threshold)?;
+    let (elapsed, stats) =
+        drive_engine(&designs, workers, clients, requests, cache, threshold, compute_threads)?;
     println!(
         "  {:<24} {elapsed:>7.2}s  {:>8.1} req/s  cache hit rate {:.1}% ({} of {} served from cache)",
         format!("{workers} workers, LRU cache"),

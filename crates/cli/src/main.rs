@@ -24,15 +24,22 @@ USAGE:
       netlist statistics (degree histogram, Rent exponent)
   lhnn route --dir DIR --design NAME --grid G [--tracks T] [--pgm PREFIX]
       global-route a placed Bookshelf design, print congestion stats
-  lhnn train [--scale F] [--epochs N] [--seed S] --out MODEL
-      train LHNN on the synthetic suite, save the model
-  lhnn predict --model MODEL --dir DIR --design NAME --grid G [--threshold T] [--compare] [--pgm FILE]
+  lhnn train [--scale F] [--epochs N] [--seed S] [--threads N] [--batch B] --out MODEL
+      train LHNN on the synthetic suite, save the model. --batch B (default
+      1 = the paper's per-sample stepping) accumulates gradients over B
+      samples per optimiser step; --threads N shards each batch across N
+      workers — for a given --batch the loss trajectory is bitwise
+      identical at any thread count
+  lhnn predict --model MODEL --dir DIR --design NAME --grid G [--threshold T]
+               [--threads N] [--compare] [--pgm FILE]
       predict a congestion map for a placed design (served through the
-      inference engine; --threshold sets the congestion cutoff, default 0.5)
+      inference engine; --threshold sets the congestion cutoff, default 0.5;
+      --threads sets the intra-op compute-pool width)
   lhnn serve-bench [--designs N] [--requests N] [--workers N] [--clients N]
-                   [--cells N] [--grid G] [--cache N] [--threshold T]
+                   [--cells N] [--grid G] [--cache N] [--threshold T] [--threads N]
       drive synthetic designs through the lhnn-serve engine and report
-      latency percentiles, throughput, parallel speedup and cache hit rate
+      latency percentiles, throughput, parallel speedup, cache hit rate and
+      the shared intra-op compute-pool configuration
 ";
 
 fn main() {

@@ -24,6 +24,17 @@ pub struct LhnnConfig {
     pub gnet_in_dim: usize,
     /// Output channels: uni (1) or duo (2).
     pub channel_mode: ChannelMode,
+    /// Requested intra-op compute threads for this model's forwards
+    /// (0 = use the process-wide pool as configured).
+    ///
+    /// A runtime knob, not architecture: it is excluded from the
+    /// serialised checkpoint format and from
+    /// [`Lhnn::weights_fingerprint`](crate::Lhnn::weights_fingerprint),
+    /// and — because the kernel backend is bitwise thread-count-invariant —
+    /// it never changes any prediction. Applied through
+    /// [`Lhnn::configure_pool`](crate::Lhnn::configure_pool) by the CLI
+    /// after construction and by the serving registry on registration.
+    pub threads: usize,
 }
 
 impl Default for LhnnConfig {
@@ -36,6 +47,7 @@ impl Default for LhnnConfig {
             gcell_in_dim: 4,
             gnet_in_dim: 4,
             channel_mode: ChannelMode::Uni,
+            threads: 0,
         }
     }
 }
@@ -141,6 +153,17 @@ pub struct TrainConfig {
     /// `[featuregen, hypermp, latticemp]` (paper: {6, 3, 2}); `None` trains
     /// full-graph.
     pub fanouts: Option<[usize; 3]>,
+    /// Samples per optimiser step. 1 (the default) is the paper's
+    /// per-design stepping; larger values accumulate gradients over a
+    /// mini-batch before stepping — the unit the data-parallel trainer
+    /// shards across threads.
+    pub batch_size: usize,
+    /// Worker threads for data-parallel gradient computation (1 = serial).
+    ///
+    /// Per-sample gradients are reduced in fixed sample order regardless
+    /// of thread count, so for a given `batch_size` the training
+    /// trajectory is bitwise identical at any `threads` value.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -153,6 +176,8 @@ impl Default for TrainConfig {
             grad_clip: 5.0,
             seed: 0,
             fanouts: None,
+            batch_size: 1,
+            threads: 1,
         }
     }
 }

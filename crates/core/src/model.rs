@@ -236,9 +236,22 @@ impl InferenceScratch {
         Self::default()
     }
 
+    /// Creates a scratch buffer pre-reserved for `nodes` tape operations
+    /// (and their value/gradient buffers), so even the first forward on
+    /// this scratch avoids re-growing the node vector.
+    pub fn with_capacity(nodes: usize) -> Self {
+        Self { tape: Tape::with_capacity(nodes) }
+    }
+
     /// Number of tape nodes currently allocated (capacity diagnostics).
     pub fn tape_len(&self) -> usize {
         self.tape.len()
+    }
+
+    /// Number of recycled buffers pooled in the scratch tape (diagnostics;
+    /// non-zero after the first cleared forward).
+    pub fn pooled_buffers(&self) -> usize {
+        self.tape.pooled_buffers()
     }
 }
 
@@ -300,6 +313,16 @@ impl Lhnn {
     /// Number of scalar parameters.
     pub fn num_parameters(&self) -> usize {
         self.store.num_scalars()
+    }
+
+    /// Applies this model's [`LhnnConfig::threads`] request to the shared
+    /// compute pool (no-op when the knob is 0 or the pool already has that
+    /// width). Called by the CLI after constructing a model and by the
+    /// serving registry when a model is registered.
+    pub fn configure_pool(&self) {
+        if self.cfg.threads > 0 {
+            neurograd::pool::configure_threads(self.cfg.threads);
+        }
     }
 
     /// Runs the forward pass on a tape.
@@ -449,6 +472,22 @@ mod tests {
         let id = c.store().id_at(0);
         c.store_mut().param_mut(id).value.as_mut_slice()[0] += 1.0;
         assert_ne!(a.weights_fingerprint(), c.weights_fingerprint());
+    }
+
+    #[test]
+    fn threads_knob_changes_neither_fingerprint_nor_predictions() {
+        let (ops, feats) = sample();
+        let base = Lhnn::new(LhnnConfig::default(), 2);
+        let threaded = Lhnn::new(LhnnConfig { threads: 4, ..Default::default() }, 2);
+        assert_eq!(
+            base.weights_fingerprint(),
+            threaded.weights_fingerprint(),
+            "threads is a runtime knob, not architecture"
+        );
+        let a = base.predict(&ops, &feats);
+        let b = threaded.predict(&ops, &feats);
+        assert!(a.cls_prob.approx_eq(&b.cls_prob, 0.0));
+        assert!(a.reg.approx_eq(&b.reg, 0.0));
     }
 
     #[test]

@@ -81,6 +81,20 @@ impl GraphOps {
         h.finish()
     }
 
+    /// Pre-computes the cached CSR transpose of every operator.
+    ///
+    /// Backward passes apply `Sᵀ` for each `spmm` recorded on the tape;
+    /// with the caches warm (they live inside the shared `Arc<CsrMatrix>`,
+    /// so clones of this `GraphOps` benefit too) no training step ever
+    /// rebuilds a transpose. Warming is invisible to results and to
+    /// [`GraphOps::fingerprint`].
+    pub fn warm_transpose_caches(&self) {
+        let _ = self.gnc_sum.transpose_cached();
+        let _ = self.gnc_mean.transpose_cached();
+        let _ = self.gcn_mean.transpose_cached();
+        let _ = self.lattice_mean.transpose_cached();
+    }
+
     /// Returns a copy with each relation subsampled to the given fanouts
     /// `[featuregen, hypermp, latticemp]` (the paper's {6, 3, 2}).
     ///
@@ -249,6 +263,31 @@ mod tests {
         }
         let mean = total / trials as f32;
         assert!((mean - 4.0).abs() < 0.2, "mean = {mean}");
+    }
+
+    #[test]
+    fn transpose_warmup_is_invisible_to_fingerprint_and_spmm_t() {
+        use neurograd::Matrix;
+        let g = graph();
+        let ops = GraphOps::from_graph(&g, &AblationSpec::full());
+        let fp_cold = ops.fingerprint();
+        let x = Matrix::from_vec(
+            ops.gnc_sum.rows(),
+            2,
+            (0..ops.gnc_sum.rows() * 2).map(|i| (i as f32).sin()).collect(),
+        )
+        .unwrap();
+        let scatter = neurograd::kernels::reference::spmm_t_scatter(&ops.gnc_sum, &x);
+        ops.warm_transpose_caches();
+        assert!(ops.gnc_sum.transpose_cache_warm());
+        assert!(ops.lattice_mean.transpose_cache_warm());
+        assert_eq!(fp_cold, ops.fingerprint(), "cache warming must not change the fingerprint");
+        // warm-path spmm_t is bitwise identical to the scatter reference
+        assert!(ops.gnc_sum.spmm_t(&x).approx_eq(&scatter, 0.0));
+        // clones share the warmed cache through the Arc'd operators
+        let clone = ops.clone();
+        assert!(clone.gcn_mean.transpose_cache_warm());
+        assert_eq!(fp_cold, clone.fingerprint());
     }
 
     #[test]

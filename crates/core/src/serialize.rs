@@ -152,6 +152,8 @@ impl Lhnn {
             gcell_in_dim: parse_usize(kv("gcell_in_dim")?, "gcell_in_dim")?,
             gnet_in_dim: parse_usize(kv("gnet_in_dim")?, "gnet_in_dim")?,
             channel_mode: parse_mode(&kv("channel_mode")?)?,
+            // runtime knob, not part of the `lhnn-model v1` format
+            threads: 0,
         };
         let count = parse_usize(kv("params")?, "params")?;
 

@@ -5,8 +5,21 @@
 //! protocol (Adam 2e-3 stepping down to 5e-4, γ-weighted joint loss);
 //! [`evaluate`] reports the paper's metrics — per-design F1 and accuracy
 //! averaged over a test set, with the zero-congestion ⇒ F1 = 0 convention.
+//!
+//! # Data-parallel training
+//!
+//! Each optimiser step covers a mini-batch of `TrainConfig::batch_size`
+//! samples (1 = the paper's per-design stepping). Per-sample forwards and
+//! backwards run on `TrainConfig::threads` shards of the batch, each shard
+//! owning a long-lived scratch [`Tape`]; per-sample gradients and losses
+//! are then reduced **sequentially in sample order** on the calling
+//! thread. Because the reduction order is fixed and the kernel backend is
+//! bitwise thread-count-invariant, `threads` never changes the training
+//! trajectory: for a given `batch_size`, any thread count reproduces the
+//! serial [`TrainHistory`] exactly (see `parallel_matches_serial_exactly`).
 
 use lh_graph::{ChannelMode, FeatureSet, LhGraph, Targets};
+use neurograd::tape::ParamId;
 use neurograd::{Adam, Confusion, Matrix, Optimizer, Tape};
 use serde::{Deserialize, Serialize};
 
@@ -59,11 +72,39 @@ pub struct EvalResult {
     pub designs: Vec<DesignEval>,
 }
 
+/// One shard of a mini-batch: a long-lived scratch tape plus the
+/// per-sample results it produced this step, in shard-local sample order.
+struct Shard {
+    tape: Tape,
+    results: Vec<(f32, Vec<(ParamId, Matrix)>)>,
+}
+
+/// Runs forward + backward for one sample on a scratch tape, returning the
+/// loss and the per-parameter gradients in tape (registration) order.
+fn sample_grads(
+    model: &Lhnn,
+    tape: &mut Tape,
+    ops: &GraphOps,
+    feats: &FeatureSet,
+    congestion: &Matrix,
+    demand: &Matrix,
+    gamma: f32,
+    jointing: bool,
+) -> (f32, Vec<(ParamId, Matrix)>) {
+    tape.clear();
+    let out = model.forward(tape, ops, feats);
+    let loss = joint_loss(tape, out.cls_logits, out.reg, congestion, demand, gamma, jointing);
+    let loss_value = tape.value(loss).item();
+    tape.backward(loss);
+    (loss_value, tape.take_param_grads())
+}
+
 /// Trains `model` on `samples` under an ablation spec.
 ///
 /// Applies the paper's learning-rate step (2e-3 → 5e-4 halfway), optional
 /// neighbour-sampling fanouts, gradient clipping and per-epoch shuffling.
-/// Deterministic for a fixed `cfg.seed`.
+/// Deterministic for a fixed `cfg.seed`, independent of `cfg.threads` (see
+/// the module docs).
 pub fn train(
     model: &mut Lhnn,
     samples: &[Sample],
@@ -71,11 +112,14 @@ pub fn train(
     cfg: &TrainConfig,
 ) -> TrainHistory {
     let mode = model.config().channel_mode;
-    // Pre-extract per-sample tensors (feature ablation applied once).
+    // Pre-extract per-sample tensors (feature ablation applied once) and
+    // warm the operators' transpose caches so no backward step rebuilds
+    // a CSR transpose.
     let prepared: Vec<(GraphOps, FeatureSet, Matrix, Matrix)> = samples
         .iter()
         .map(|s| {
             let ops = GraphOps::from_graph(&s.graph, ablation);
+            ops.warm_transpose_caches();
             let feats = if ablation.gcell_features {
                 s.features.clone()
             } else {
@@ -87,6 +131,14 @@ pub fn train(
         })
         .collect();
 
+    let threads = cfg.threads.max(1);
+    let batch_size = cfg.batch_size.max(1);
+    let pool = neurograd::pool::global();
+    // One scratch tape per shard, reused across steps and epochs: after
+    // the first step the forwards/backwards allocate (near) nothing.
+    let mut shards: Vec<Shard> =
+        (0..threads).map(|_| Shard { tape: Tape::new(), results: Vec::new() }).collect();
+
     let mut opt = Adam::new(cfg.lr);
     let mut history = TrainHistory::default();
     for epoch in 0..cfg.epochs {
@@ -96,31 +148,54 @@ pub fn train(
         let mut rng = epoch_rng(cfg.seed, epoch);
         let order = shuffled_indices(prepared.len(), &mut rng);
         let mut epoch_loss = 0.0f32;
-        for &i in &order {
-            let (ops, feats, congestion, demand) = &prepared[i];
-            let ops_used = match cfg.fanouts {
-                Some(fanouts) => ops.sampled(fanouts, &mut rng),
-                None => ops.clone(),
-            };
-            let mut tape = Tape::new();
-            let out = model.forward(&mut tape, &ops_used, feats);
-            let loss = joint_loss(
-                &mut tape,
-                out.cls_logits,
-                out.reg,
-                congestion,
-                demand,
-                cfg.gamma,
-                ablation.jointing,
-            );
-            epoch_loss += tape.value(loss).item();
-            tape.backward(loss);
-            model.store_mut().absorb_grads(&mut tape);
-            if cfg.grad_clip > 0.0 {
-                model.store_mut().clip_grad_norm(cfg.grad_clip);
+        for step in order.chunks(batch_size) {
+            // Phase 1 (sequential): neighbour sampling consumes the epoch
+            // RNG in sample order, so the stream is thread-count-invariant.
+            let step_ops: Vec<GraphOps> = step
+                .iter()
+                .map(|&i| match cfg.fanouts {
+                    Some(fanouts) => prepared[i].0.sampled(fanouts, &mut rng),
+                    None => prepared[i].0.clone(),
+                })
+                .collect();
+            // Phase 2 (parallel): per-sample forward/backward over
+            // contiguous shards of the batch, one scratch tape per shard.
+            let ranges = neurograd::pool::chunk_ranges(step.len(), 1, threads);
+            let used = ranges.len();
+            let model_ref: &Lhnn = model;
+            pool.run_mut(&mut shards[..used], |s, shard| {
+                shard.results.clear();
+                for pos in ranges[s].clone() {
+                    let (_, feats, congestion, demand) = &prepared[step[pos]];
+                    shard.results.push(sample_grads(
+                        model_ref,
+                        &mut shard.tape,
+                        &step_ops[pos],
+                        feats,
+                        congestion,
+                        demand,
+                        cfg.gamma,
+                        ablation.jointing,
+                    ));
+                }
+            });
+            // Phase 3 (sequential): fixed-order reduction — losses and
+            // gradients accumulate in sample order whatever the shard
+            // count, making the step bitwise reproducible.
+            let store = model.store_mut();
+            for shard in &mut shards[..used] {
+                for (loss, grads) in shard.results.drain(..) {
+                    epoch_loss += loss;
+                    for (id, grad) in grads {
+                        store.param_mut(id).grad.add_scaled_inplace(&grad, 1.0);
+                    }
+                }
             }
-            opt.step(model.store_mut());
-            model.store_mut().zero_grad();
+            if cfg.grad_clip > 0.0 {
+                store.clip_grad_norm(cfg.grad_clip);
+            }
+            opt.step(store);
+            store.zero_grad();
         }
         history.epoch_loss.push(epoch_loss / prepared.len().max(1) as f32);
     }
@@ -312,6 +387,44 @@ mod tests {
         let after = evaluate_regression(&model, &samples, &AblationSpec::full());
         assert!(after.rmse < before.rmse, "rmse {} -> {}", before.rmse, after.rmse);
         assert!(after.pearson > 0.5, "pearson too low: {}", after.pearson);
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        // The headline determinism guarantee: for a fixed batch size, the
+        // training trajectory is bitwise identical at any thread count.
+        let samples = vec![make_sample(20), make_sample(21), make_sample(22), make_sample(23)];
+        let run = |threads: usize, batch_size: usize, fanouts: Option<[usize; 3]>| {
+            let mut model = Lhnn::new(LhnnConfig::default(), 9);
+            let cfg = TrainConfig { epochs: 3, threads, batch_size, fanouts, ..Default::default() };
+            train(&mut model, &samples, &AblationSpec::full(), &cfg).epoch_loss
+        };
+        for batch_size in [1usize, 2, 4] {
+            let serial = run(1, batch_size, None);
+            for threads in [2usize, 3, 4] {
+                assert_eq!(
+                    serial,
+                    run(threads, batch_size, None),
+                    "threads={threads} batch={batch_size} diverged from serial"
+                );
+            }
+        }
+        // neighbour sampling consumes the RNG before the parallel phase,
+        // so sampled training is thread-count-invariant too
+        let serial_sampled = run(1, 2, Some([6, 3, 2]));
+        assert_eq!(serial_sampled, run(4, 2, Some([6, 3, 2])));
+    }
+
+    #[test]
+    fn batched_training_still_learns() {
+        let samples = vec![make_sample(24), make_sample(25)];
+        let mut model = Lhnn::new(LhnnConfig::default(), 0);
+        let cfg = TrainConfig { epochs: 10, batch_size: 2, threads: 2, ..Default::default() };
+        let hist = train(&mut model, &samples, &AblationSpec::full(), &cfg);
+        let first = hist.epoch_loss[0];
+        let last = *hist.epoch_loss.last().unwrap();
+        assert!(last < first, "batched loss did not fall: {first} -> {last}");
+        assert!(last.is_finite());
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub use dataset::{
     build_design, build_suite, serving_inputs, CapacityMode, DatasetConfig, DesignData, DesignStats,
 };
 pub use error::{DataError, Result};
-pub use report::{pct, pct1, TextTable};
+pub use report::{pct, pct1, write_bench_json, BenchRecord, TextTable};
 pub use runner::{
     ablation_study, evaluate_image_model, model_comparison, run_baseline_seed, run_lhnn_seed,
     run_model, table3_specs, AblationScore, ExperimentConfig, ModelKind, ModelScore,

@@ -114,9 +114,91 @@ impl TextTable {
     }
 }
 
+/// One serial-vs-parallel measurement of a bench harness.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Workload label (e.g. `matmul_4096x64x64`).
+    pub name: String,
+    /// Wall-clock milliseconds on 1 compute thread.
+    pub ms_1t: f64,
+    /// Wall-clock milliseconds on the configured thread count.
+    pub ms_nt: f64,
+}
+
+impl BenchRecord {
+    /// Parallel speedup `1T / NT`.
+    pub fn speedup(&self) -> f64 {
+        self.ms_1t / self.ms_nt.max(1e-9)
+    }
+}
+
+/// Writes a machine-readable `BENCH_*.json` perf-trajectory artifact
+/// (hand-rolled JSON — the workspace's serde is a compile-only stand-in).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_bench_json(
+    path: &Path,
+    bench: &str,
+    threads: usize,
+    records: &[BenchRecord],
+) -> Result<()> {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"{}\",", escape(bench));
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"ms_1t\": {:.4}, \"ms_nt\": {:.4}, \"speedup\": {:.3}}}{comma}",
+            escape(&r.name),
+            r.ms_1t,
+            r.ms_nt,
+            r.speedup()
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, out)?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let dir = std::env::temp_dir().join("lhnn_bench_json_test");
+        let path = dir.join("BENCH_kernels.json");
+        let records = vec![
+            BenchRecord { name: "matmul_2x2".into(), ms_1t: 2.0, ms_nt: 1.0 },
+            BenchRecord { name: "spmm \"odd\"".into(), ms_1t: 4.0, ms_nt: 2.0 },
+        ];
+        write_bench_json(&path, "kernels", 4, &records).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\": \"kernels\""));
+        assert!(text.contains("\"threads\": 4"));
+        assert!(text.contains("\"speedup\": 2.000"));
+        assert!(text.contains("spmm \\\"odd\\\""), "quotes must be escaped:\n{text}");
+        // crude balance check on the hand-rolled JSON
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_record_speedup() {
+        let r = BenchRecord { name: "x".into(), ms_1t: 3.0, ms_nt: 1.5 };
+        assert!((r.speedup() - 2.0).abs() < 1e-9);
+    }
 
     #[test]
     fn pct_formats_like_the_paper() {

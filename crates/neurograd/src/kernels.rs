@@ -1,0 +1,363 @@
+//! The compute backend: every dense and sparse kernel in one place.
+//!
+//! [`Matrix`], [`CsrMatrix`] and the [`Tape`](crate::tape::Tape) dispatch
+//! their hot loops through this module instead of open-coding them. Each
+//! kernel partitions its **output rows** (or element range) into contiguous
+//! chunks via [`pool::chunk_ranges`] and runs the chunks on the process
+//! pool ([`pool::global`]).
+//!
+//! # Determinism contract
+//!
+//! Per output row (or element) the arithmetic is the *same sequence of
+//! operations* as the serial reference in [`reference`], and chunks write
+//! disjoint slices — so results are **bitwise identical at any thread
+//! count**, including 1. The `parallel_kernels` property tests enforce
+//! this. `spmm_t` is computed as `spmm` of the (cached) explicit CSR
+//! transpose; because CSR entries are sorted and duplicate-free, the
+//! per-output-row accumulation order matches the scatter formulation
+//! exactly, so this too is bitwise-stable (and row-partitionable).
+//!
+//! Small operands run serially: chunking only engages when a chunk gets at
+//! least [`MIN_CHUNK_FLOPS`] worth of work, so tiny matrices skip the
+//! dispatch overhead entirely (with, by the contract above, no observable
+//! difference in results).
+
+use crate::matrix::Matrix;
+use crate::pool;
+use crate::sparse::CsrMatrix;
+
+/// Minimum per-chunk work (≈ multiply-adds) before a kernel parallelises.
+pub const MIN_CHUNK_FLOPS: usize = 16 * 1024;
+
+/// Minimum per-chunk element count for elementwise kernels.
+pub const MIN_CHUNK_ELEMS: usize = 4 * 1024;
+
+/// Raw mutable base pointer that may cross thread boundaries.
+///
+/// Only ever used to carve **disjoint** row/element ranges per chunk; the
+/// backing buffer outlives the pool call (which blocks until completion).
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// The base pointer (a method so closures capture the whole wrapper,
+    /// which is `Sync`, rather than the raw pointer field, which is not).
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Runs `per_row(r, out_row)` for every row, chunked over the pool.
+///
+/// `cost_per_row` is an estimate of multiply-adds per row used to pick the
+/// chunk size; correctness never depends on it.
+fn for_each_row(
+    out: &mut [f32],
+    rows: usize,
+    row_len: usize,
+    cost_per_row: usize,
+    per_row: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    debug_assert_eq!(out.len(), rows * row_len);
+    let min_rows = (MIN_CHUNK_FLOPS / cost_per_row.max(1)).max(1);
+    // Sub-threshold fast path: too small to ever split in two — run
+    // serially without touching the (locked) global pool at all.
+    if rows < 2 * min_rows {
+        for (r, out_row) in out.chunks_mut(row_len.max(1)).enumerate().take(rows) {
+            per_row(r, out_row);
+        }
+        return;
+    }
+    let pool = pool::global();
+    let ranges = pool::chunk_ranges(rows, min_rows, pool.threads());
+    if ranges.len() <= 1 {
+        for (r, out_row) in out.chunks_mut(row_len.max(1)).enumerate().take(rows) {
+            per_row(r, out_row);
+        }
+        return;
+    }
+    let base = SendPtr(out.as_mut_ptr());
+    pool.run(ranges.len(), &|ci| {
+        for r in ranges[ci].clone() {
+            // SAFETY: chunk ranges are disjoint and `out` outlives the
+            // blocking `run` call, so each row slice is exclusive.
+            let out_row =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(r * row_len), row_len) };
+            per_row(r, out_row);
+        }
+    });
+}
+
+/// Runs `per_elem` over disjoint element ranges, chunked over the pool.
+fn for_each_range(out: &mut [f32], per_range: impl Fn(usize, &mut [f32]) + Sync) {
+    let len = out.len();
+    // Sub-threshold fast path: skip the global-pool lookup entirely.
+    if len < 2 * MIN_CHUNK_ELEMS {
+        per_range(0, out);
+        return;
+    }
+    let pool = pool::global();
+    let ranges = pool::chunk_ranges(len, MIN_CHUNK_ELEMS, pool.threads());
+    if ranges.len() <= 1 {
+        per_range(0, out);
+        return;
+    }
+    let base = SendPtr(out.as_mut_ptr());
+    pool.run(ranges.len(), &|ci| {
+        let r = ranges[ci].clone();
+        // SAFETY: disjoint ranges of a buffer that outlives the call.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()) };
+        per_range(r.start, chunk);
+    });
+}
+
+// ---- dense kernels ----
+
+/// `out = a · b`, row-partitioned. `out` must be zeroed.
+///
+/// # Panics
+///
+/// Panics if `a.cols != b.rows` or `out` is missized.
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut [f32]) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(k, b.rows(), "matmul shape mismatch: {}x{} * {}x{}", m, k, b.rows(), b.cols());
+    assert_eq!(out.len(), m * n, "matmul output buffer mismatch");
+    let (a_data, b_data) = (a.as_slice(), b.as_slice());
+    for_each_row(out, m, n, k * n, |i, out_row| {
+        for (kk, &av) in a_data[i * k..(i + 1) * k].iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            for (o, &bv) in out_row.iter_mut().zip(&b_data[kk * n..(kk + 1) * n]) {
+                *o += av * bv;
+            }
+        }
+    });
+}
+
+/// `out = aᵀ · b` without materialising the transpose, row-partitioned
+/// over the `a.cols` output rows. `out` must be zeroed.
+///
+/// # Panics
+///
+/// Panics if `a.rows != b.rows` or `out` is missized.
+pub fn matmul_tn_into(a: &Matrix, b: &Matrix, out: &mut [f32]) {
+    let (rows, m) = a.shape();
+    let n = b.cols();
+    assert_eq!(
+        rows,
+        b.rows(),
+        "matmul_tn shape mismatch: ({}x{})^T * {}x{}",
+        rows,
+        m,
+        b.rows(),
+        b.cols()
+    );
+    assert_eq!(out.len(), m * n, "matmul_tn output buffer mismatch");
+    let (a_data, b_data) = (a.as_slice(), b.as_slice());
+    for_each_row(out, m, n, rows * n, |i, out_row| {
+        for k in 0..rows {
+            let av = a_data[k * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            for (o, &bv) in out_row.iter_mut().zip(&b_data[k * n..(k + 1) * n]) {
+                *o += av * bv;
+            }
+        }
+    });
+}
+
+/// `out = a · bᵀ` without materialising the transpose, row-partitioned.
+/// `out` may hold anything (rows are overwritten).
+///
+/// # Panics
+///
+/// Panics if `a.cols != b.cols` or `out` is missized.
+pub fn matmul_nt_into(a: &Matrix, b: &Matrix, out: &mut [f32]) {
+    let (m, k) = a.shape();
+    let n = b.rows();
+    assert_eq!(
+        k,
+        b.cols(),
+        "matmul_nt shape mismatch: {}x{} * ({}x{})^T",
+        m,
+        k,
+        b.rows(),
+        b.cols()
+    );
+    assert_eq!(out.len(), m * n, "matmul_nt output buffer mismatch");
+    let (a_data, b_data) = (a.as_slice(), b.as_slice());
+    for_each_row(out, m, n, k * n, |i, out_row| {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b_data[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    });
+}
+
+// ---- sparse kernels ----
+
+/// `out = s · x`, partitioned over the sparse rows. `out` must be zeroed.
+///
+/// # Panics
+///
+/// Panics if `s.cols != x.rows` or `out` is missized.
+pub fn spmm_into(s: &CsrMatrix, x: &Matrix, out: &mut [f32]) {
+    let rows = s.rows();
+    let n = x.cols();
+    assert_eq!(
+        s.cols(),
+        x.rows(),
+        "spmm shape mismatch: {}x{} * {}x{}",
+        rows,
+        s.cols(),
+        x.rows(),
+        x.cols()
+    );
+    assert_eq!(out.len(), rows * n, "spmm output buffer mismatch");
+    let x_data = x.as_slice();
+    let cost = (s.nnz() / rows.max(1)).max(1) * n;
+    for_each_row(out, rows, n, cost, |r, out_row| {
+        for (c, v) in s.row_entries(r) {
+            for (o, &xv) in out_row.iter_mut().zip(&x_data[c * n..(c + 1) * n]) {
+                *o += v * xv;
+            }
+        }
+    });
+}
+
+// ---- elementwise kernels ----
+
+/// `out[i] = f(src[i])`, chunk-partitioned. Lengths must match.
+pub fn map_into(src: &[f32], out: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    assert_eq!(src.len(), out.len(), "map length mismatch");
+    for_each_range(out, |start, chunk| {
+        let end = start + chunk.len();
+        for (o, &s) in chunk.iter_mut().zip(&src[start..end]) {
+            *o = f(s);
+        }
+    });
+}
+
+/// `data[i] = f(data[i])` in place, chunk-partitioned.
+pub fn map_inplace(data: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    for_each_range(data, |_, chunk| {
+        for v in chunk {
+            *v = f(*v);
+        }
+    });
+}
+
+/// `out[i] = f(a[i], b[i])`, chunk-partitioned. Lengths must match.
+pub fn zip_into(a: &[f32], b: &[f32], out: &mut [f32], f: impl Fn(f32, f32) -> f32 + Sync) {
+    assert_eq!(a.len(), out.len(), "zip length mismatch");
+    assert_eq!(b.len(), out.len(), "zip length mismatch");
+    for_each_range(out, |start, chunk| {
+        let end = start + chunk.len();
+        for ((o, &x), &y) in chunk.iter_mut().zip(&a[start..end]).zip(&b[start..end]) {
+            *o = f(x, y);
+        }
+    });
+}
+
+/// Serial reference implementations, kept loop-for-loop identical to the
+/// pre-parallel seed kernels.
+///
+/// The `parallel_kernels` property tests pin the pooled kernels to these
+/// bitwise; they are not meant for production use.
+pub mod reference {
+    use super::{CsrMatrix, Matrix};
+
+    /// Serial `a · b` (i-k-j loop with zero skip).
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        let n = b.cols();
+        for i in 0..a.rows() {
+            let out_row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+            for (k, &av) in a.row(i).iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for (o, &bv) in out_row.iter_mut().zip(b.row(k)) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Serial `aᵀ · b` (k-outer scatter loop with zero skip).
+    pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.cols(), b.cols());
+        let n = b.cols();
+        for k in 0..a.rows() {
+            let b_row = b.row(k);
+            for (i, &av) in a.row(k).iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Serial `a · bᵀ` (dot products).
+    pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let mut acc = 0.0;
+                for (&av, &bv) in a.row(i).iter().zip(b.row(j)) {
+                    acc += av * bv;
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Serial `s · x` (row loop).
+    pub fn spmm(s: &CsrMatrix, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(s.rows(), x.cols());
+        let n = x.cols();
+        for r in 0..s.rows() {
+            let out_row = &mut out.as_mut_slice()[r * n..(r + 1) * n];
+            for (c, v) in s.row_entries(r) {
+                for (o, &xv) in out_row.iter_mut().zip(x.row(c)) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Serial `sᵀ · x` in the original *scatter* formulation (iterate the
+    /// stored rows, accumulate into transposed output rows).
+    pub fn spmm_t_scatter(s: &CsrMatrix, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(s.cols(), x.cols());
+        let n = x.cols();
+        for r in 0..s.rows() {
+            let entries: Vec<(usize, f32)> = s.row_entries(r).collect();
+            for (c, v) in entries {
+                let x_row = &x.as_slice()[r * n..(r + 1) * n];
+                let out_row = &mut out.as_mut_slice()[c * n..(c + 1) * n];
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+}

@@ -4,9 +4,14 @@
 //! exactly what the paper's models need and nothing more:
 //!
 //! * [`Matrix`] — dense row-major `f32` matrices,
-//! * [`CsrMatrix`] — sparse aggregation operators for graph message passing,
+//! * [`CsrMatrix`] — sparse aggregation operators for graph message passing
+//!   (with a cached explicit transpose for backward passes),
+//! * [`kernels`] + [`pool`] — the parallel compute backend every dense and
+//!   sparse op dispatches through: chunked over a shared thread pool with
+//!   bitwise thread-count-invariant results,
 //! * [`Tape`] — tape-based reverse-mode autodiff with fused losses
-//!   (MSE, γ-weighted BCE-with-logits — Eq. 4/5 of the paper),
+//!   (MSE, γ-weighted BCE-with-logits — Eq. 4/5 of the paper) and a
+//!   recycled buffer pool for allocation-free steady-state forwards,
 //! * image ops for the CNN baselines (conv2d / max-pool / upsample /
 //!   instance-norm) in [`conv`],
 //! * [`layers`] — `Linear`, `Mlp`, `ResBlock` building blocks,
@@ -44,10 +49,12 @@ pub mod conv;
 pub mod error;
 pub mod fingerprint;
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod matrix;
 pub mod metrics;
 pub mod optim;
+pub mod pool;
 pub mod sparse;
 pub mod tape;
 
@@ -58,6 +65,7 @@ pub use layers::{Activation, Linear, Mlp, ResBlock};
 pub use matrix::Matrix;
 pub use metrics::{mean_std, Confusion};
 pub use optim::{Adam, Optimizer, Param, ParamStore, Sgd};
+pub use pool::ThreadPool;
 pub use sparse::CsrMatrix;
 pub use tape::{stable_sigmoid, ParamId, Tape, Var};
 
@@ -75,4 +83,5 @@ const _: () = {
     assert_send_sync::<Param>();
     assert_send_sync::<Linear>();
     assert_send_sync::<ResBlock>();
+    assert_send_sync::<ThreadPool>();
 };

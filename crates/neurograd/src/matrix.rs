@@ -4,14 +4,17 @@
 //! reproduction: node-feature blocks (`N × d`), layer weights, image-like
 //! feature maps (`channels × h·w`), and scalar losses (`1 × 1`).
 //!
-//! The implementation favours clarity and determinism over peak FLOPs:
-//! matmul is a cache-friendly i-k-j triple loop, which is more than fast
-//! enough for the hidden sizes the paper uses (32) at our circuit scales.
+//! Compute dispatches through [`crate::kernels`]: each product keeps the
+//! cache-friendly per-row i-k-j loop of the seed implementation but
+//! partitions output rows across the process pool ([`crate::pool`]).
+//! Chunking is bitwise-invariant, so results are identical at any thread
+//! count.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
 use crate::error::{NeuroError, Result};
+use crate::kernels;
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -178,19 +181,7 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::matmul_into(self, rhs, &mut out.data);
         out
     }
 
@@ -206,19 +197,7 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::matmul_tn_into(self, rhs, &mut out.data);
         out
     }
 
@@ -234,17 +213,7 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out[(i, j)] = acc;
-            }
-        }
+        kernels::matmul_nt_into(self, rhs, &mut out.data);
         out
     }
 
@@ -260,15 +229,15 @@ impl Matrix {
     }
 
     /// Elementwise map into a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        kernels::map_into(&self.data, &mut out.data, f);
+        out
     }
 
     /// In-place elementwise map.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        kernels::map_inplace(&mut self.data, f);
     }
 
     /// Elementwise binary combination into a new matrix.
@@ -276,13 +245,11 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+    pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "zip_map shape mismatch");
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
-        }
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        kernels::zip_into(&self.data, &rhs.data, &mut out.data, f);
+        out
     }
 
     /// `self + rhs` elementwise.

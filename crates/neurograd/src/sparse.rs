@@ -6,8 +6,10 @@
 //! and [`CsrMatrix::spmm`] performs `Y = S · X`.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use crate::error::{NeuroError, Result};
+use crate::kernels;
 use crate::matrix::Matrix;
 
 /// A sparse matrix in CSR format.
@@ -23,7 +25,7 @@ use crate::matrix::Matrix;
 /// let y = s.spmm(&x);
 /// assert_eq!(y.as_slice(), &[3.0, 3.0]);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
@@ -33,6 +35,24 @@ pub struct CsrMatrix {
     indices: Vec<usize>,
     /// Values, length `nnz`.
     values: Vec<f32>,
+    /// Lazily computed explicit transpose, shared by clones.
+    ///
+    /// Backward passes apply `Sᵀ` once per training step; caching the
+    /// transpose turns that from an O(nnz log nnz) rebuild per step into a
+    /// one-time cost per operator. Not part of equality, fingerprints or
+    /// the serialised form.
+    transpose_cache: OnceLock<Arc<CsrMatrix>>,
+}
+
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality only — a warmed transpose cache is invisible.
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+            && self.values == other.values
+    }
 }
 
 impl CsrMatrix {
@@ -76,7 +96,7 @@ impl CsrMatrix {
             }
             indptr[r + 1] = indptr[r + 1].max(indptr[r]);
         }
-        Self { rows, cols, indptr, indices, values }
+        Self { rows, cols, indptr, indices, values, transpose_cache: OnceLock::new() }
     }
 
     /// Builds a CSR matrix directly from raw CSR arrays.
@@ -110,7 +130,7 @@ impl CsrMatrix {
         if indices.iter().any(|&c| c >= cols) {
             return Err(NeuroError::InvalidConfig("csr column index out of bounds".into()));
         }
-        Ok(Self { rows, cols, indptr, indices, values })
+        Ok(Self { rows, cols, indptr, indices, values, transpose_cache: OnceLock::new() })
     }
 
     /// Number of rows.
@@ -176,23 +196,17 @@ impl CsrMatrix {
             x.cols()
         );
         let mut out = Matrix::zeros(self.rows, x.cols());
-        for r in 0..self.rows {
-            let lo = self.indptr[r];
-            let hi = self.indptr[r + 1];
-            let out_row = out.row_mut(r);
-            for k in lo..hi {
-                let c = self.indices[k];
-                let v = self.values[k];
-                for (o, &xi) in out_row.iter_mut().zip(x.row(c)) {
-                    *o += v * xi;
-                }
-            }
-        }
+        kernels::spmm_into(self, x, out.as_mut_slice());
         out
     }
 
-    /// Transposed sparse × dense product `Y = selfᵀ · X` without
-    /// materialising the transpose.
+    /// Transposed sparse × dense product `Y = selfᵀ · X`.
+    ///
+    /// Computed as `spmm` of the cached explicit transpose (see
+    /// [`CsrMatrix::transpose_cached`]): row-partitionable over the output
+    /// and bitwise identical to the scatter formulation, because CSR
+    /// entries are sorted so each output row accumulates its contributions
+    /// in the same (ascending source row) order either way.
     ///
     /// # Panics
     ///
@@ -207,27 +221,27 @@ impl CsrMatrix {
             x.rows(),
             x.cols()
         );
-        let mut out = Matrix::zeros(self.cols, x.cols());
-        for r in 0..self.rows {
-            let lo = self.indptr[r];
-            let hi = self.indptr[r + 1];
-            let x_row = x.row(r);
-            for k in lo..hi {
-                let c = self.indices[k];
-                let v = self.values[k];
-                let out_row = out.row_mut(c);
-                for (o, &xi) in out_row.iter_mut().zip(x_row) {
-                    *o += v * xi;
-                }
-            }
-        }
-        out
+        self.transpose_cached().spmm(x)
     }
 
-    /// Returns the explicit transpose in CSR form.
+    /// Returns the explicit transpose in CSR form (always rebuilt; use
+    /// [`CsrMatrix::transpose_cached`] on hot paths).
     pub fn transpose(&self) -> CsrMatrix {
         let triplets: Vec<(usize, usize, f32)> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
         CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// The explicit transpose, computed once per matrix and shared by
+    /// clones. Backward passes (`spmm_t` per step) hit the cache after the
+    /// first call; [`crate::Tape`] and `GraphOps` rely on this so repeated
+    /// training/serving steps stop rebuilding the transpose.
+    pub fn transpose_cached(&self) -> &Arc<CsrMatrix> {
+        self.transpose_cache.get_or_init(|| Arc::new(self.transpose()))
+    }
+
+    /// Whether the transpose cache has been populated (diagnostics).
+    pub fn transpose_cache_warm(&self) -> bool {
+        self.transpose_cache.get().is_some()
     }
 
     /// Row-normalises: each non-empty row is scaled to sum to 1.
@@ -236,6 +250,8 @@ impl CsrMatrix {
     /// operator the paper writes as `D⁻¹H`, `B⁻¹Hᵀ` or `P⁻¹A`.
     pub fn row_normalized(&self) -> CsrMatrix {
         let mut out = self.clone();
+        // the values are about to change: drop the inherited cache
+        out.transpose_cache = OnceLock::new();
         for r in 0..out.rows {
             let lo = out.indptr[r];
             let hi = out.indptr[r + 1];
@@ -300,7 +316,14 @@ impl CsrMatrix {
 
     /// An empty (all-zero) sparse matrix of the given shape.
     pub fn empty(rows: usize, cols: usize) -> CsrMatrix {
-        CsrMatrix { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+            transpose_cache: OnceLock::new(),
+        }
     }
 }
 
@@ -472,6 +495,49 @@ mod tests {
         assert_eq!(y[(0, 0)], 2.0);
         assert_eq!(y[(1, 0)], 0.0);
         assert_eq!(y[(2, 0)], 0.0);
+    }
+
+    #[test]
+    fn spmm_t_matches_scatter_reference_bitwise() {
+        let s = CsrMatrix::from_triplets(
+            4,
+            3,
+            &[(0, 0, 0.3), (0, 2, -1.1), (1, 1, 2.0), (2, 0, 0.7), (2, 1, 0.2), (3, 2, 5.0)],
+        );
+        let x = Matrix::from_rows(&[&[1.0, 0.5], &[-2.0, 3.0], &[0.25, 0.75], &[4.0, -4.0]]);
+        let scatter = crate::kernels::reference::spmm_t_scatter(&s, &x);
+        // cold cache, warm cache and the scatter formulation all agree
+        // bitwise (tolerance 0.0)
+        assert!(!s.transpose_cache_warm());
+        let cold = s.spmm_t(&x);
+        assert!(s.transpose_cache_warm(), "spmm_t must warm the transpose cache");
+        let warm = s.spmm_t(&x);
+        assert!(cold.approx_eq(&scatter, 0.0));
+        assert!(warm.approx_eq(&scatter, 0.0));
+    }
+
+    #[test]
+    fn transpose_cache_is_shared_by_clones_and_equality_ignores_it() {
+        let a = example();
+        let b = a.clone();
+        let _ = a.transpose_cached();
+        assert!(a.transpose_cache_warm());
+        assert!(!b.transpose_cache_warm(), "clone made before warming stays cold");
+        let c = a.clone();
+        assert!(c.transpose_cache_warm(), "clone made after warming shares the cache");
+        assert_eq!(a, b, "cache state must not affect equality");
+    }
+
+    #[test]
+    fn row_normalized_drops_stale_transpose_cache() {
+        let s = example();
+        let _ = s.transpose_cached();
+        let n = s.row_normalized();
+        assert!(!n.transpose_cache_warm(), "normalised copy must not inherit a stale cache");
+        assert!(n.spmm_t(&Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]])).approx_eq(
+            &n.transpose().to_dense().matmul(&Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]])),
+            1e-6
+        ));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use std::sync::Arc;
 
 use crate::conv::{self, Conv2dCfg};
+use crate::kernels;
 use crate::matrix::Matrix;
 use crate::sparse::CsrMatrix;
 
@@ -86,9 +87,63 @@ pub(crate) struct Node {
 }
 
 /// The autodiff tape recording one forward pass.
+///
+/// Node values and gradients are allocated from an internal buffer pool
+/// that [`Tape::clear`] refills, so a long-lived tape reaches a
+/// zero-allocation steady state: after one warm-up forward (+ backward),
+/// every later pass reuses the previous pass's buffers.
 #[derive(Default)]
 pub struct Tape {
     pub(crate) nodes: Vec<Node>,
+    /// Recycled element buffers (values and gradients of cleared passes).
+    free: Vec<Vec<f32>>,
+}
+
+/// Upper bound on recycled buffers kept across [`Tape::clear`] calls.
+const FREE_LIST_CAP: usize = 4096;
+
+/// Pops a recycled buffer (or allocates) and zeroes it to `len` elements.
+///
+/// Free function rather than a method so op builders can hold `&self.nodes`
+/// borrows alongside the `&mut free` borrow.
+fn alloc_zeroed(free: &mut Vec<Vec<f32>>, len: usize) -> Vec<f32> {
+    match free.pop() {
+        Some(mut buf) => {
+            buf.clear();
+            buf.resize(len, 0.0);
+            buf
+        }
+        None => vec![0.0; len],
+    }
+}
+
+/// Pooled `rows × cols` matrix from a zeroed buffer filled by `fill`.
+fn pooled_with(
+    free: &mut Vec<Vec<f32>>,
+    rows: usize,
+    cols: usize,
+    fill: impl FnOnce(&mut [f32]),
+) -> Matrix {
+    let mut buf = alloc_zeroed(free, rows * cols);
+    fill(&mut buf);
+    Matrix::from_vec(rows, cols, buf).expect("pooled buffer sized by construction")
+}
+
+/// Pooled copy of `g` (for ops whose backward is the identity).
+fn pooled_copy(free: &mut Vec<Vec<f32>>, g: &Matrix) -> Matrix {
+    pooled_with(free, g.rows(), g.cols(), |buf| buf.copy_from_slice(g.as_slice()))
+}
+
+/// Pooled elementwise-combined gradient `f(g, other)`.
+fn pooled_zip(
+    free: &mut Vec<Vec<f32>>,
+    g: &Matrix,
+    other: &Matrix,
+    f: impl Fn(f32, f32) -> f32 + Sync,
+) -> Matrix {
+    pooled_with(free, g.rows(), g.cols(), |buf| {
+        kernels::zip_into(g.as_slice(), other.as_slice(), buf, f);
+    })
 }
 
 impl std::fmt::Debug for Tape {
@@ -100,22 +155,36 @@ impl std::fmt::Debug for Tape {
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self { nodes: Vec::new(), free: Vec::new() }
     }
 
-    /// Creates an empty tape with room for `nodes` recorded operations.
+    /// Creates an empty tape with room for `nodes` recorded operations and
+    /// their value/gradient buffers (two recycled buffers per node).
     pub fn with_capacity(nodes: usize) -> Self {
-        Self { nodes: Vec::with_capacity(nodes) }
+        Self { nodes: Vec::with_capacity(nodes), free: Vec::with_capacity(2 * nodes) }
     }
 
-    /// Clears all recorded nodes while keeping the tape's allocation.
+    /// Clears all recorded nodes while keeping the tape's allocations.
     ///
-    /// This is the scratch-buffer entry point for inference servers: one
-    /// long-lived tape per worker thread, cleared between forwards, avoids
-    /// re-growing the node vector on every request. All previously returned
-    /// [`Var`] handles are invalidated.
+    /// This is the scratch-buffer entry point for inference servers and the
+    /// data-parallel trainer: one long-lived tape per worker thread,
+    /// cleared between forwards. The node vector keeps its capacity and
+    /// every node's value/gradient buffer is recycled into the tape's
+    /// buffer pool, so the next pass allocates (near) nothing. All
+    /// previously returned [`Var`] handles are invalidated.
     pub fn clear(&mut self) {
-        self.nodes.clear();
+        for node in self.nodes.drain(..) {
+            self.free.push(node.value.into_vec());
+            if let Some(grad) = node.grad {
+                self.free.push(grad.into_vec());
+            }
+        }
+        self.free.truncate(FREE_LIST_CAP);
+    }
+
+    /// Number of recycled buffers currently pooled (diagnostics).
+    pub fn pooled_buffers(&self) -> usize {
+        self.free.len()
     }
 
     /// Number of recorded nodes.
@@ -178,6 +247,44 @@ impl Tape {
     }
 
     // ---- elementwise & linear algebra ops ----
+    //
+    // Every op allocates its output from the tape's buffer pool and runs
+    // through the `kernels` backend, so forwards parallelise across the
+    // process pool and a cleared tape re-serves its own buffers.
+
+    /// Builds a pooled `rows × cols` matrix by running `fill` on its
+    /// zeroed element buffer.
+    fn pooled_value(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        fill: impl FnOnce(&Self, &mut [f32]),
+    ) -> Matrix {
+        let mut buf = alloc_zeroed(&mut self.free, rows * cols);
+        fill(self, &mut buf);
+        Matrix::from_vec(rows, cols, buf).expect("pooled buffer sized by construction")
+    }
+
+    /// Pooled elementwise binary op (shape-checked like `Matrix::zip_map`).
+    fn zip_op(&mut self, a: Var, b: Var, op: Op, f: impl Fn(f32, f32) -> f32 + Sync) -> Var {
+        assert_eq!(self.shape(a), self.shape(b), "zip_map shape mismatch");
+        let (rows, cols) = self.shape(a);
+        let value = self.pooled_value(rows, cols, |t, buf| {
+            kernels::zip_into(t.value(a).as_slice(), t.value(b).as_slice(), buf, f);
+        });
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(value, op, rg)
+    }
+
+    /// Pooled elementwise unary op.
+    fn map_op(&mut self, x: Var, op: Op, f: impl Fn(f32) -> f32 + Sync) -> Var {
+        let (rows, cols) = self.shape(x);
+        let value = self.pooled_value(rows, cols, |t, buf| {
+            kernels::map_into(t.value(x).as_slice(), buf, f);
+        });
+        let rg = self.rg(x.0);
+        self.push(value, op, rg)
+    }
 
     /// Elementwise sum `a + b`.
     ///
@@ -185,9 +292,7 @@ impl Tape {
     ///
     /// Panics on shape mismatch.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).add(self.value(b));
-        let rg = self.rg(a.0) || self.rg(b.0);
-        self.push(value, Op::Add(a.0, b.0), rg)
+        self.zip_op(a, b, Op::Add(a.0, b.0), |x, y| x + y)
     }
 
     /// Elementwise difference `a - b`.
@@ -196,9 +301,7 @@ impl Tape {
     ///
     /// Panics on shape mismatch.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).sub(self.value(b));
-        let rg = self.rg(a.0) || self.rg(b.0);
-        self.push(value, Op::Sub(a.0, b.0), rg)
+        self.zip_op(a, b, Op::Sub(a.0, b.0), |x, y| x - y)
     }
 
     /// Elementwise (Hadamard) product `a ⊙ b`.
@@ -207,9 +310,7 @@ impl Tape {
     ///
     /// Panics on shape mismatch.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).hadamard(self.value(b));
-        let rg = self.rg(a.0) || self.rg(b.0);
-        self.push(value, Op::Mul(a.0, b.0), rg)
+        self.zip_op(a, b, Op::Mul(a.0, b.0), |x, y| x * y)
     }
 
     /// Matrix product `a · b`.
@@ -218,7 +319,10 @@ impl Tape {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul(self.value(b));
+        let (rows, cols) = (self.shape(a).0, self.shape(b).1);
+        let value = self.pooled_value(rows, cols, |t, buf| {
+            kernels::matmul_into(t.value(a), t.value(b), buf);
+        });
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(value, Op::MatMul(a.0, b.0), rg)
     }
@@ -229,7 +333,17 @@ impl Tape {
     ///
     /// Panics if `bias` is not `1 × cols(x)`.
     pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
-        let value = self.value(x).add_row_broadcast(self.value(bias));
+        let (rows, cols) = self.shape(x);
+        assert_eq!(self.shape(bias), (1, cols), "row broadcast shape mismatch");
+        let value = self.pooled_value(rows, cols, |t, buf| {
+            let bias_row = t.value(bias).as_slice();
+            buf.copy_from_slice(t.value(x).as_slice());
+            for row in buf.chunks_mut(cols.max(1)) {
+                for (o, &b) in row.iter_mut().zip(bias_row) {
+                    *o += b;
+                }
+            }
+        });
         let rg = self.rg(x.0) || self.rg(bias.0);
         self.push(value, Op::AddBias(x.0, bias.0), rg)
     }
@@ -242,44 +356,32 @@ impl Tape {
 
     /// Scalar multiple `x * s`.
     pub fn scale(&mut self, x: Var, s: f32) -> Var {
-        let value = self.value(x).scale(s);
-        let rg = self.rg(x.0);
-        self.push(value, Op::Scale(x.0, s), rg)
+        self.map_op(x, Op::Scale(x.0, s), move |v| v * s)
     }
 
     /// Scalar offset `x + s` elementwise.
     pub fn add_scalar(&mut self, x: Var, s: f32) -> Var {
-        let value = self.value(x).map(|v| v + s);
-        let rg = self.rg(x.0);
-        self.push(value, Op::AddScalar(x.0, s), rg)
+        self.map_op(x, Op::AddScalar(x.0, s), move |v| v + s)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, x: Var) -> Var {
-        let value = self.value(x).map(|v| v.max(0.0));
-        let rg = self.rg(x.0);
-        self.push(value, Op::Relu(x.0), rg)
+        self.map_op(x, Op::Relu(x.0), |v| v.max(0.0))
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, x: Var, alpha: f32) -> Var {
-        let value = self.value(x).map(|v| if v >= 0.0 { v } else { alpha * v });
-        let rg = self.rg(x.0);
-        self.push(value, Op::LeakyRelu(x.0, alpha), rg)
+        self.map_op(x, Op::LeakyRelu(x.0, alpha), move |v| if v >= 0.0 { v } else { alpha * v })
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let value = self.value(x).map(stable_sigmoid);
-        let rg = self.rg(x.0);
-        self.push(value, Op::Sigmoid(x.0), rg)
+        self.map_op(x, Op::Sigmoid(x.0), stable_sigmoid)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, x: Var) -> Var {
-        let value = self.value(x).map(f32::tanh);
-        let rg = self.rg(x.0);
-        self.push(value, Op::Tanh(x.0), rg)
+        self.map_op(x, Op::Tanh(x.0), f32::tanh)
     }
 
     /// Column concatenation `[a | b]`.
@@ -288,7 +390,16 @@ impl Tape {
     ///
     /// Panics if row counts differ.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).concat_cols(self.value(b));
+        let (rows, ca) = self.shape(a);
+        let cb = self.shape(b).1;
+        assert_eq!(rows, self.shape(b).0, "concat_cols row mismatch");
+        let value = self.pooled_value(rows, ca + cb, |t, buf| {
+            let (va, vb) = (t.value(a), t.value(b));
+            for (r, row) in buf.chunks_mut((ca + cb).max(1)).enumerate() {
+                row[..ca].copy_from_slice(va.row(r));
+                row[ca..].copy_from_slice(vb.row(r));
+            }
+        });
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(value, Op::ConcatCols(a.0, b.0), rg)
     }
@@ -299,14 +410,28 @@ impl Tape {
     ///
     /// Panics if column counts differ.
     pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).concat_rows(self.value(b));
+        let (ra, cols) = self.shape(a);
+        let rb = self.shape(b).0;
+        assert_eq!(cols, self.shape(b).1, "concat_rows col mismatch");
+        let value = self.pooled_value(ra + rb, cols, |t, buf| {
+            buf[..ra * cols].copy_from_slice(t.value(a).as_slice());
+            buf[ra * cols..].copy_from_slice(t.value(b).as_slice());
+        });
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(value, Op::ConcatRows(a.0, b.0), rg)
     }
 
     /// Matrix transpose.
     pub fn transpose(&mut self, x: Var) -> Var {
-        let value = self.value(x).transpose();
+        let (rows, cols) = self.shape(x);
+        let value = self.pooled_value(cols, rows, |t, buf| {
+            let src = t.value(x).as_slice();
+            for r in 0..rows {
+                for c in 0..cols {
+                    buf[c * rows + r] = src[r * cols + c];
+                }
+            }
+        });
         let rg = self.rg(x.0);
         self.push(value, Op::Transpose(x.0), rg)
     }
@@ -317,7 +442,14 @@ impl Tape {
     ///
     /// Panics if the range is out of bounds.
     pub fn slice_cols(&mut self, x: Var, start: usize, end: usize) -> Var {
-        let value = self.value(x).slice_cols(start, end);
+        let (rows, cols) = self.shape(x);
+        assert!(start <= end && end <= cols, "slice_cols out of bounds");
+        let value = self.pooled_value(rows, end - start, |t, buf| {
+            let v = t.value(x);
+            for (r, row) in buf.chunks_mut((end - start).max(1)).enumerate().take(rows) {
+                row.copy_from_slice(&v.row(r)[start..end]);
+            }
+        });
         let rg = self.rg(x.0);
         self.push(value, Op::SliceCols(x.0, start, end), rg)
     }
@@ -328,7 +460,13 @@ impl Tape {
     ///
     /// Panics if an index is out of bounds.
     pub fn gather_rows(&mut self, x: Var, idx: Arc<Vec<usize>>) -> Var {
-        let value = self.value(x).gather_rows(&idx);
+        let cols = self.shape(x).1;
+        let value = self.pooled_value(idx.len(), cols, |t, buf| {
+            let v = t.value(x);
+            for (row, &i) in buf.chunks_mut(cols.max(1)).zip(idx.iter()) {
+                row.copy_from_slice(v.row(i));
+            }
+        });
         let rg = self.rg(x.0);
         self.push(value, Op::GatherRows(x.0, idx), rg)
     }
@@ -339,18 +477,28 @@ impl Tape {
     ///
     /// Panics if `S.cols != rows(x)`.
     pub fn spmm(&mut self, s: Arc<CsrMatrix>, x: Var) -> Var {
-        let value = s.spmm(self.value(x));
+        assert_eq!(s.cols(), self.shape(x).0, "spmm shape mismatch on tape");
+        let (rows, cols) = (s.rows(), self.shape(x).1);
+        let value = self.pooled_value(rows, cols, |t, buf| {
+            kernels::spmm_into(&s, t.value(x), buf);
+        });
         let rg = self.rg(x.0);
         self.push(value, Op::Spmm(s, x.0), rg)
     }
 
-    /// Transposed sparse aggregation `Sᵀ · x`.
+    /// Transposed sparse aggregation `Sᵀ · x` (runs on the cached explicit
+    /// transpose — see [`CsrMatrix::transpose_cached`]).
     ///
     /// # Panics
     ///
     /// Panics if `S.rows != rows(x)`.
     pub fn spmm_t(&mut self, s: Arc<CsrMatrix>, x: Var) -> Var {
-        let value = s.spmm_t(self.value(x));
+        assert_eq!(s.rows(), self.shape(x).0, "spmm_t shape mismatch on tape");
+        let (rows, cols) = (s.cols(), self.shape(x).1);
+        let st = Arc::clone(s.transpose_cached());
+        let value = self.pooled_value(rows, cols, |t, buf| {
+            kernels::spmm_into(&st, t.value(x), buf);
+        });
         let rg = self.rg(x.0);
         self.push(value, Op::SpmmT(s, x.0), rg)
     }
@@ -502,10 +650,15 @@ impl Tape {
 
     fn add_grad(&mut self, node: usize, g: Matrix) {
         if !self.nodes[node].requires_grad {
+            // recycle the rejected gradient's buffer
+            self.free.push(g.into_vec());
             return;
         }
         match &mut self.nodes[node].grad {
-            Some(existing) => existing.add_scaled_inplace(&g, 1.0),
+            Some(existing) => {
+                existing.add_scaled_inplace(&g, 1.0);
+                self.free.push(g.into_vec());
+            }
             slot @ None => *slot = Some(g),
         }
     }
@@ -519,26 +672,36 @@ impl Tape {
         match &op {
             Op::Leaf => {}
             Op::Add(a, b) => {
-                self.add_grad(*a, grad.clone());
+                let ga = pooled_copy(&mut self.free, &grad);
+                self.add_grad(*a, ga);
                 self.add_grad(*b, grad);
             }
             Op::Sub(a, b) => {
-                self.add_grad(*a, grad.clone());
-                self.add_grad(*b, grad.scale(-1.0));
+                let gb = pooled_with(&mut self.free, grad.rows(), grad.cols(), |buf| {
+                    kernels::map_into(grad.as_slice(), buf, |g| -g);
+                });
+                self.add_grad(*a, grad);
+                self.add_grad(*b, gb);
             }
             Op::Mul(a, b) => {
-                let ga = grad.hadamard(&self.nodes[*b].value);
-                let gb = grad.hadamard(&self.nodes[*a].value);
+                let ga = pooled_zip(&mut self.free, &grad, &self.nodes[*b].value, |g, v| g * v);
+                let gb = pooled_zip(&mut self.free, &grad, &self.nodes[*a].value, |g, v| g * v);
                 self.add_grad(*a, ga);
                 self.add_grad(*b, gb);
             }
             Op::MatMul(a, b) => {
                 if self.rg(*a) {
-                    let ga = grad.matmul_nt(&self.nodes[*b].value);
+                    let bv = &self.nodes[*b].value;
+                    let ga = pooled_with(&mut self.free, grad.rows(), bv.rows(), |buf| {
+                        kernels::matmul_nt_into(&grad, bv, buf);
+                    });
                     self.add_grad(*a, ga);
                 }
                 if self.rg(*b) {
-                    let gb = self.nodes[*a].value.matmul_tn(&grad);
+                    let av = &self.nodes[*a].value;
+                    let gb = pooled_with(&mut self.free, av.cols(), grad.cols(), |buf| {
+                        kernels::matmul_tn_into(av, &grad, buf);
+                    });
                     self.add_grad(*b, gb);
                 }
             }
@@ -554,24 +717,45 @@ impl Tape {
                 }
                 self.add_grad(*x, grad);
             }
-            Op::Scale(x, s) => self.add_grad(*x, grad.scale(*s)),
+            Op::Scale(x, s) => {
+                let s = *s;
+                let gx = pooled_with(&mut self.free, grad.rows(), grad.cols(), |buf| {
+                    kernels::map_into(grad.as_slice(), buf, move |g| g * s);
+                });
+                self.add_grad(*x, gx);
+            }
             Op::AddScalar(x, _) => self.add_grad(*x, grad),
             Op::Relu(x) => {
-                let gx = grad.zip_map(&self.nodes[*x].value, |g, v| if v > 0.0 { g } else { 0.0 });
+                let gx = pooled_zip(&mut self.free, &grad, &self.nodes[*x].value, |g, v| {
+                    if v > 0.0 {
+                        g
+                    } else {
+                        0.0
+                    }
+                });
                 self.add_grad(*x, gx);
             }
             Op::LeakyRelu(x, alpha) => {
                 let a = *alpha;
-                let gx =
-                    grad.zip_map(&self.nodes[*x].value, |g, v| if v >= 0.0 { g } else { a * g });
+                let gx = pooled_zip(&mut self.free, &grad, &self.nodes[*x].value, move |g, v| {
+                    if v >= 0.0 {
+                        g
+                    } else {
+                        a * g
+                    }
+                });
                 self.add_grad(*x, gx);
             }
             Op::Sigmoid(x) => {
-                let gx = grad.zip_map(&self.nodes[i].value, |g, y| g * y * (1.0 - y));
+                let gx = pooled_zip(&mut self.free, &grad, &self.nodes[i].value, |g, y| {
+                    g * y * (1.0 - y)
+                });
                 self.add_grad(*x, gx);
             }
             Op::Tanh(x) => {
-                let gx = grad.zip_map(&self.nodes[i].value, |g, y| g * (1.0 - y * y));
+                let gx = pooled_zip(&mut self.free, &grad, &self.nodes[i].value, |g, y| {
+                    g * (1.0 - y * y)
+                });
                 self.add_grad(*x, gx);
             }
             Op::ConcatCols(a, b) => {
@@ -613,13 +797,19 @@ impl Tape {
                 self.add_grad(*x, gx);
             }
             Op::Spmm(s, x) => {
-                // y = S x  =>  dx = Sᵀ dy
-                let gx = s.spmm_t(&grad);
+                // y = S x  =>  dx = Sᵀ dy (cached transpose, computed once
+                // per operator and reused by every later backward step)
+                let st = Arc::clone(s.transpose_cached());
+                let gx = pooled_with(&mut self.free, st.rows(), grad.cols(), |buf| {
+                    kernels::spmm_into(&st, &grad, buf);
+                });
                 self.add_grad(*x, gx);
             }
             Op::SpmmT(s, x) => {
                 // y = Sᵀ x  =>  dx = S dy
-                let gx = s.spmm(&grad);
+                let gx = pooled_with(&mut self.free, s.rows(), grad.cols(), |buf| {
+                    kernels::spmm_into(s, &grad, buf);
+                });
                 self.add_grad(*x, gx);
             }
             Op::SumAll(x) => {
@@ -1036,6 +1226,75 @@ mod tests {
         assert_eq!(grads.len(), 1);
         assert_eq!(grads[0].0, ParamId(7));
         assert!((grads[0].1.item() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn tape_matmul_rejects_inner_dimension_mismatch() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Matrix::zeros(2, 3));
+        let b = tape.leaf(Matrix::zeros(5, 4));
+        let _ = tape.matmul(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm shape mismatch")]
+    fn tape_spmm_rejects_mismatched_operand() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::zeros(2, 2));
+        let s = Arc::new(CsrMatrix::empty(3, 3));
+        let _ = tape.spmm(s, x);
+    }
+
+    #[test]
+    fn clear_recycles_value_and_grad_buffers() {
+        let mut tape = Tape::with_capacity(8);
+        let run = |tape: &mut Tape| {
+            let x = tape.leaf_grad(Matrix::full(4, 4, 1.0));
+            let y = tape.relu(x);
+            let z = tape.scale(y, 2.0);
+            let loss = tape.sum_all(z);
+            tape.backward(loss);
+            tape.value(loss).item()
+        };
+        let first = run(&mut tape);
+        tape.clear();
+        let harvested = tape.pooled_buffers();
+        assert!(harvested > 0, "clear must harvest node value/grad buffers");
+        // a second identical pass reuses the pool and reproduces the value
+        let second = run(&mut tape);
+        assert_eq!(first, second);
+        tape.clear();
+        assert!(
+            tape.pooled_buffers() >= harvested,
+            "steady state: the pool refills to at least its previous size"
+        );
+    }
+
+    #[test]
+    fn cleared_tape_reproduces_fresh_tape_bitwise() {
+        let x0 = test_input();
+        let fresh = |x0: &Matrix| {
+            let mut t = Tape::new();
+            let x = t.leaf_grad(x0.clone());
+            let y = t.sigmoid(x);
+            let z = t.mul(y, y);
+            let loss = t.mean_all(z);
+            t.backward(loss);
+            (t.value(loss).item(), t.grad(x).unwrap().clone())
+        };
+        let (l1, g1) = fresh(&x0);
+        let mut reused = Tape::new();
+        for _ in 0..3 {
+            reused.clear();
+            let x = reused.leaf_grad(x0.clone());
+            let y = reused.sigmoid(x);
+            let z = reused.mul(y, y);
+            let loss = reused.mean_all(z);
+            reused.backward(loss);
+            assert_eq!(reused.value(loss).item(), l1);
+            assert!(reused.grad(x).unwrap().approx_eq(&g1, 0.0));
+        }
     }
 
     #[test]

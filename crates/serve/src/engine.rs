@@ -49,6 +49,16 @@ pub struct EngineConfig {
     pub max_batch: usize,
     /// LRU prediction-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Intra-op compute threads: 0 (default) leaves the shared
+    /// `neurograd` pool as configured; a positive value rebuilds it with
+    /// that many lanes when the engine starts.
+    ///
+    /// All workers *share* one compute pool rather than each assuming a
+    /// serial forward: a worker's forward fans its kernels out across the
+    /// pool, and because the kernel backend is bitwise
+    /// thread-count-invariant this never changes a prediction (the
+    /// `served_prediction_is_bitwise_identical` proptest covers it).
+    pub compute_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -58,6 +68,7 @@ impl Default for EngineConfig {
             queue_depth: 256,
             max_batch: 8,
             cache_capacity: 128,
+            compute_threads: 0,
         }
     }
 }
@@ -171,7 +182,14 @@ impl std::fmt::Debug for ServeEngine {
 
 impl ServeEngine {
     /// Starts `cfg.workers` long-lived worker threads over `registry`.
+    ///
+    /// With `cfg.compute_threads > 0` the shared intra-op compute pool is
+    /// rebuilt to that width first (process-wide — see
+    /// [`neurograd::pool::configure_threads`]).
     pub fn new(registry: Arc<ModelRegistry>, cfg: EngineConfig) -> Self {
+        if cfg.compute_threads > 0 {
+            neurograd::pool::configure_threads(cfg.compute_threads);
+        }
         let workers_n = cfg.workers.max(1);
         let shared = Arc::new(Shared {
             registry,
@@ -310,6 +328,17 @@ impl ServeHandle {
     /// A snapshot of the engine's counters and latency percentiles.
     pub fn stats(&self) -> ServeStats {
         self.shared.stats.lock().expect("stats lock").snapshot(self.shared.started.elapsed())
+    }
+
+    /// Number of engine worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.cfg.workers.max(1)
+    }
+
+    /// Width of the shared intra-op compute pool the workers' forwards fan
+    /// out over (the process-wide `neurograd` pool).
+    pub fn compute_threads(&self) -> usize {
+        neurograd::pool::current_threads()
     }
 
     /// Number of predictions currently cached.

@@ -104,6 +104,9 @@ impl ModelRegistry {
 
     fn insert(&self, name: &str, model: Lhnn, allow_replace: bool) -> Result<Arc<ModelEntry>> {
         self.validate(model.config())?;
+        // Honour the model's intra-op thread request (`LhnnConfig::threads`;
+        // no-op at 0 or when the pool already matches).
+        model.configure_pool();
         let entry = Arc::new(ModelEntry {
             name: name.to_string(),
             version: model.weights_fingerprint(),
