@@ -6,12 +6,20 @@ use std::path::Path;
 use std::sync::Arc;
 
 use lh_graph::{ChannelMode, FeatureSet, LhGraph, LhGraphConfig, Targets};
-use lhnn::{evaluate, train as train_model, AblationSpec, Lhnn, LhnnConfig, Sample, TrainConfig};
-use lhnn_data::{ascii_map, write_pgm, DatasetConfig, PreparedDataset};
-use lhnn_serve::{EngineConfig, ModelRegistry, PredictRequest, ServeEngine};
+use lhnn::{
+    evaluate, train as train_model, AblationSpec, LatticePipeline, Lhnn, LhnnConfig, Sample,
+    TrainConfig,
+};
+use lhnn_data::{
+    ascii_map, write_bench_json, write_pgm, BenchRecord, DatasetConfig, PreparedDataset,
+};
+use lhnn_serve::{EngineConfig, ModelRegistry, PredictRequest, ServeEngine, SessionConfig};
 use neurograd::Confusion;
 use vlsi_netlist::synth::{generate as synth_generate, SynthConfig};
-use vlsi_netlist::{bookshelf, netlist_stats, rent_exponent, Circuit, GcellGrid, Placement, Rect};
+use vlsi_netlist::{
+    bookshelf, netlist_stats, rent_exponent, CellId, Circuit, GcellGrid, Placement, PlacementDelta,
+    Point, Rect,
+};
 use vlsi_place::GlobalPlacer;
 use vlsi_route::{route as route_circuit, CapacityConfig, Dir, RouterConfig};
 
@@ -279,6 +287,211 @@ fn drive_engine(
     let stats = handle.stats();
     engine.shutdown();
     Ok((elapsed, stats))
+}
+
+/// `lhnn loop-bench`: drive the placer's own iteration deltas against the
+/// stateful session API and measure the incremental pipeline against
+/// from-scratch rebuilds.
+pub fn loop_bench(args: &Args) -> CmdResult {
+    // defaults match `lhnn generate`'s canonical design size
+    let cells = args.num("cells", 800usize).max(8);
+    let grid_n = args.num("grid", 24u32).max(2);
+    let seed = args.num("seed", 1u64);
+    let rounds = args.num("rounds", 5usize).max(1);
+    let move_pct = args.num("move-pct", 1.0f32).max(0.0);
+    let threads = args.num("threads", 0usize);
+    let json_path = args.get("json", "results/BENCH_incremental.json");
+    if threads > 0 {
+        neurograd::pool::configure_threads(threads);
+    }
+
+    // --- design + traced placement ---
+    let synth_cfg = SynthConfig {
+        name: "loopbench".into(),
+        seed,
+        n_cells: cells,
+        grid_nx: grid_n,
+        grid_ny: grid_n,
+        ..SynthConfig::default()
+    };
+    let synth = synth_generate(&synth_cfg)?;
+    let grid = synth_cfg.grid();
+    let circuit = Arc::new(synth.circuit.clone());
+    eprintln!("placing {cells} cells on {grid_n}x{grid_n} g-cells (traced)...");
+    let (placed, trace) = GlobalPlacer::default().place_synth_traced(&synth, &grid)?;
+    println!(
+        "loop-bench: {cells} cells, {grid_n}x{grid_n} g-cells, seed {seed}; \
+         trace has {} deltas (quadratic solve + spreading iterations)",
+        trace.deltas.len()
+    );
+
+    // --- session replay: update + predict per placer iteration ---
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("default", Lhnn::new(LhnnConfig::default(), 0))?;
+    let engine = ServeEngine::new(
+        Arc::clone(&registry),
+        EngineConfig { workers: 1, compute_threads: threads, ..EngineConfig::default() },
+    );
+    let handle = engine.handle();
+    let mut session = handle.open_session(
+        SessionConfig::new("default"),
+        Arc::clone(&circuit),
+        trace.initial.clone(),
+        grid.clone(),
+    )?;
+    let mut update_s = 0.0f64;
+    let mut predict_s = 0.0f64;
+    let mut cache_hits = 0usize;
+    for delta in &trace.deltas {
+        let t0 = std::time::Instant::now();
+        session.update(delta)?;
+        update_s += t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let reply = session.predict()?;
+        predict_s += t1.elapsed().as_secs_f64();
+        if reply.cached {
+            cache_hits += 1;
+        }
+    }
+    let stats = session.stats().clone();
+    let n = trace.deltas.len().max(1) as f64;
+    println!(
+        "session replay: {} updates ({} incremental, {} full rebuilds, {} noop), \
+         avg update {:.3} ms, avg predict {:.3} ms, {cache_hits} cache hits",
+        stats.updates,
+        stats.incremental,
+        stats.full_rebuilds,
+        stats.noops,
+        update_s / n * 1e3,
+        predict_s / n * 1e3,
+    );
+
+    // --- bitwise parity: the replayed session vs a from-scratch build ---
+    let session_fps = session.pipeline().fingerprints();
+    let fresh =
+        LatticePipeline::for_serving(Arc::clone(&circuit), placed.placement.clone(), grid.clone())?;
+    if session_fps != fresh.fingerprints() {
+        return Err(format!(
+            "bitwise parity FAILED: session {session_fps:?} vs full rebuild {:?}",
+            fresh.fingerprints()
+        )
+        .into());
+    }
+    println!(
+        "bitwise parity after replay: OK (ops fp {:016x}, features fp {:016x})",
+        session_fps.0, session_fps.1
+    );
+
+    // --- micro-bench: k-cell move, incremental vs full rebuild ---
+    let k = ((cells as f32 * move_pct / 100.0).ceil() as usize).clamp(1, cells);
+    let mut pipeline =
+        LatticePipeline::for_serving(Arc::clone(&circuit), placed.placement.clone(), grid.clone())?;
+    let die = circuit.die;
+    // Steady-state moves: restrict to movable cells whose nets cannot
+    // cross the G-net size filter under a same-direction sub-g-cell nudge
+    // (each span grows by at most one g-cell per axis), so every measured
+    // round exercises the incremental path rather than the structural
+    // fallback a filter crossing legitimately takes.
+    let max_area = LhGraphConfig::default().max_gnet_area(grid.num_gcells());
+    let cell_to_nets = circuit.cell_to_nets();
+    let eligible: Vec<CellId> = (0..cells)
+        .map(|i| CellId(i as u32))
+        .filter(|&id| {
+            !circuit.cell(id).is_terminal()
+                && !cell_to_nets[id.index()].is_empty()
+                && cell_to_nets[id.index()].iter().all(|&n| {
+                    pipeline.graph().net_column(n).is_some_and(|j| {
+                        let (lo, hi) = pipeline.graph().span_of(j);
+                        let (w, h) = ((hi.gx - lo.gx + 1) as usize, (hi.gy - lo.gy + 1) as usize);
+                        (w + 1) * (h + 1) <= max_area
+                    })
+                })
+        })
+        .collect();
+    if eligible.is_empty() {
+        return Err(format!(
+            "no steady-state movable cells at {grid_n}x{grid_n} (every cell touches a net \
+             near the {max_area}-g-cell size filter); raise --grid or --cells"
+        )
+        .into());
+    }
+    let k = k.min(eligible.len());
+    let mut records = Vec::new();
+    for (label, k) in [(format!("update_k{k}_{move_pct}pct"), k), ("update_k1".to_string(), 1)] {
+        let mut incr_s = 0.0f64;
+        let mut full_s = 0.0f64;
+        // round 0 is an untimed warmup (allocator, caches, page-in)
+        for round in 0..=rounds {
+            let timed = round > 0;
+            // move k spread-out eligible cells ~0.75 g-cells diagonally,
+            // alternating direction per round so the state keeps changing
+            let sign = if round % 2 == 0 { 1.0 } else { -1.0 };
+            let mut delta = PlacementDelta::new();
+            let stride = (eligible.len() / k).max(1);
+            for m in 0..k {
+                let id = eligible[(m * stride) % eligible.len()];
+                let p = pipeline.placement().position(id);
+                delta.push(
+                    id,
+                    die.clamp(Point::new(
+                        p.x + sign * 0.75 * grid.gcell_width(),
+                        p.y + sign * 0.75 * grid.gcell_height(),
+                    )),
+                );
+            }
+            let t0 = std::time::Instant::now();
+            let update = pipeline.apply(&delta)?;
+            let incr_fps = pipeline.fingerprints();
+            if timed {
+                incr_s += t0.elapsed().as_secs_f64();
+                // The record claims to measure the incremental path: a
+                // Noop (nothing crossed a boundary) or FullRebuild
+                // (eligibility missed a filter crossing) would silently
+                // report a speedup for the wrong code path.
+                if !matches!(update, lhnn::PipelineUpdate::Incremental { .. }) {
+                    return Err(format!(
+                        "micro-bench round {round} did not take the incremental path \
+                         ({update:?}); the measured speedup would be meaningless"
+                    )
+                    .into());
+                }
+            }
+            // The batch baseline: rebuild graph + features + operators and
+            // re-fingerprint from scratch at the same placement (exactly
+            // what every query paid before sessions existed).
+            let t1 = std::time::Instant::now();
+            pipeline.rebuild()?;
+            let full_fps = pipeline.fingerprints();
+            if timed {
+                full_s += t1.elapsed().as_secs_f64();
+            }
+            if incr_fps != full_fps {
+                return Err(format!(
+                    "bitwise parity FAILED in micro-bench round {round}: \
+                     incremental {incr_fps:?} vs full {full_fps:?}"
+                )
+                .into());
+            }
+        }
+        let record = BenchRecord {
+            name: format!("{label}_{cells}c_{grid_n}x{grid_n}"),
+            ms_1t: full_s / rounds as f64 * 1e3,
+            ms_nt: incr_s / rounds as f64 * 1e3,
+        };
+        println!(
+            "micro-bench {k:>4}-cell move: incremental {:.3} ms vs full rebuild {:.3} ms \
+             -> {:.1}x speedup (avg of {rounds} rounds, bitwise-verified)",
+            record.ms_nt,
+            record.ms_1t,
+            record.speedup()
+        );
+        records.push(record);
+    }
+
+    write_bench_json(Path::new(&json_path), "incremental", threads.max(1), &records)?;
+    println!("wrote {json_path} (ms_1t = full rebuild, ms_nt = incremental update)");
+    engine.shutdown();
+    Ok(())
 }
 
 /// `lhnn serve-bench`: drive synthetic designs through the inference

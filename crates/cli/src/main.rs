@@ -40,6 +40,14 @@ USAGE:
       drive synthetic designs through the lhnn-serve engine and report
       latency percentiles, throughput, parallel speedup, cache hit rate and
       the shared intra-op compute-pool configuration
+  lhnn loop-bench [--cells N] [--grid G] [--seed S] [--rounds N]
+                  [--move-pct P] [--threads N] [--json FILE]
+      placement-in-the-loop benchmark: replay the placer's own iteration
+      deltas through a stateful serving session (incremental graph/feature
+      updates), verify bitwise parity against from-scratch rebuilds, and
+      measure the k-cell-move incremental update vs a full rebuild
+      (results also written as BENCH JSON, default
+      results/BENCH_incremental.json)
 ";
 
 fn main() {
@@ -52,6 +60,7 @@ fn main() {
         "train" => commands::train(&args),
         "predict" => commands::predict(&args),
         "serve-bench" => commands::serve_bench(&args),
+        "loop-bench" => commands::loop_bench(&args),
         _ => {
             eprint!("{USAGE}");
             std::process::exit(2);

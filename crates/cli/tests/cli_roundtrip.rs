@@ -104,6 +104,26 @@ fn train_then_predict_roundtrip() {
 }
 
 #[test]
+fn loop_bench_smoke() {
+    let dir = temp_dir("loop_bench");
+    let json = dir.join("BENCH_incremental.json");
+    let out = bin()
+        .args(["loop-bench", "--cells", "200", "--grid", "12", "--rounds", "2"])
+        .args(["--json", json.to_str().unwrap()])
+        .output()
+        .expect("loop-bench");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bitwise parity after replay: OK"), "{text}");
+    assert!(text.contains("session replay:"), "{text}");
+    assert!(text.contains("micro-bench"), "{text}");
+    let bench = std::fs::read_to_string(&json).expect("bench json written");
+    assert!(bench.contains("\"bench\": \"incremental\""), "{bench}");
+    assert!(bench.contains("update_k1"), "{bench}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn serve_bench_smoke() {
     let out = bin()
         .args(["serve-bench", "--designs", "2", "--requests", "8", "--workers", "2"])

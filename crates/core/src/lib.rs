@@ -26,12 +26,14 @@ pub mod config;
 pub mod loss;
 pub mod model;
 pub mod ops;
+pub mod pipeline;
 pub mod serialize;
 pub mod trainer;
 
 pub use config::{AblationSpec, LhnnConfig, TrainConfig};
 pub use model::{InferenceScratch, Lhnn, LhnnOutput, Prediction};
 pub use ops::GraphOps;
+pub use pipeline::{LatticePipeline, PipelineStats, PipelineUpdate};
 pub use serialize::ModelIoError;
 pub use trainer::{
     evaluate, evaluate_regression, predict_map, train, DesignEval, EvalResult, RegEval, Sample,

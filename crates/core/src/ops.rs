@@ -70,15 +70,82 @@ impl GraphOps {
     /// Serving caches key predictions on this value: two `GraphOps`
     /// fingerprint equal iff every aggregation matrix is bitwise equal
     /// (ablated, sampled or rebuilt graphs all hash differently).
+    ///
+    /// Built from each operator's cached
+    /// [`CsrMatrix::content_fingerprint`](neurograd::CsrMatrix::content_fingerprint)
+    /// digest, so re-fingerprinting after an incremental
+    /// [`GraphOps::patch_from`] only hashes the matrices that actually
+    /// changed — untouched operators (and repeat requests against the
+    /// same operators) answer from their memoised digest in O(1).
     pub fn fingerprint(&self) -> u64 {
         let mut h = neurograd::Fnv64::new();
         h.write_usize(self.num_gcells);
         h.write_usize(self.num_gnets);
-        self.gnc_sum.hash_into(&mut h);
-        self.gnc_mean.hash_into(&mut h);
-        self.gcn_mean.hash_into(&mut h);
-        self.lattice_mean.hash_into(&mut h);
+        h.write_u64(self.gnc_sum.content_fingerprint());
+        h.write_u64(self.gnc_mean.content_fingerprint());
+        h.write_u64(self.gcn_mean.content_fingerprint());
+        h.write_u64(self.lattice_mean.content_fingerprint());
         h.finish()
+    }
+
+    /// Re-snapshots the operators from an incrementally patched graph.
+    /// Matrices the patch left untouched are the very allocations this
+    /// snapshot already shares, so warm transpose and fingerprint caches
+    /// survive; ablated relations reuse this snapshot's existing empty
+    /// matrices instead of allocating fresh ones.
+    ///
+    /// Equivalent in content to `GraphOps::from_graph(graph, ablation)` —
+    /// fingerprints of the two are always equal — but O(1) in the
+    /// untouched portion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` has different node counts than this snapshot
+    /// (incremental patches never resize; a structural change must go
+    /// through [`GraphOps::from_graph`]).
+    pub fn patch_from(&self, graph: &LhGraph, ablation: &AblationSpec) -> Self {
+        assert_eq!(
+            (self.num_gcells, self.num_gnets),
+            (graph.num_gcells(), graph.num_gnets()),
+            "patch_from requires unchanged node counts"
+        );
+        // Kept relations just Arc-clone from the patched graph: matrices
+        // the patch left untouched are the *same allocation* this snapshot
+        // already holds, so warm transpose and fingerprint caches survive
+        // for free. Ablated relations reuse this snapshot's existing empty
+        // matrices (keeping their memoised digests) instead of allocating.
+        let keep_empty = |mine: &Arc<CsrMatrix>, rows: usize, cols: usize| {
+            if mine.shape() == (rows, cols) && mine.nnz() == 0 {
+                Arc::clone(mine)
+            } else {
+                Arc::new(CsrMatrix::empty(rows, cols))
+            }
+        };
+        let (n_c, n_n) = (self.num_gcells, self.num_gnets);
+        Self {
+            gnc_sum: if ablation.featuregen_edges {
+                Arc::clone(graph.gnc_sum())
+            } else {
+                keep_empty(&self.gnc_sum, n_c, n_n.max(1))
+            },
+            gnc_mean: if ablation.hypermp_edges {
+                Arc::clone(graph.gnc_mean())
+            } else {
+                keep_empty(&self.gnc_mean, n_c, n_n.max(1))
+            },
+            gcn_mean: if ablation.hypermp_edges {
+                Arc::clone(graph.gcn_mean())
+            } else {
+                keep_empty(&self.gcn_mean, n_n.max(1), n_c)
+            },
+            lattice_mean: if ablation.latticemp_edges {
+                Arc::clone(graph.lattice_mean())
+            } else {
+                keep_empty(&self.lattice_mean, n_c, n_c)
+            },
+            num_gcells: n_c,
+            num_gnets: n_n,
+        }
     }
 
     /// Pre-computes the cached CSR transpose of every operator.
@@ -288,6 +355,32 @@ mod tests {
         let clone = ops.clone();
         assert!(clone.gcn_mean.transpose_cache_warm());
         assert_eq!(fp_cold, clone.fingerprint());
+    }
+
+    #[test]
+    fn patch_from_matches_from_graph_and_keeps_arcs() {
+        let g = graph();
+        let ops = GraphOps::from_graph(&g, &AblationSpec::full());
+        let fp = ops.fingerprint();
+        // Patch against the *same* graph (the no-op patch): all four
+        // operators must be carried over by pointer, fingerprint equal.
+        let patched = ops.patch_from(&g, &AblationSpec::full());
+        assert!(Arc::ptr_eq(&patched.gnc_sum, &ops.gnc_sum));
+        assert!(Arc::ptr_eq(&patched.lattice_mean, &ops.lattice_mean));
+        assert_eq!(patched.fingerprint(), fp);
+        assert_eq!(
+            patched.fingerprint(),
+            GraphOps::from_graph(&g, &AblationSpec::full()).fingerprint()
+        );
+        // Ablated relations reuse the existing empty matrices.
+        let ablated = GraphOps::from_graph(&g, &AblationSpec::without_latticemp());
+        let ablated_patch = ablated.patch_from(&g, &AblationSpec::without_latticemp());
+        assert!(Arc::ptr_eq(&ablated_patch.lattice_mean, &ablated.lattice_mean));
+        assert_eq!(
+            ablated_patch.fingerprint(),
+            GraphOps::from_graph(&g, &AblationSpec::without_latticemp()).fingerprint()
+        );
+        assert_ne!(ablated_patch.fingerprint(), fp);
     }
 
     #[test]

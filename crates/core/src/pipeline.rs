@@ -1,0 +1,394 @@
+//! The incremental lattice pipeline: placement-in-the-loop construction.
+//!
+//! A placer perturbs a few cells and re-queries congestion thousands of
+//! times per design. [`LatticePipeline`] keeps the whole
+//! netlist → [`LhGraph`] → [`FeatureSet`] → [`GraphOps`] chain *hot*:
+//! the first build is the ordinary batch construction, and every
+//! subsequent [`LatticePipeline::apply`] patches only what a
+//! [`PlacementDelta`] dirtied — re-binned nets, their covered G-cell rows,
+//! crossed pin boundaries — falling back to a full rebuild only when a net
+//! crosses the G-net size filter (columns would renumber).
+//!
+//! The hard guarantee, mirroring the kernel backend's thread-count
+//! invariance: at any point in any delta sequence, the pipeline's graph,
+//! features and operator fingerprints are **bitwise identical** to a
+//! from-scratch rebuild at the current placement. Serving caches keyed on
+//! those fingerprints therefore behave identically whether a state was
+//! reached incrementally or batch-built.
+
+use std::sync::Arc;
+
+use lh_graph::{DeltaOutcome, FeatureSet, LhGraph, LhGraphConfig};
+use vlsi_netlist::{rebin_delta_in_place, Circuit, GcellGrid, NetId, Placement, PlacementDelta};
+
+use crate::config::AblationSpec;
+use crate::ops::GraphOps;
+
+/// What one [`LatticePipeline::apply`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineUpdate {
+    /// The delta changed nothing grid-derived (moves within a G-cell, or
+    /// no effective moves): graph, features and fingerprints are
+    /// untouched, so downstream prediction caches stay hot.
+    Noop,
+    /// Dirty rows were patched in place.
+    Incremental {
+        /// G-net columns whose span changed.
+        dirty_nets: usize,
+        /// G-cell rows whose features were recomputed.
+        dirty_gcells: usize,
+    },
+    /// A net crossed the size filter; the chain was rebuilt from scratch.
+    FullRebuild {
+        /// Why the incremental path refused the delta.
+        reason: String,
+    },
+}
+
+/// Counters over a pipeline's lifetime (diagnostics and bench reporting).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineStats {
+    /// Total `apply` calls.
+    pub updates: usize,
+    /// Deltas that changed nothing grid-derived.
+    pub noops: usize,
+    /// Deltas served by the incremental patch path.
+    pub incremental: usize,
+    /// Deltas that forced a full rebuild.
+    pub full_rebuilds: usize,
+    /// Total G-net columns dirtied by incremental updates.
+    pub dirty_nets: usize,
+    /// Total G-cell rows recomputed by incremental updates.
+    pub dirty_gcells: usize,
+}
+
+/// The stateful construction pipeline for one design on one grid.
+///
+/// Owns its [`Placement`] copy; callers mutate it exclusively through
+/// [`LatticePipeline::apply`]. Snapshots ([`LatticePipeline::ops`],
+/// [`LatticePipeline::features`]) are `Arc`-shared, so an in-flight
+/// prediction keeps its inputs alive while the pipeline moves on.
+#[derive(Debug)]
+pub struct LatticePipeline {
+    circuit: Arc<Circuit>,
+    grid: GcellGrid,
+    graph_cfg: LhGraphConfig,
+    ablation: AblationSpec,
+    cell_to_nets: Vec<Vec<NetId>>,
+    placement: Placement,
+    graph: LhGraph,
+    features: Arc<FeatureSet>,
+    ops: Arc<GraphOps>,
+    stats: PipelineStats,
+    /// Set when a fallback rebuild failed: the placement has advanced but
+    /// graph/features/ops still describe an older one. Every later
+    /// `apply` forces a rebuild until one succeeds, so the stale state
+    /// can never leak through the incremental path.
+    poisoned: bool,
+}
+
+impl LatticePipeline {
+    /// Builds the full chain once (the batch path every query used to
+    /// take).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`lh_graph`] build failures (empty graph, dimension or
+    /// grid-shape mismatches).
+    pub fn new(
+        circuit: Arc<Circuit>,
+        placement: Placement,
+        grid: GcellGrid,
+        graph_cfg: LhGraphConfig,
+        ablation: AblationSpec,
+    ) -> lh_graph::Result<Self> {
+        let graph = LhGraph::build(&circuit, &placement, &grid, &graph_cfg)?;
+        let features = FeatureSet::build(&graph, &circuit, &placement, &grid)?;
+        let ops = GraphOps::from_graph(&graph, &ablation);
+        let cell_to_nets = circuit.cell_to_nets();
+        Ok(Self {
+            cell_to_nets,
+            circuit,
+            grid,
+            graph_cfg,
+            ablation,
+            placement,
+            graph,
+            features: Arc::new(features),
+            ops: Arc::new(ops),
+            stats: PipelineStats::default(),
+            poisoned: false,
+        })
+    }
+
+    /// Convenience constructor with the default graph config and the full
+    /// (un-ablated) operator set — the serving configuration.
+    pub fn for_serving(
+        circuit: Arc<Circuit>,
+        placement: Placement,
+        grid: GcellGrid,
+    ) -> lh_graph::Result<Self> {
+        Self::new(circuit, placement, grid, LhGraphConfig::default(), AblationSpec::full())
+    }
+
+    /// Applies a placement delta, patching graph, features and operators
+    /// incrementally where possible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build failures from the full-rebuild fallback (e.g. the
+    /// delta moved every net past the size filter). The placement is
+    /// already advanced when that happens, so the pipeline marks itself
+    /// poisoned: every later `apply` forces a rebuild (never the
+    /// incremental path against the stale graph) until one succeeds —
+    /// e.g. after a delta that moves nets back below the filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta references a cell outside the circuit.
+    pub fn apply(&mut self, delta: &PlacementDelta) -> lh_graph::Result<PipelineUpdate> {
+        self.stats.updates += 1;
+        let report = rebin_delta_in_place(
+            &self.circuit,
+            &self.grid,
+            &mut self.placement,
+            delta,
+            &self.cell_to_nets,
+        );
+        if self.poisoned {
+            self.rebuild()?;
+            self.stats.full_rebuilds += 1;
+            return Ok(PipelineUpdate::FullRebuild {
+                reason: "recovering from a previously failed rebuild".into(),
+            });
+        }
+        if report.is_clean() {
+            self.stats.noops += 1;
+            return Ok(PipelineUpdate::Noop);
+        }
+        match self.graph.apply_delta(&self.grid, &self.graph_cfg, &report)? {
+            DeltaOutcome::Patched(patch) => {
+                let features = self.features.apply_delta(
+                    &patch,
+                    &report,
+                    &self.circuit,
+                    &self.placement,
+                    &self.grid,
+                )?;
+                let dirty_nets = patch.dirty_cols.len();
+                let dirty_gcells = patch.dirty_rows.len();
+                self.ops = Arc::new(self.ops.patch_from(&patch.graph, &self.ablation));
+                self.graph = patch.graph;
+                self.features = Arc::new(features);
+                self.stats.incremental += 1;
+                self.stats.dirty_nets += dirty_nets;
+                self.stats.dirty_gcells += dirty_gcells;
+                Ok(PipelineUpdate::Incremental { dirty_nets, dirty_gcells })
+            }
+            DeltaOutcome::Structural(reason) => {
+                self.rebuild()?;
+                self.stats.full_rebuilds += 1;
+                Ok(PipelineUpdate::FullRebuild { reason })
+            }
+        }
+    }
+
+    /// Rebuilds the whole chain from scratch at the current placement
+    /// (public so benchmarks can measure the batch path against
+    /// [`LatticePipeline::apply`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`lh_graph`] build failures; until a rebuild succeeds,
+    /// the pipeline stays poisoned and refuses the incremental path.
+    pub fn rebuild(&mut self) -> lh_graph::Result<()> {
+        self.poisoned = true;
+        let graph = LhGraph::build(&self.circuit, &self.placement, &self.grid, &self.graph_cfg)?;
+        let features = FeatureSet::build(&graph, &self.circuit, &self.placement, &self.grid)?;
+        self.ops = Arc::new(GraphOps::from_graph(&graph, &self.ablation));
+        self.graph = graph;
+        self.features = Arc::new(features);
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// The current operator snapshot (cheap `Arc` clone).
+    pub fn ops(&self) -> Arc<GraphOps> {
+        Arc::clone(&self.ops)
+    }
+
+    /// The current raw (unscaled) feature snapshot (cheap `Arc` clone).
+    pub fn features(&self) -> Arc<FeatureSet> {
+        Arc::clone(&self.features)
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &LhGraph {
+        &self.graph
+    }
+
+    /// The pipeline's placement copy.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The circuit this pipeline serves.
+    pub fn circuit(&self) -> &Arc<Circuit> {
+        &self.circuit
+    }
+
+    /// The G-cell grid.
+    pub fn grid(&self) -> &GcellGrid {
+        &self.grid
+    }
+
+    /// Whether a failed fallback rebuild left graph/features/ops behind
+    /// the placement. Reads of [`LatticePipeline::ops`] /
+    /// [`LatticePipeline::features`] / [`LatticePipeline::fingerprints`]
+    /// describe the *pre-failure* placement until a rebuild succeeds;
+    /// serving surfaces must refuse to answer from a poisoned pipeline.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// `(operators, features)` content fingerprints — the serving cache
+    /// key components. Cheap after an incremental update: patched operator
+    /// matrices carry pre-seeded digests (untouched ones answer from their
+    /// memoised one); only the dense feature blocks re-hash in full.
+    pub fn fingerprints(&self) -> (u64, u64) {
+        (self.ops.fingerprint(), self.features.fingerprint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi_netlist::synth::{generate, SynthConfig};
+    use vlsi_netlist::{CellId, Point};
+    use vlsi_place::GlobalPlacer;
+
+    fn pipeline(seed: u64, n_cells: usize, side: u32) -> LatticePipeline {
+        let cfg =
+            SynthConfig { seed, n_cells, grid_nx: side, grid_ny: side, ..SynthConfig::default() };
+        let synth = generate(&cfg).unwrap();
+        let grid = cfg.grid();
+        let placed = GlobalPlacer::default().place_synth(&synth, &grid).unwrap();
+        LatticePipeline::for_serving(Arc::new(synth.circuit), placed.placement, grid).unwrap()
+    }
+
+    fn rebuilt_fingerprints(p: &LatticePipeline) -> (u64, u64) {
+        let graph = LhGraph::build(p.circuit(), p.placement(), p.grid(), &LhGraphConfig::default())
+            .unwrap();
+        let features = FeatureSet::build(&graph, p.circuit(), p.placement(), p.grid()).unwrap();
+        (GraphOps::from_graph(&graph, &AblationSpec::full()).fingerprint(), features.fingerprint())
+    }
+
+    #[test]
+    fn noop_delta_keeps_fingerprints_bitwise() {
+        let mut p = pipeline(1, 120, 8);
+        let before = p.fingerprints();
+        let id = CellId(0);
+        let delta = PlacementDelta::single(id, p.placement().position(id));
+        assert_eq!(p.apply(&delta).unwrap(), PipelineUpdate::Noop);
+        assert_eq!(p.fingerprints(), before, "no-op must keep the cache key");
+        assert_eq!(p.stats().noops, 1);
+    }
+
+    #[test]
+    fn incremental_update_matches_full_rebuild() {
+        let mut p = pipeline(2, 150, 10);
+        let die = p.circuit().die;
+        // Walk a cell across the die in g-cell-sized hops.
+        for step in 0..6 {
+            let id = CellId(step as u32);
+            let pos = p.placement().position(id);
+            let np = die.clamp(Point::new(pos.x + p.grid().gcell_width() * 1.25, pos.y));
+            p.apply(&PlacementDelta::single(id, np)).unwrap();
+            assert_eq!(
+                p.fingerprints(),
+                rebuilt_fingerprints(&p),
+                "incremental state diverged at step {step}"
+            );
+        }
+        assert!(p.stats().incremental + p.stats().noops + p.stats().full_rebuilds == 6);
+    }
+
+    #[test]
+    fn structural_fallback_rebuilds_and_matches() {
+        let mut p = pipeline(3, 100, 8);
+        let die = p.circuit().die;
+        // Stretch one net across the whole die: with the default 5%
+        // filter it must cross the size threshold → full rebuild.
+        let net0 = p.circuit().nets()[0].clone();
+        let cell = net0.pins[0].cell;
+        let mut update = None;
+        for corner in [Point::new(die.lx, die.ly), Point::new(die.ux, die.uy)] {
+            update = Some(p.apply(&PlacementDelta::single(cell, corner)).unwrap());
+        }
+        // whichever path it took, parity must hold
+        assert_eq!(p.fingerprints(), rebuilt_fingerprints(&p));
+        assert!(update.is_some());
+        assert!(p.stats().updates == 2);
+    }
+
+    #[test]
+    fn failed_fallback_rebuild_poisons_until_a_rebuild_succeeds() {
+        use vlsi_netlist::{Cell, Net, Pin, Rect};
+        // Two 2-pin nets on a 4x4 grid with a 1-g-cell size filter: any
+        // net stretched across g-cells crosses the filter (structural),
+        // and stretching *every* net makes the fallback rebuild fail.
+        let die = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let grid = GcellGrid::new(die, 4, 4);
+        let mut c = Circuit::new("tiny", die);
+        let a = c.add_cell(Cell::movable("a", 0.2, 0.2));
+        let b = c.add_cell(Cell::movable("b", 0.2, 0.2));
+        c.add_net(Net::new("n", vec![Pin::at_center(a), Pin::at_center(b)]));
+        let mut placement = Placement::zeroed(2);
+        placement.set_position(a, Point::new(1.0, 1.0));
+        placement.set_position(b, Point::new(1.2, 1.2));
+        let cfg = LhGraphConfig { max_gnet_fraction: 1e-9 }; // max area = 1 g-cell
+        let mut p =
+            LatticePipeline::new(Arc::new(c), placement, grid, cfg.clone(), AblationSpec::full())
+                .unwrap();
+
+        // Stretch the net across the die: structural, and the rebuild
+        // fails because the only net is filtered out.
+        let stretch = PlacementDelta::single(b, Point::new(7.0, 7.0));
+        assert!(p.apply(&stretch).is_err(), "fallback rebuild must fail");
+
+        // A clean follow-up delta must NOT sneak through the incremental
+        // path against the stale graph: the pipeline stays poisoned and
+        // keeps failing until a placement admits a rebuild.
+        let nudge = PlacementDelta::single(b, Point::new(7.1, 7.1));
+        assert!(p.apply(&nudge).is_err(), "poisoned pipeline must retry the rebuild");
+
+        // Move the net back under the filter: the next apply heals via a
+        // full rebuild and the state matches a from-scratch build again.
+        let heal = PlacementDelta::single(b, Point::new(1.3, 1.3));
+        let update = p.apply(&heal).unwrap();
+        assert!(matches!(update, PipelineUpdate::FullRebuild { .. }));
+        let graph = LhGraph::build(p.circuit(), p.placement(), p.grid(), &cfg).unwrap();
+        let features = FeatureSet::build(&graph, p.circuit(), p.placement(), p.grid()).unwrap();
+        let batch_ops = GraphOps::from_graph(&graph, &AblationSpec::full());
+        assert_eq!(p.fingerprints(), (batch_ops.fingerprint(), features.fingerprint()));
+
+        // and the pipeline is healthy again: further small moves are
+        // incremental
+        let follow = p.apply(&PlacementDelta::single(b, Point::new(1.4, 1.4))).unwrap();
+        assert!(matches!(follow, PipelineUpdate::Noop | PipelineUpdate::Incremental { .. }));
+    }
+
+    #[test]
+    fn operator_snapshots_are_arc_shared_across_noops() {
+        let mut p = pipeline(4, 90, 8);
+        let ops = p.ops();
+        let id = CellId(1);
+        p.apply(&PlacementDelta::single(id, p.placement().position(id))).unwrap();
+        assert!(Arc::ptr_eq(&ops, &p.ops()), "noop must not replace the snapshot");
+    }
+}

@@ -13,6 +13,21 @@ pub enum LhGraphError {
     EmptyGraph(String),
     /// Feature/label dimensions disagree with the graph.
     DimensionMismatch(String),
+    /// A graph built on one G-cell grid was used with another: reports
+    /// both `nx × ny` products instead of a bare dimension panic.
+    GridShape {
+        /// `(nx, ny)` the graph was built on.
+        expected: (usize, usize),
+        /// `(nx, ny)` of the grid it was used with.
+        actual: (usize, usize),
+    },
+}
+
+impl LhGraphError {
+    /// Builds the grid-shape mismatch error from the two grids' extents.
+    pub fn grid_shape(expected: (usize, usize), actual: (usize, usize)) -> Self {
+        LhGraphError::GridShape { expected, actual }
+    }
 }
 
 impl fmt::Display for LhGraphError {
@@ -20,6 +35,13 @@ impl fmt::Display for LhGraphError {
         match self {
             LhGraphError::EmptyGraph(m) => write!(f, "empty lh-graph: {m}"),
             LhGraphError::DimensionMismatch(m) => write!(f, "dimension mismatch: {m}"),
+            LhGraphError::GridShape { expected: (enx, eny), actual: (anx, any) } => write!(
+                f,
+                "grid shape mismatch: graph was built on {enx}x{eny} = {} g-cells, \
+                 but was used with a {anx}x{any} = {} g-cell grid",
+                enx * eny,
+                anx * any
+            ),
         }
     }
 }

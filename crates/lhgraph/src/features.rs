@@ -12,10 +12,10 @@
 //! computations below.
 
 use neurograd::Matrix;
-use vlsi_netlist::{CellKind, Circuit, GcellGrid, Placement, Rect};
+use vlsi_netlist::{CellKind, Circuit, DirtyReport, GcellGrid, Placement, Rect};
 
 use crate::error::{LhGraphError, Result};
-use crate::graph::LhGraph;
+use crate::graph::{GraphPatch, LhGraph};
 
 /// Column layout of the G-net feature matrix.
 pub mod gnet_channel {
@@ -60,20 +60,19 @@ impl FeatureSet {
     ///
     /// # Errors
     ///
-    /// Returns [`LhGraphError::DimensionMismatch`] if `graph` was built on
-    /// a different grid.
+    /// Returns [`LhGraphError::GridShape`] if `graph` was built on a
+    /// different grid.
     pub fn build(
         graph: &LhGraph,
         circuit: &Circuit,
         placement: &Placement,
         grid: &GcellGrid,
     ) -> Result<Self> {
-        if graph.num_gcells() != grid.num_gcells() {
-            return Err(LhGraphError::DimensionMismatch(format!(
-                "graph has {} g-cells, grid {}",
-                graph.num_gcells(),
-                grid.num_gcells()
-            )));
+        if graph.nx() != grid.nx() as usize || graph.ny() != grid.ny() as usize {
+            return Err(LhGraphError::grid_shape(
+                (graph.nx(), graph.ny()),
+                (grid.nx() as usize, grid.ny() as usize),
+            ));
         }
         let n_n = graph.num_gnets();
         let n_c = graph.num_gcells();
@@ -116,26 +115,98 @@ impl FeatureSet {
             }
         }
         // terminal mask
-        for (i, cell) in circuit.cells().iter().enumerate() {
-            if cell.kind != CellKind::Terminal {
-                continue;
-            }
-            let p = placement.position(vlsi_netlist::CellId(i as u32));
-            let rect = Rect::new(
-                p.x - cell.width * 0.5,
-                p.y - cell.height * 0.5,
-                p.x + cell.width * 0.5,
-                p.y + cell.height * 0.5,
-            );
-            let Some((lo, hi)) = grid.span(&rect) else { continue };
-            for c in grid.iter_span(lo, hi) {
-                if grid.gcell_rect(c).intersection(&rect).is_some_and(|r| r.area() > 0.0) {
-                    gcell[(grid.index(c), gcell_channel::TERMINAL_MASK)] = 1.0;
-                }
-            }
-        }
+        paint_terminal_mask(&mut gcell, circuit, placement, grid);
 
         Ok(Self { gnet, gcell })
+    }
+
+    /// Patches this feature set for a placement delta, given the graph
+    /// patch from [`LhGraph::apply_delta`] and the re-binning report the
+    /// patch was computed from.
+    ///
+    /// Only dirty G-net rows and dirty G-cell rows are recomputed; pin
+    /// density is adjusted by exact ±1 counts per crossed G-cell boundary;
+    /// the terminal mask is repainted only when a terminal moved. The
+    /// result is **bitwise identical** to `FeatureSet::build` at the new
+    /// placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LhGraphError::GridShape`] /
+    /// [`LhGraphError::DimensionMismatch`] if the patch does not belong to
+    /// this feature set's graph and grid.
+    pub fn apply_delta(
+        &self,
+        patch: &GraphPatch,
+        report: &DirtyReport,
+        circuit: &Circuit,
+        placement: &Placement,
+        grid: &GcellGrid,
+    ) -> Result<FeatureSet> {
+        let graph = &patch.graph;
+        if graph.nx() != grid.nx() as usize || graph.ny() != grid.ny() as usize {
+            return Err(LhGraphError::grid_shape(
+                (graph.nx(), graph.ny()),
+                (grid.nx() as usize, grid.ny() as usize),
+            ));
+        }
+        if self.gcell.rows() != graph.num_gcells() || self.gnet.rows() != graph.num_gnets().max(1) {
+            return Err(LhGraphError::DimensionMismatch(format!(
+                "feature set describes {} g-cells / {} g-nets, patch {} / {}",
+                self.gcell.rows(),
+                self.gnet.rows(),
+                graph.num_gcells(),
+                graph.num_gnets()
+            )));
+        }
+        let mut gnet = self.gnet.clone();
+        let mut gcell = self.gcell.clone();
+
+        // Dirty G-net rows: span features from the patched spans.
+        for &j in &patch.dirty_cols {
+            let net = circuit.net(graph.kept_nets()[j]);
+            let (lo, hi) = graph.span_of(j);
+            let span_h = (hi.gx - lo.gx + 1) as f32;
+            let span_v = (hi.gy - lo.gy + 1) as f32;
+            gnet[(j, gnet_channel::SPAN_V)] = span_v;
+            gnet[(j, gnet_channel::SPAN_H)] = span_h;
+            gnet[(j, gnet_channel::NPIN)] = net.degree() as f32;
+            gnet[(j, gnet_channel::AREA)] = span_h * span_v;
+        }
+
+        // Dirty G-cell rows: re-accumulate net density from the patched
+        // incidence row. Entries are in ascending column order — the same
+        // accumulation order as the full build's outer loop over kept
+        // nets, so the float sums are bitwise identical.
+        for &r in &patch.dirty_rows {
+            let mut h = 0.0f32;
+            let mut v = 0.0f32;
+            for (j, _) in graph.incidence().row_entries(r) {
+                h += 1.0 / gnet[(j, gnet_channel::SPAN_V)];
+                v += 1.0 / gnet[(j, gnet_channel::SPAN_H)];
+            }
+            gcell[(r, gcell_channel::NET_DENSITY_H)] = h;
+            gcell[(r, gcell_channel::NET_DENSITY_V)] = v;
+        }
+
+        // Pin density holds exact integer counts, so ±1 adjustments are
+        // exact and order-independent. Only pins of kept nets count.
+        for pm in &report.pin_moves {
+            if graph.net_column(pm.net).is_none() {
+                continue;
+            }
+            gcell[(pm.from, gcell_channel::PIN_DENSITY)] -= 1.0;
+            gcell[(pm.to, gcell_channel::PIN_DENSITY)] += 1.0;
+        }
+
+        if report.moved_terminal {
+            for r in 0..gcell.rows() {
+                gcell[(r, gcell_channel::TERMINAL_MASK)] = 0.0;
+            }
+            paint_terminal_mask(&mut gcell, circuit, placement, grid);
+        }
+
+        Ok(FeatureSet { gnet, gcell })
     }
 
     /// A content fingerprint over both feature blocks.
@@ -215,6 +286,36 @@ impl FeatureSet {
     }
 }
 
+/// Sets the terminal-coverage channel: 1 for every G-cell a terminal's
+/// rectangle overlaps with positive area. Shared by the full build and the
+/// incremental repaint (assignment of a constant is order-independent, so
+/// both paths agree bitwise).
+fn paint_terminal_mask(
+    gcell: &mut Matrix,
+    circuit: &Circuit,
+    placement: &Placement,
+    grid: &GcellGrid,
+) {
+    for (i, cell) in circuit.cells().iter().enumerate() {
+        if cell.kind != CellKind::Terminal {
+            continue;
+        }
+        let p = placement.position(vlsi_netlist::CellId(i as u32));
+        let rect = Rect::new(
+            p.x - cell.width * 0.5,
+            p.y - cell.height * 0.5,
+            p.x + cell.width * 0.5,
+            p.y + cell.height * 0.5,
+        );
+        let Some((lo, hi)) = grid.span(&rect) else { continue };
+        for c in grid.iter_span(lo, hi) {
+            if grid.gcell_rect(c).intersection(&rect).is_some_and(|r| r.area() > 0.0) {
+                gcell[(grid.index(c), gcell_channel::TERMINAL_MASK)] = 1.0;
+            }
+        }
+    }
+}
+
 fn minmax(m: &Matrix) -> Matrix {
     let (rows, cols) = m.shape();
     let mut out = m.clone();
@@ -233,47 +334,57 @@ fn minmax(m: &Matrix) -> Matrix {
     out
 }
 
+/// The shared §3.2 recovery recipe: one-step sum message passing
+/// `H · f(V_n)` where column `k` of the G-net message is `channels[k]`
+/// applied to that G-net's feature row. Every crafted-map recovery below
+/// is an instance of this gather with a different per-net function.
+fn recover_by_gather(
+    graph: &LhGraph,
+    gnet_features: &Matrix,
+    channels: &[&dyn Fn(&[f32]) -> f32],
+) -> Matrix {
+    let n_n = graph.num_gnets();
+    let mut msg = Matrix::zeros(n_n.max(1), channels.len());
+    for j in 0..n_n {
+        let row = gnet_features.row(j);
+        for (k, f) in channels.iter().enumerate() {
+            msg[(j, k)] = f(row);
+        }
+    }
+    graph.gnc_sum().spmm(&msg)
+}
+
 /// §3.2: recovers the horizontal/vertical net-density maps by one-step
 /// sum message passing `H · f(V_n)` with `f = [1/spanV, 1/spanH]`.
 ///
 /// Returns an `N_c × 2` matrix whose columns equal the direct density
 /// computation exactly.
 pub fn recover_net_density(graph: &LhGraph, gnet_features: &Matrix) -> Matrix {
-    let n_n = graph.num_gnets();
-    let mut msg = Matrix::zeros(n_n.max(1), 2);
-    for j in 0..n_n {
-        msg[(j, 0)] = 1.0 / gnet_features[(j, gnet_channel::SPAN_V)];
-        msg[(j, 1)] = 1.0 / gnet_features[(j, gnet_channel::SPAN_H)];
-    }
-    graph.gnc_sum().spmm(&msg)
+    recover_by_gather(
+        graph,
+        gnet_features,
+        &[&|r| 1.0 / r[gnet_channel::SPAN_V], &|r| 1.0 / r[gnet_channel::SPAN_H]],
+    )
 }
 
 /// §3.2: recovers the expected pin-density map by one-step sum message
 /// passing with `f = npin / area` (exact in total mass, approximate per
 /// cell).
 pub fn recover_pin_density(graph: &LhGraph, gnet_features: &Matrix) -> Matrix {
-    let n_n = graph.num_gnets();
-    let mut msg = Matrix::zeros(n_n.max(1), 1);
-    for j in 0..n_n {
-        msg[(j, 0)] =
-            gnet_features[(j, gnet_channel::NPIN)] / gnet_features[(j, gnet_channel::AREA)];
-    }
-    graph.gnc_sum().spmm(&msg)
+    recover_by_gather(graph, gnet_features, &[&|r| r[gnet_channel::NPIN] / r[gnet_channel::AREA]])
 }
 
 /// §3.2: recovers the RUDY-like map by one-step sum message passing with
 /// `f = npin · (spanH + spanV) / area`.
 pub fn recover_rudy(graph: &LhGraph, gnet_features: &Matrix) -> Matrix {
-    let n_n = graph.num_gnets();
-    let mut msg = Matrix::zeros(n_n.max(1), 1);
-    for j in 0..n_n {
-        let npin = gnet_features[(j, gnet_channel::NPIN)];
-        let span_h = gnet_features[(j, gnet_channel::SPAN_H)];
-        let span_v = gnet_features[(j, gnet_channel::SPAN_V)];
-        let area = gnet_features[(j, gnet_channel::AREA)];
-        msg[(j, 0)] = npin * (span_h + span_v) / area;
-    }
-    graph.gnc_sum().spmm(&msg)
+    recover_by_gather(
+        graph,
+        gnet_features,
+        &[&|r| {
+            r[gnet_channel::NPIN] * (r[gnet_channel::SPAN_H] + r[gnet_channel::SPAN_V])
+                / r[gnet_channel::AREA]
+        }],
+    )
 }
 
 #[cfg(test)]
@@ -355,6 +466,50 @@ mod tests {
         let b: Vec<f32> = (0..graph.num_gcells()).map(|i| recovered[(i, 0)]).collect();
         let corr = pearson(&a, &b);
         assert!(corr > 0.5, "correlation too low: {corr}");
+    }
+
+    /// Pins the shared-gather refactor to the original per-function
+    /// implementations: message built channel-by-channel with explicit
+    /// loops, then `H · msg` — outputs must match bitwise.
+    #[test]
+    fn recovery_helpers_match_pre_refactor_outputs_bitwise() {
+        let (graph, feats, ..) = synth_graph();
+        let n_n = graph.num_gnets();
+        let g = &feats.gnet;
+
+        let mut density_msg = Matrix::zeros(n_n.max(1), 2);
+        let mut pin_msg = Matrix::zeros(n_n.max(1), 1);
+        let mut rudy_msg = Matrix::zeros(n_n.max(1), 1);
+        for j in 0..n_n {
+            density_msg[(j, 0)] = 1.0 / g[(j, gnet_channel::SPAN_V)];
+            density_msg[(j, 1)] = 1.0 / g[(j, gnet_channel::SPAN_H)];
+            pin_msg[(j, 0)] = g[(j, gnet_channel::NPIN)] / g[(j, gnet_channel::AREA)];
+            rudy_msg[(j, 0)] = g[(j, gnet_channel::NPIN)]
+                * (g[(j, gnet_channel::SPAN_H)] + g[(j, gnet_channel::SPAN_V)])
+                / g[(j, gnet_channel::AREA)];
+        }
+        let pairs = [
+            (recover_net_density(&graph, g), graph.gnc_sum().spmm(&density_msg)),
+            (recover_pin_density(&graph, g), graph.gnc_sum().spmm(&pin_msg)),
+            (recover_rudy(&graph, g), graph.gnc_sum().spmm(&rudy_msg)),
+        ];
+        for (shared, direct) in &pairs {
+            assert_eq!(
+                shared.fingerprint(),
+                direct.fingerprint(),
+                "gather refactor must reproduce the original maps bitwise"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_shape_mismatch_reports_both_extents() {
+        let (graph, _, circuit, placement, _) = synth_graph();
+        let other = GcellGrid::new(Rect::new(0.0, 0.0, 8.0, 8.0), 5, 3);
+        let err = FeatureSet::build(&graph, &circuit, &placement, &other).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("12x12 = 144"), "expected extents missing: {msg}");
+        assert!(msg.contains("5x3 = 15"), "actual extents missing: {msg}");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use neurograd::CsrMatrix;
-use vlsi_netlist::{Circuit, GcellGrid, NetId, Placement};
+use vlsi_netlist::{Circuit, DirtyReport, GcellGrid, GcellSpan, NetId, Placement};
 
 use crate::error::{LhGraphError, Result};
 
@@ -33,6 +33,14 @@ pub struct LhGraphConfig {
 impl Default for LhGraphConfig {
     fn default() -> Self {
         Self { max_gnet_fraction: 0.05 }
+    }
+}
+
+impl LhGraphConfig {
+    /// The G-net size filter threshold, in G-cells, for a grid with
+    /// `num_gcells` cells: nets covering more are dropped.
+    pub fn max_gnet_area(&self, num_gcells: usize) -> usize {
+        ((num_gcells as f32) * self.max_gnet_fraction).max(1.0) as usize
     }
 }
 
@@ -54,10 +62,45 @@ pub struct LhGraph {
     gcn_mean: Arc<CsrMatrix>,
     /// `P⁻¹A` — mean aggregation over lattice neighbours (LatticeMP).
     lattice_mean: Arc<CsrMatrix>,
-    /// Net id per kept G-net (row of `V_n` → circuit net).
-    kept_nets: Vec<NetId>,
+    /// Net id per kept G-net (row of `V_n` → circuit net), ascending.
+    kept_nets: Arc<Vec<NetId>>,
+    /// The covered G-cell span per kept G-net (what `apply_delta` diffs
+    /// against when a placement perturbation re-bins a net).
+    spans: Arc<Vec<GcellSpan>>,
     /// Number of G-nets dropped by the size filter.
     dropped_gnets: usize,
+}
+
+/// How many G-cells an inclusive span covers.
+fn span_area((lo, hi): GcellSpan) -> usize {
+    ((hi.gx - lo.gx + 1) as usize) * ((hi.gy - lo.gy + 1) as usize)
+}
+
+/// The result of a successful [`LhGraph::apply_delta`]: the patched graph
+/// plus the dirty sets a feature patch needs.
+#[derive(Debug)]
+pub struct GraphPatch {
+    /// The patched graph. Matrices untouched by the delta are shared with
+    /// the source graph via `Arc` — only dirty rows were rebuilt.
+    pub graph: LhGraph,
+    /// Kept-net columns whose span changed (sorted ascending).
+    pub dirty_cols: Vec<usize>,
+    /// G-cell rows whose incidence entries (and therefore net-density
+    /// features) changed: the union of old and new spans of every dirty
+    /// net (sorted ascending).
+    pub dirty_rows: Vec<usize>,
+}
+
+/// The outcome of [`LhGraph::apply_delta`].
+#[derive(Debug)]
+pub enum DeltaOutcome {
+    /// The graph was patched incrementally; results are bitwise identical
+    /// to a from-scratch [`LhGraph::build`] at the new placement.
+    Patched(GraphPatch),
+    /// The delta moved a net across the size filter, so G-net columns
+    /// would renumber: the caller must rebuild from scratch. Carries a
+    /// human-readable reason.
+    Structural(String),
 }
 
 impl LhGraph {
@@ -77,10 +120,18 @@ impl LhGraph {
         if n_c == 0 {
             return Err(LhGraphError::EmptyGraph("grid has no g-cells".into()));
         }
-        let max_area = ((n_c as f32) * cfg.max_gnet_fraction).max(1.0) as usize;
+        if placement.len() < circuit.num_cells() {
+            return Err(LhGraphError::DimensionMismatch(format!(
+                "placement has {} positions for {} cells",
+                placement.len(),
+                circuit.num_cells()
+            )));
+        }
+        let max_area = cfg.max_gnet_area(n_c);
 
         // G-nets: bbox span per net, filtered by size.
         let mut kept_nets = Vec::new();
+        let mut spans = Vec::new();
         let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
         let mut dropped = 0usize;
         for (ni, net) in circuit.nets().iter().enumerate() {
@@ -89,8 +140,7 @@ impl LhGraph {
                 dropped += 1;
                 continue;
             };
-            let area = ((hi.gx - lo.gx + 1) as usize) * ((hi.gy - lo.gy + 1) as usize);
-            if area > max_area {
+            if span_area((lo, hi)) > max_area {
                 dropped += 1;
                 continue;
             }
@@ -99,6 +149,7 @@ impl LhGraph {
                 triplets.push((grid.index(c), j, 1.0));
             }
             kept_nets.push(NetId(ni as u32));
+            spans.push((lo, hi));
         }
         let n_n = kept_nets.len();
         if n_n == 0 && circuit.num_nets() > 0 {
@@ -132,9 +183,173 @@ impl LhGraph {
             gnc_mean: Arc::new(gnc_mean),
             gcn_mean: Arc::new(gcn_mean),
             lattice_mean: Arc::new(lattice_mean),
-            kept_nets,
+            kept_nets: Arc::new(kept_nets),
+            spans: Arc::new(spans),
             dropped_gnets: dropped,
         })
+    }
+
+    /// Patches this graph for a placement delta, given the re-binning
+    /// report of [`vlsi_netlist::rebin_delta`].
+    ///
+    /// Only the incidence-derived rows touched by the dirty nets are
+    /// rebuilt; the lattice operators, the kept-net mapping and every
+    /// untouched CSR row carry over (shared via `Arc`). The patched graph
+    /// is **bitwise identical** to `LhGraph::build` at the new placement —
+    /// the contract the incremental-pipeline proptests enforce.
+    ///
+    /// Returns [`DeltaOutcome::Structural`] when a net crossed the size
+    /// filter (G-net columns would renumber); the caller falls back to a
+    /// full rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LhGraphError::GridShape`] if `grid` is not the grid this
+    /// graph was built on.
+    pub fn apply_delta(
+        &self,
+        grid: &GcellGrid,
+        cfg: &LhGraphConfig,
+        report: &DirtyReport,
+    ) -> Result<DeltaOutcome> {
+        if self.nx != grid.nx() as usize || self.ny != grid.ny() as usize {
+            return Err(LhGraphError::grid_shape(
+                (self.nx, self.ny),
+                (grid.nx() as usize, grid.ny() as usize),
+            ));
+        }
+        let max_area = cfg.max_gnet_area(self.num_gcells());
+
+        // Classify each re-binned net: patchable span change, no-op (stays
+        // dropped) or structural (crosses the size filter).
+        let mut dirty: Vec<(usize, GcellSpan)> = Vec::new();
+        for rb in &report.net_rebins {
+            let col = self.net_column(rb.net);
+            let new_kept = rb.new_span.is_some_and(|s| span_area(s) <= max_area);
+            match (col, new_kept) {
+                (Some(j), true) => {
+                    let ns = rb.new_span.expect("kept net has a span");
+                    if self.spans[j] != ns {
+                        dirty.push((j, ns));
+                    }
+                }
+                (None, false) => {} // dropped before and after: no column
+                (Some(j), false) => {
+                    return Ok(DeltaOutcome::Structural(format!(
+                        "net {} (g-net column {j}) no longer passes the size filter",
+                        rb.net.0
+                    )));
+                }
+                (None, true) => {
+                    return Ok(DeltaOutcome::Structural(format!(
+                        "net {} newly passes the size filter",
+                        rb.net.0
+                    )));
+                }
+            }
+        }
+        dirty.sort_unstable_by_key(|&(j, _)| j);
+        if dirty.is_empty() {
+            return Ok(DeltaOutcome::Patched(GraphPatch {
+                graph: self.clone(),
+                dirty_cols: Vec::new(),
+                dirty_rows: Vec::new(),
+            }));
+        }
+
+        // Dirty G-cell rows: union of old and new spans of dirty nets.
+        let mut rows: Vec<usize> = Vec::new();
+        for &(j, ns) in &dirty {
+            let os = self.spans[j];
+            rows.extend(grid.iter_span(os.0, os.1).map(|c| grid.index(c)));
+            rows.extend(grid.iter_span(ns.0, ns.1).map(|c| grid.index(c)));
+        }
+        rows.sort_unstable();
+        rows.dedup();
+
+        // Incidence rows: keep clean columns, merge in the dirty nets that
+        // now cover the row. Iterating dirty nets in ascending column
+        // order fills each row's addition list pre-sorted, so the rebuild
+        // is a linear merge of two ascending streams — no per-row sort,
+        // same (column-sorted) layout `from_triplets` produces.
+        let mut dirty_col = vec![false; self.incidence.cols()];
+        for &(j, _) in &dirty {
+            dirty_col[j] = true;
+        }
+        let mut additions: Vec<Vec<usize>> = vec![Vec::new(); rows.len()];
+        for &(j, ns) in &dirty {
+            for c in grid.iter_span(ns.0, ns.1) {
+                let slot = rows.binary_search(&grid.index(c)).expect("span cell is a dirty row");
+                additions[slot].push(j);
+            }
+        }
+        let incidence_rows: Vec<(usize, Vec<(usize, f32)>)> = rows
+            .iter()
+            .zip(&additions)
+            .map(|(&r, add)| {
+                let mut entries = Vec::with_capacity(self.incidence.row_nnz(r) + add.len());
+                let mut add_it = add.iter().copied().peekable();
+                for (c, v) in self.incidence.row_entries(r) {
+                    if dirty_col[c] {
+                        continue;
+                    }
+                    while add_it.peek().is_some_and(|&j| j < c) {
+                        entries.push((add_it.next().expect("peeked"), 1.0));
+                    }
+                    entries.push((c, v));
+                }
+                entries.extend(add_it.map(|j| (j, 1.0)));
+                (r, entries)
+            })
+            .collect();
+        let incidence = Arc::new(self.incidence.with_rows_replaced(&incidence_rows));
+
+        // `D⁻¹H` rows share the incidence pattern with value `1/row-degree`
+        // — exactly what `row_normalized` yields on a 0/1 row (the sum of
+        // `c` ones is exactly `c as f32` for any realistic degree).
+        let mean_rows: Vec<(usize, Vec<(usize, f32)>)> = incidence_rows
+            .iter()
+            .map(|(r, es)| {
+                let inv = if es.is_empty() { 0.0 } else { 1.0 / es.len() as f32 };
+                (*r, es.iter().map(|&(c, _)| (c, inv)).collect())
+            })
+            .collect();
+        let gnc_mean = Arc::new(self.gnc_mean.with_rows_replaced(&mean_rows));
+
+        // `B⁻¹Hᵀ` rows are per-net: the new span's cells in ascending
+        // index order with value `1/area` — the transpose-then-normalise
+        // result of the full build.
+        let net_rows: Vec<(usize, Vec<(usize, f32)>)> = dirty
+            .iter()
+            .map(|&(j, ns)| {
+                let inv = 1.0 / span_area(ns) as f32;
+                (j, grid.iter_span(ns.0, ns.1).map(|c| (grid.index(c), inv)).collect())
+            })
+            .collect();
+        let gcn_mean = Arc::new(self.gcn_mean.with_rows_replaced(&net_rows));
+
+        let mut spans = (*self.spans).clone();
+        for &(j, ns) in &dirty {
+            spans[j] = ns;
+        }
+        let graph = LhGraph {
+            nx: self.nx,
+            ny: self.ny,
+            gnc_sum: Arc::clone(&incidence),
+            incidence,
+            lattice: Arc::clone(&self.lattice),
+            gnc_mean,
+            gcn_mean,
+            lattice_mean: Arc::clone(&self.lattice_mean),
+            kept_nets: Arc::clone(&self.kept_nets),
+            spans: Arc::new(spans),
+            dropped_gnets: self.dropped_gnets,
+        };
+        Ok(DeltaOutcome::Patched(GraphPatch {
+            graph,
+            dirty_cols: dirty.iter().map(|&(j, _)| j).collect(),
+            dirty_rows: rows,
+        }))
     }
 
     /// Number of G-cell nodes (`N_c`).
@@ -190,6 +405,26 @@ impl LhGraph {
     /// The circuit net behind each G-net row.
     pub fn kept_nets(&self) -> &[NetId] {
         &self.kept_nets
+    }
+
+    /// The G-net column of a circuit net, or `None` if the size filter
+    /// dropped it (O(log n) — `kept_nets` is ascending).
+    pub fn net_column(&self, net: NetId) -> Option<usize> {
+        self.kept_nets.binary_search(&net).ok()
+    }
+
+    /// The covered G-cell span of a kept G-net column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= num_gnets()`.
+    pub fn span_of(&self, col: usize) -> GcellSpan {
+        self.spans[col]
+    }
+
+    /// The covered span per kept G-net, indexed by column.
+    pub fn spans(&self) -> &[GcellSpan] {
+        &self.spans
     }
 
     /// Number of nets dropped by the size filter.

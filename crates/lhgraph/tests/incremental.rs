@@ -1,0 +1,256 @@
+//! Bitwise-equality proptests for the incremental LH-graph path: any
+//! sequence of placement deltas routed through `rebin_delta` →
+//! `LhGraph::apply_delta` → `FeatureSet::apply_delta` (with a full
+//! rebuild on `Structural` outcomes) must leave graph and features
+//! **bitwise identical** to a from-scratch build at the final placement.
+
+use lh_graph::{DeltaOutcome, FeatureSet, LhGraph, LhGraphConfig};
+use proptest::prelude::*;
+use vlsi_netlist::synth::{generate, SynthConfig};
+use vlsi_netlist::{
+    rebin_delta, CellId, Circuit, GcellGrid, NetId, Placement, PlacementDelta, Point,
+};
+use vlsi_place::GlobalPlacer;
+
+/// The incremental consumer under test: mirrors what the serving pipeline
+/// does per delta, falling back to a full rebuild on structural changes.
+struct Harness {
+    circuit: Circuit,
+    grid: GcellGrid,
+    cfg: LhGraphConfig,
+    cell_to_nets: Vec<Vec<NetId>>,
+    placement: Placement,
+    graph: LhGraph,
+    features: FeatureSet,
+    incremental: usize,
+    full_rebuilds: usize,
+}
+
+impl Harness {
+    fn new(seed: u64, n_cells: usize, grid_side: u32, max_gnet_fraction: f32) -> Self {
+        let synth_cfg = SynthConfig {
+            seed,
+            n_cells,
+            grid_nx: grid_side,
+            grid_ny: grid_side,
+            ..SynthConfig::default()
+        };
+        let synth = generate(&synth_cfg).expect("synth");
+        let grid = synth_cfg.grid();
+        let placed = GlobalPlacer::default().place_synth(&synth, &grid).expect("place");
+        let cfg = LhGraphConfig { max_gnet_fraction };
+        let graph = LhGraph::build(&synth.circuit, &placed.placement, &grid, &cfg).expect("graph");
+        let features =
+            FeatureSet::build(&graph, &synth.circuit, &placed.placement, &grid).expect("features");
+        let cell_to_nets = synth.circuit.cell_to_nets();
+        Self {
+            circuit: synth.circuit,
+            grid,
+            cfg,
+            cell_to_nets,
+            placement: placed.placement,
+            graph,
+            features,
+            incremental: 0,
+            full_rebuilds: 0,
+        }
+    }
+
+    /// Applies one delta through the incremental path. Returns `false`
+    /// when the placement became unbuildable (every net filtered), which
+    /// a from-scratch build rejects identically.
+    fn apply(&mut self, delta: &PlacementDelta) -> bool {
+        let before = self.placement.clone();
+        let mut after = before.clone();
+        delta.apply(&mut after);
+        let report =
+            rebin_delta(&self.circuit, &self.grid, &before, &after, delta, &self.cell_to_nets);
+        self.placement = after;
+        if report.is_clean() {
+            return true;
+        }
+        match self.graph.apply_delta(&self.grid, &self.cfg, &report).expect("same grid") {
+            DeltaOutcome::Patched(patch) => {
+                self.features = self
+                    .features
+                    .apply_delta(&patch, &report, &self.circuit, &self.placement, &self.grid)
+                    .expect("patch belongs to this graph");
+                self.graph = patch.graph;
+                self.incremental += 1;
+                true
+            }
+            DeltaOutcome::Structural(_) => {
+                self.full_rebuilds += 1;
+                match LhGraph::build(&self.circuit, &self.placement, &self.grid, &self.cfg) {
+                    Ok(graph) => {
+                        self.features =
+                            FeatureSet::build(&graph, &self.circuit, &self.placement, &self.grid)
+                                .expect("features");
+                        self.graph = graph;
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+        }
+    }
+
+    /// Bitwise parity with a from-scratch build at the current placement.
+    fn assert_matches_full_rebuild(&self) {
+        let graph =
+            LhGraph::build(&self.circuit, &self.placement, &self.grid, &self.cfg).expect("rebuild");
+        let features = FeatureSet::build(&graph, &self.circuit, &self.placement, &self.grid)
+            .expect("rebuild features");
+        assert_eq!(self.graph.kept_nets(), graph.kept_nets(), "kept-net mapping diverged");
+        assert_eq!(self.graph.spans(), graph.spans(), "span cache diverged");
+        for (name, mine, full) in [
+            ("incidence", self.graph.incidence(), graph.incidence()),
+            ("gnc_sum", self.graph.gnc_sum(), graph.gnc_sum()),
+            ("gnc_mean", self.graph.gnc_mean(), graph.gnc_mean()),
+            ("gcn_mean", self.graph.gcn_mean(), graph.gcn_mean()),
+            ("lattice", self.graph.lattice(), graph.lattice()),
+            ("lattice_mean", self.graph.lattice_mean(), graph.lattice_mean()),
+        ] {
+            assert_eq!(mine.as_ref(), full.as_ref(), "{name} diverged from full rebuild");
+            assert_eq!(
+                mine.content_fingerprint(),
+                full.content_fingerprint(),
+                "{name} fingerprint diverged"
+            );
+        }
+        assert_eq!(
+            self.features.gnet.fingerprint(),
+            features.gnet.fingerprint(),
+            "g-net features diverged"
+        );
+        assert_eq!(
+            self.features.gcell.fingerprint(),
+            features.gcell.fingerprint(),
+            "g-cell features diverged"
+        );
+        assert_eq!(self.features.fingerprint(), features.fingerprint());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random multi-cell move sequences: after every delta the patched
+    /// state equals a from-scratch rebuild, bitwise.
+    #[test]
+    fn random_delta_sequences_match_full_rebuild(
+        seed in 0u64..4,
+        moves in proptest::collection::vec(
+            (0usize..2048, 0.0f32..1.0, 0.0f32..1.0), 1..24),
+        chunk in 1usize..6,
+        fraction_sel in 0usize..3,
+    ) {
+        let fraction = [0.08f32, 0.25, 1.0][fraction_sel];
+        let mut h = Harness::new(seed, 80, 8, fraction);
+        let die = h.circuit.die;
+        for group in moves.chunks(chunk) {
+            let mut delta = PlacementDelta::new();
+            for &(cell, fx, fy) in group {
+                let id = CellId((cell % h.circuit.num_cells()) as u32);
+                let p = Point::new(
+                    die.lx + fx * die.width(),
+                    die.ly + fy * die.height(),
+                );
+                delta.push(id, p);
+            }
+            if !h.apply(&delta) {
+                return; // unbuildable either way: parity holds trivially
+            }
+            h.assert_matches_full_rebuild();
+        }
+    }
+
+    /// Single-cell jitter (the placement-loop steady state) stays on the
+    /// incremental path and matches the full rebuild after every step.
+    #[test]
+    fn single_cell_jitter_matches_full_rebuild(
+        seed in 0u64..3,
+        steps in proptest::collection::vec((0usize..2048, -0.9f32..0.9, -0.9f32..0.9), 1..16),
+    ) {
+        let mut h = Harness::new(seed, 100, 8, 0.25);
+        let die = h.circuit.die;
+        for &(cell, dx, dy) in &steps {
+            let id = CellId((cell % h.circuit.num_cells()) as u32);
+            let p = h.placement.position(id);
+            let np = die.clamp(Point::new(
+                p.x + dx * h.grid.gcell_width(),
+                p.y + dy * h.grid.gcell_height(),
+            ));
+            if !h.apply(&PlacementDelta::single(id, np)) {
+                return;
+            }
+        }
+        h.assert_matches_full_rebuild();
+    }
+}
+
+#[test]
+fn noop_delta_changes_nothing_and_stays_incremental() {
+    let mut h = Harness::new(1, 80, 8, 0.25);
+    let before_graph_fp = h.graph.incidence().content_fingerprint();
+    let before_feat_fp = h.features.fingerprint();
+    // move every cell to the position it already has
+    let mut delta = PlacementDelta::new();
+    for i in 0..h.circuit.num_cells() {
+        let id = CellId(i as u32);
+        delta.push(id, h.placement.position(id));
+    }
+    assert!(h.apply(&delta));
+    assert_eq!(h.incremental, 0, "no-op must not trigger a patch");
+    assert_eq!(h.full_rebuilds, 0);
+    assert_eq!(h.graph.incidence().content_fingerprint(), before_graph_fp);
+    assert_eq!(h.features.fingerprint(), before_feat_fp);
+    h.assert_matches_full_rebuild();
+}
+
+#[test]
+fn full_design_move_matches_full_rebuild() {
+    let mut h = Harness::new(2, 120, 8, 0.25);
+    let die = h.circuit.die;
+    // Shift the whole design one g-cell diagonally (clamped at the die
+    // edge): dirties most nets at once.
+    let mut delta = PlacementDelta::new();
+    for i in 0..h.circuit.num_cells() {
+        let id = CellId(i as u32);
+        let p = h.placement.position(id);
+        delta.push(
+            id,
+            die.clamp(Point::new(p.x + h.grid.gcell_width(), p.y + h.grid.gcell_height())),
+        );
+    }
+    assert!(h.apply(&delta));
+    h.assert_matches_full_rebuild();
+    assert!(h.incremental + h.full_rebuilds == 1);
+}
+
+#[test]
+fn untouched_operators_stay_arc_shared_after_patch() {
+    let mut h = Harness::new(3, 100, 8, 0.25);
+    let lattice_before = std::sync::Arc::as_ptr(h.graph.lattice());
+    let lattice_mean_before = std::sync::Arc::as_ptr(h.graph.lattice_mean());
+    // nudge one cell across a g-cell boundary until an incremental patch
+    // actually fires
+    let die = h.circuit.die;
+    for i in 0..h.circuit.num_cells() {
+        let id = CellId(i as u32);
+        let p = h.placement.position(id);
+        let np = die.clamp(Point::new(p.x + 1.5 * h.grid.gcell_width(), p.y));
+        assert!(h.apply(&PlacementDelta::single(id, np)));
+        if h.incremental > 0 {
+            break;
+        }
+    }
+    assert!(h.incremental > 0, "no incremental patch fired");
+    assert_eq!(
+        std::sync::Arc::as_ptr(h.graph.lattice()),
+        lattice_before,
+        "lattice must be shared, not rebuilt"
+    );
+    assert_eq!(std::sync::Arc::as_ptr(h.graph.lattice_mean()), lattice_mean_before);
+    h.assert_matches_full_rebuild();
+}

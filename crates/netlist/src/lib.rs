@@ -29,6 +29,7 @@
 
 pub mod bookshelf;
 pub mod circuit;
+pub mod delta;
 pub mod error;
 pub mod geometry;
 pub mod grid;
@@ -36,6 +37,9 @@ pub mod stats;
 pub mod synth;
 
 pub use circuit::{Cell, CellId, CellKind, Circuit, Net, NetId, Pin, Placement};
+pub use delta::{
+    rebin_delta, rebin_delta_in_place, DirtyReport, GcellSpan, NetRebin, PinMove, PlacementDelta,
+};
 pub use error::{NetlistError, Result};
 pub use geometry::{Point, Rect};
 pub use grid::{GcellCoord, GcellGrid};

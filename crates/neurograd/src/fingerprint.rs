@@ -62,9 +62,11 @@ impl Fnv64 {
         }
     }
 
-    /// Absorbs a `u64` (little-endian bytes).
+    /// Absorbs a `u64` as one FNV-1a step (word-wise, not byte-wise: ~8×
+    /// fewer multiplies on tensor-sized inputs, same determinism).
     pub fn write_u64(&mut self, v: u64) {
-        self.write_bytes(&v.to_le_bytes());
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
     }
 
     /// Absorbs a `usize` as `u64` so fingerprints agree across pointer
@@ -73,10 +75,10 @@ impl Fnv64 {
         self.write_u64(v as u64);
     }
 
-    /// Absorbs an `f32` slice by IEEE-754 bit pattern.
+    /// Absorbs an `f32` slice by IEEE-754 bit pattern, one word per step.
     pub fn write_f32s(&mut self, values: &[f32]) {
         for &v in values {
-            self.write_bytes(&v.to_bits().to_le_bytes());
+            self.write_u64(u64::from(v.to_bits()));
         }
     }
 
@@ -118,7 +120,7 @@ impl CsrMatrix {
         for (r, c, v) in self.iter() {
             h.write_usize(r);
             h.write_usize(c);
-            h.write_bytes(&v.to_bits().to_le_bytes());
+            h.write_u64(u64::from(v.to_bits()));
         }
     }
 

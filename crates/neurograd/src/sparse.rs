@@ -42,6 +42,11 @@ pub struct CsrMatrix {
     /// one-time cost per operator. Not part of equality, fingerprints or
     /// the serialised form.
     transpose_cache: OnceLock<Arc<CsrMatrix>>,
+    /// Lazily computed content digest (see
+    /// [`CsrMatrix::content_fingerprint`]), shared by clones. A `CsrMatrix`
+    /// is immutable after construction, so the digest can never go stale;
+    /// like the transpose cache it is invisible to equality.
+    fingerprint_cache: OnceLock<u64>,
 }
 
 impl PartialEq for CsrMatrix {
@@ -96,7 +101,15 @@ impl CsrMatrix {
             }
             indptr[r + 1] = indptr[r + 1].max(indptr[r]);
         }
-        Self { rows, cols, indptr, indices, values, transpose_cache: OnceLock::new() }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+            transpose_cache: OnceLock::new(),
+            fingerprint_cache: OnceLock::new(),
+        }
     }
 
     /// Builds a CSR matrix directly from raw CSR arrays.
@@ -130,7 +143,15 @@ impl CsrMatrix {
         if indices.iter().any(|&c| c >= cols) {
             return Err(NeuroError::InvalidConfig("csr column index out of bounds".into()));
         }
-        Ok(Self { rows, cols, indptr, indices, values, transpose_cache: OnceLock::new() })
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+            transpose_cache: OnceLock::new(),
+            fingerprint_cache: OnceLock::new(),
+        })
     }
 
     /// Number of rows.
@@ -250,8 +271,9 @@ impl CsrMatrix {
     /// operator the paper writes as `D⁻¹H`, `B⁻¹Hᵀ` or `P⁻¹A`.
     pub fn row_normalized(&self) -> CsrMatrix {
         let mut out = self.clone();
-        // the values are about to change: drop the inherited cache
+        // the values are about to change: drop the inherited caches
         out.transpose_cache = OnceLock::new();
+        out.fingerprint_cache = OnceLock::new();
         for r in 0..out.rows {
             let lo = out.indptr[r];
             let hi = out.indptr[r + 1];
@@ -323,7 +345,140 @@ impl CsrMatrix {
             indices: Vec::new(),
             values: Vec::new(),
             transpose_cache: OnceLock::new(),
+            fingerprint_cache: OnceLock::new(),
         }
+    }
+
+    /// Returns a copy with the listed rows' entries replaced, keeping
+    /// every other row byte-for-byte identical.
+    ///
+    /// `replacements` must be sorted by row index without duplicates, and
+    /// each replacement's entries must be sorted by column — the same
+    /// ordering [`CsrMatrix::from_triplets`] produces — so the result is
+    /// indistinguishable from a from-scratch build with the same content.
+    /// Unlike `from_triplets` this is a straight O(nnz) copy with no sort:
+    /// the structural primitive behind incremental graph updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replacements` is unsorted/duplicated, a row or column
+    /// index is out of bounds, or a replacement row's columns are unsorted.
+    pub fn with_rows_replaced(&self, replacements: &[(usize, Vec<(usize, f32)>)]) -> CsrMatrix {
+        for pair in replacements.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "replacement rows must be sorted and unique");
+        }
+        let extra: isize = replacements
+            .iter()
+            .map(|(r, es)| {
+                assert!(*r < self.rows, "replacement row {r} out of bounds for {} rows", self.rows);
+                es.len() as isize - self.row_nnz(*r) as isize
+            })
+            .sum();
+        let nnz = (self.nnz() as isize + extra) as usize;
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        indptr.push(0);
+        let mut next = replacements.iter().peekable();
+        for r in 0..self.rows {
+            match next.peek() {
+                Some((row, entries)) if *row == r => {
+                    let mut prev: Option<usize> = None;
+                    for &(c, v) in entries {
+                        assert!(c < self.cols, "replacement column {c} out of bounds");
+                        assert!(
+                            prev.map_or(true, |p| p < c),
+                            "replacement row {r} columns unsorted"
+                        );
+                        prev = Some(c);
+                        indices.push(c);
+                        values.push(v);
+                    }
+                    next.next();
+                }
+                _ => {
+                    let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
+                    indices.extend_from_slice(&self.indices[lo..hi]);
+                    values.extend_from_slice(&self.values[lo..hi]);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        assert!(next.peek().is_none(), "replacement row beyond matrix");
+        let out = CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+            transpose_cache: OnceLock::new(),
+            fingerprint_cache: OnceLock::new(),
+        };
+        // The digest is a wrapping sum of per-row hashes: with the source
+        // digest already memoised, the patched digest follows in
+        // O(replaced rows) — swap the shape term and the dirty rows'
+        // contributions. Bit-identical to a cold computation on `out`.
+        if let Some(&old) = self.fingerprint_cache.get() {
+            let mut fp = old
+                .wrapping_sub(Self::shape_hash(self.rows, self.cols, self.nnz()))
+                .wrapping_add(Self::shape_hash(out.rows, out.cols, out.nnz()));
+            for &(r, _) in replacements {
+                fp = fp.wrapping_sub(self.row_hash(r)).wrapping_add(out.row_hash(r));
+            }
+            let _ = out.fingerprint_cache.set(fp);
+        }
+        out
+    }
+
+    /// The digest contribution of one row: a word-wise [`crate::Fnv64`]
+    /// over the row index, its entry count and its `(column, value-bits)`
+    /// pairs.
+    fn row_hash(&self, r: usize) -> u64 {
+        let mut h = crate::Fnv64::new();
+        h.write_usize(r);
+        let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
+        h.write_usize(hi - lo);
+        for i in lo..hi {
+            h.write_usize(self.indices[i]);
+            h.write_u64(u64::from(self.values[i].to_bits()));
+        }
+        h.finish()
+    }
+
+    /// The shape/size contribution of the content digest.
+    fn shape_hash(rows: usize, cols: usize, nnz: usize) -> u64 {
+        let mut h = crate::Fnv64::new();
+        h.write_usize(rows);
+        h.write_usize(cols);
+        h.write_usize(nnz);
+        h.finish()
+    }
+
+    /// A cached content digest: equal iff shape, sparsity pattern and every
+    /// value's bit pattern are equal (collisions are possible in principle,
+    /// as for any 64-bit hash).
+    ///
+    /// Defined as a *wrapping sum* of independent per-row hashes (plus a
+    /// shape hash), which buys two properties a streaming hash cannot
+    /// offer: the digest is memoised per matrix (the matrix is immutable,
+    /// so repeated fingerprinting — a serving cache keying every request on
+    /// its operators — is O(1) after the first call), and
+    /// [`CsrMatrix::with_rows_replaced`] derives the patched matrix's
+    /// digest from the source's in O(replaced rows) instead of re-hashing
+    /// every entry.
+    pub fn content_fingerprint(&self) -> u64 {
+        *self.fingerprint_cache.get_or_init(|| {
+            let mut fp = Self::shape_hash(self.rows, self.cols, self.nnz());
+            for r in 0..self.rows {
+                fp = fp.wrapping_add(self.row_hash(r));
+            }
+            fp
+        })
+    }
+
+    /// Whether the content digest has been computed (diagnostics).
+    pub fn fingerprint_cache_warm(&self) -> bool {
+        self.fingerprint_cache.get().is_some()
     }
 }
 
@@ -538,6 +693,90 @@ mod tests {
             &n.transpose().to_dense().matmul(&Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]])),
             1e-6
         ));
+    }
+
+    #[test]
+    fn with_rows_replaced_matches_from_scratch_build() {
+        let s = example();
+        // replace row 0 with new entries, empty row 2 with one entry
+        let patched = s.with_rows_replaced(&[(0, vec![(1, 5.0)]), (2, vec![(0, 7.0), (2, 8.0)])]);
+        let rebuilt =
+            CsrMatrix::from_triplets(3, 3, &[(0, 1, 5.0), (1, 1, 3.0), (2, 0, 7.0), (2, 2, 8.0)]);
+        assert_eq!(patched, rebuilt, "patched CSR must equal a from-scratch build");
+        assert_eq!(patched.content_fingerprint(), rebuilt.content_fingerprint());
+    }
+
+    #[test]
+    fn patched_fingerprint_is_preseeded_from_warm_source_and_stays_exact() {
+        let s = example();
+        let _ = s.content_fingerprint(); // warm the source digest
+        let patched = s.with_rows_replaced(&[(1, vec![(0, -2.0), (2, 4.0)])]);
+        assert!(
+            patched.fingerprint_cache_warm(),
+            "patching a warm source must pre-seed the digest in O(dirty)"
+        );
+        let rebuilt =
+            CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 0, -2.0), (1, 2, 4.0)]);
+        assert_eq!(
+            patched.content_fingerprint(),
+            rebuilt.content_fingerprint(),
+            "pre-seeded digest must be bit-identical to a cold computation"
+        );
+        // cold source → no pre-seed, digest still agrees when computed
+        let cold = example().with_rows_replaced(&[(1, vec![(0, -2.0), (2, 4.0)])]);
+        assert!(!cold.fingerprint_cache_warm());
+        assert_eq!(cold.content_fingerprint(), rebuilt.content_fingerprint());
+    }
+
+    #[test]
+    fn with_rows_replaced_can_empty_and_noop_rows() {
+        let s = example();
+        let patched = s.with_rows_replaced(&[(0, vec![])]);
+        assert_eq!(patched.nnz(), 1);
+        assert_eq!(patched.row_nnz(0), 0);
+        let noop = s.with_rows_replaced(&[]);
+        assert_eq!(noop, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns unsorted")]
+    fn with_rows_replaced_rejects_unsorted_columns() {
+        example().with_rows_replaced(&[(0, vec![(2, 1.0), (0, 1.0)])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and unique")]
+    fn with_rows_replaced_rejects_duplicate_rows() {
+        example().with_rows_replaced(&[(0, vec![]), (0, vec![])]);
+    }
+
+    #[test]
+    fn content_fingerprint_is_cached_and_content_sensitive() {
+        let a = example();
+        assert!(!a.fingerprint_cache_warm());
+        let fp = a.content_fingerprint();
+        assert!(a.fingerprint_cache_warm());
+        assert_eq!(fp, a.content_fingerprint());
+        // clones made after warming share the digest; equal content agrees
+        let b = a.clone();
+        assert!(b.fingerprint_cache_warm());
+        assert_eq!(b.content_fingerprint(), fp);
+        let same = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+        assert_eq!(same.content_fingerprint(), fp);
+        // any content change disagrees
+        let moved = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+        assert_ne!(moved.content_fingerprint(), fp);
+        let rescaled = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.5), (0, 2, 2.0), (1, 1, 3.0)]);
+        assert_ne!(rescaled.content_fingerprint(), fp);
+    }
+
+    #[test]
+    fn row_normalized_drops_stale_fingerprint_cache() {
+        let s = example();
+        let fp = s.content_fingerprint();
+        let n = s.row_normalized();
+        assert!(!n.fingerprint_cache_warm(), "normalised copy must not inherit the digest");
+        assert_ne!(n.content_fingerprint(), fp);
     }
 
     #[test]

@@ -39,6 +39,6 @@ pub mod spreading;
 
 pub use density::{density_map, DensityMap};
 pub use error::{PlaceError, Result};
-pub use placer::{GlobalPlacer, GlobalPlacerConfig, PlacementResult, RandomPlacer};
+pub use placer::{GlobalPlacer, GlobalPlacerConfig, PlacementResult, PlacementTrace, RandomPlacer};
 pub use quadratic::{solve_quadratic, QuadraticConfig};
-pub use spreading::{spread, SpreadConfig};
+pub use spreading::{spread, spread_with, SpreadConfig};

@@ -7,12 +7,12 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vlsi_netlist::{CellId, Circuit, GcellGrid, Placement, Point, SynthCircuit};
+use vlsi_netlist::{CellId, Circuit, GcellGrid, Placement, PlacementDelta, Point, SynthCircuit};
 
 use crate::density::DensityMap;
 use crate::error::Result;
 use crate::quadratic::{solve_quadratic, QuadraticConfig};
-use crate::spreading::{spread, SpreadConfig};
+use crate::spreading::{spread, spread_with, SpreadConfig};
 
 /// Configuration of the global placer.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -40,6 +40,33 @@ pub struct PlacementResult {
     pub hpwl: f64,
 }
 
+/// The delta view of a placement run: a starting placement plus the
+/// ordered deltas whose replay reproduces the final placement exactly.
+///
+/// This is what a placement-in-the-loop consumer feeds to an incremental
+/// pipeline: open a session at [`PlacementTrace::initial`], then apply the
+/// deltas one iteration at a time, querying congestion in between.
+#[derive(Debug, Clone)]
+pub struct PlacementTrace {
+    /// The placement the deltas start from (all cells at the origin; the
+    /// quadratic solve is the first delta).
+    pub initial: Placement,
+    /// One delta for the quadratic solve, then one per spreading
+    /// iteration that moved at least one cell.
+    pub deltas: Vec<PlacementDelta>,
+}
+
+impl PlacementTrace {
+    /// Replays all deltas onto a copy of the initial placement.
+    pub fn replay(&self) -> Placement {
+        let mut p = self.initial.clone();
+        for d in &self.deltas {
+            d.apply(&mut p);
+        }
+        p
+    }
+}
+
 impl GlobalPlacer {
     /// Creates a placer with the given configuration.
     pub fn new(cfg: GlobalPlacerConfig) -> Self {
@@ -63,6 +90,44 @@ impl GlobalPlacer {
         Ok(PlacementResult { placement, density, hpwl })
     }
 
+    /// Places a circuit while recording the iteration-level deltas: one
+    /// [`PlacementDelta`] for the quadratic solve, then one per spreading
+    /// iteration (as emitted by [`crate::spread_with`]).
+    ///
+    /// The returned result is identical to [`GlobalPlacer::place`] (the
+    /// deterministic trajectory is shared; equality is pinned by
+    /// `traced_placement_matches_plain_and_replays_exactly`) and
+    /// `trace.replay()` reproduces `result.placement` exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quadratic-solve failures.
+    pub fn place_traced(
+        &self,
+        circuit: &Circuit,
+        fixed: &[(CellId, Point)],
+        grid: &GcellGrid,
+    ) -> Result<(PlacementResult, PlacementTrace)> {
+        let initial = Placement::zeroed(circuit.num_cells());
+        let mut placement = solve_quadratic(circuit, fixed, None, &self.cfg.quadratic)?;
+        let mut deltas = Vec::new();
+        let mut quad = PlacementDelta::new();
+        for i in 0..circuit.num_cells() {
+            let id = CellId(i as u32);
+            if placement.position(id) != initial.position(id) {
+                quad.push(id, placement.position(id));
+            }
+        }
+        if !quad.is_empty() {
+            deltas.push(quad);
+        }
+        let density = spread_with(circuit, &mut placement, grid, &self.cfg.spreading, &mut |d| {
+            deltas.push(d);
+        });
+        let hpwl = placement.total_hpwl(circuit);
+        Ok((PlacementResult { placement, density, hpwl }, PlacementTrace { initial, deltas }))
+    }
+
     /// Places a synthetic design using its generated terminal anchors.
     ///
     /// # Errors
@@ -70,6 +135,19 @@ impl GlobalPlacer {
     /// Propagates quadratic-solve failures.
     pub fn place_synth(&self, synth: &SynthCircuit, grid: &GcellGrid) -> Result<PlacementResult> {
         self.place(&synth.circuit, &synth.fixed_positions, grid)
+    }
+
+    /// [`GlobalPlacer::place_traced`] for a synthetic design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quadratic-solve failures.
+    pub fn place_synth_traced(
+        &self,
+        synth: &SynthCircuit,
+        grid: &GcellGrid,
+    ) -> Result<(PlacementResult, PlacementTrace)> {
+        self.place_traced(&synth.circuit, &synth.fixed_positions, grid)
     }
 }
 
@@ -162,6 +240,19 @@ mod tests {
         let result = GlobalPlacer::default().place_synth(&synth, &grid).unwrap();
         assert!(result.density.max() > 0.0);
         assert!(result.hpwl > 0.0);
+    }
+
+    #[test]
+    fn traced_placement_matches_plain_and_replays_exactly() {
+        let (synth, grid) = small_synth();
+        let placer = GlobalPlacer::default();
+        let plain = placer.place_synth(&synth, &grid).unwrap();
+        let (traced, trace) = placer.place_synth_traced(&synth, &grid).unwrap();
+        assert_eq!(plain.placement, traced.placement, "trace recording must not change placement");
+        assert_eq!(trace.replay(), traced.placement, "delta replay must reproduce the result");
+        assert!(!trace.deltas.is_empty(), "quadratic solve must emit a delta");
+        // quadratic delta first, spreading iterations after
+        assert!(trace.deltas[0].len() >= synth.circuit.num_movable());
     }
 
     #[test]

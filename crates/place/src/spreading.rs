@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vlsi_netlist::{CellId, Circuit, GcellGrid, Placement, Point};
+use vlsi_netlist::{CellId, Circuit, GcellGrid, Placement, PlacementDelta, Point};
 
 use crate::density::{density_map, DensityMap};
 
@@ -51,6 +51,36 @@ pub fn spread(
     grid: &GcellGrid,
     cfg: &SpreadConfig,
 ) -> DensityMap {
+    spread_impl(circuit, placement, grid, cfg, None)
+}
+
+/// [`spread`] that additionally emits one [`PlacementDelta`] per diffusion
+/// iteration, listing exactly the cells that iteration moved (with their
+/// new positions).
+///
+/// The trajectory is bitwise identical to [`spread`] — both are one
+/// implementation; without a sink no delta is even constructed — so a
+/// placement loop can feed the deltas to an incremental consumer (e.g.
+/// `lhnn`'s `LatticePipeline` or a serving session) and land on exactly
+/// the state a batch rebuild would produce. Iterations that move no cell
+/// emit no delta.
+pub fn spread_with(
+    circuit: &Circuit,
+    placement: &mut Placement,
+    grid: &GcellGrid,
+    cfg: &SpreadConfig,
+    on_delta: &mut dyn FnMut(PlacementDelta),
+) -> DensityMap {
+    spread_impl(circuit, placement, grid, cfg, Some(on_delta))
+}
+
+fn spread_impl(
+    circuit: &Circuit,
+    placement: &mut Placement,
+    grid: &GcellGrid,
+    cfg: &SpreadConfig,
+    mut on_delta: Option<&mut dyn FnMut(PlacementDelta)>,
+) -> DensityMap {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let gw = grid.gcell_width();
     let gh = grid.gcell_height();
@@ -60,6 +90,7 @@ pub fn spread(
             break;
         }
         let smooth = map.box_blur();
+        let mut delta = on_delta.as_ref().map(|_| PlacementDelta::new());
         for (i, cell) in circuit.cells().iter().enumerate() {
             if cell.is_terminal() {
                 continue;
@@ -87,11 +118,19 @@ pub fn spread(
             let excess = (local - cfg.target_density).min(4.0);
             let jx = rng.gen_range(-cfg.jitter..=cfg.jitter);
             let jy = rng.gen_range(-cfg.jitter..=cfg.jitter);
-            let np = Point::new(
+            let np = circuit.die.clamp(Point::new(
                 p.x - (ux * cfg.step * excess + jx) * gw,
                 p.y - (uy * cfg.step * excess + jy) * gh,
-            );
-            placement.set_position(id, circuit.die.clamp(np));
+            ));
+            placement.set_position(id, np);
+            if let Some(delta) = delta.as_mut() {
+                delta.push(id, np);
+            }
+        }
+        if let (Some(delta), Some(sink)) = (delta, on_delta.as_mut()) {
+            if !delta.is_empty() {
+                sink(delta);
+            }
         }
         map = density_map(circuit, placement, grid);
     }
@@ -173,6 +212,34 @@ mod tests {
         for pos in p.positions() {
             assert!(die.contains(*pos), "cell escaped to {pos:?}");
         }
+    }
+
+    #[test]
+    fn spread_with_deltas_replay_to_identical_placement() {
+        let die = Rect::new(0.0, 0.0, 32.0, 32.0);
+        let mut c = Circuit::new("pile", die);
+        let initial = {
+            let mut p = Placement::zeroed(150);
+            for i in 0..150 {
+                let id = c.add_cell(Cell::movable(format!("c{i}"), 1.0, 1.0));
+                p.set_position(id, Point::new(16.0, 16.0));
+            }
+            p
+        };
+        let grid = GcellGrid::new(die, 8, 8);
+        let cfg = SpreadConfig::default();
+        let mut plain = initial.clone();
+        spread(&c, &mut plain, &grid, &cfg);
+        let mut traced = initial.clone();
+        let mut deltas = Vec::new();
+        spread_with(&c, &mut traced, &grid, &cfg, &mut |d| deltas.push(d));
+        assert_eq!(plain, traced, "delta emission must not perturb the trajectory");
+        assert!(!deltas.is_empty());
+        let mut replayed = initial;
+        for d in &deltas {
+            d.apply(&mut replayed);
+        }
+        assert_eq!(replayed, traced, "replaying the deltas must land on the same placement");
     }
 
     #[test]

@@ -14,6 +14,9 @@ pub enum ServeError {
     Model(ModelIoError),
     /// A name is already registered (use `replace` to hot-swap).
     AlreadyRegistered(String),
+    /// A placement-loop session could not build or rebuild its pipeline
+    /// (e.g. every net filtered out at the current placement).
+    Session(String),
     /// The engine is shutting down; the request was not accepted.
     ShuttingDown,
     /// The worker serving this request died before replying (a panic in
@@ -30,6 +33,7 @@ impl std::fmt::Display for ServeError {
             ServeError::AlreadyRegistered(name) => {
                 write!(f, "model `{name}` is already registered")
             }
+            ServeError::Session(msg) => write!(f, "session pipeline failed: {msg}"),
             ServeError::ShuttingDown => write!(f, "inference engine is shutting down"),
             ServeError::WorkerLost => write!(f, "worker died before replying"),
         }

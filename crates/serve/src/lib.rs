@@ -20,6 +20,13 @@
 //!   ([`ServeHandle::predict`], [`ServeHandle::predict_batch`],
 //!   [`ServeHandle::stats`]) with latency percentiles, throughput and
 //!   cache hit rate.
+//! * [`Session`] — the stateful placement-loop surface
+//!   ([`ServeHandle::open_session`] / [`Session::update`] /
+//!   [`Session::predict`]): keeps an incremental
+//!   [`lhnn::LatticePipeline`] hot per design so a placer's per-iteration
+//!   deltas patch only the dirty graph/feature rows (sort-free copies, no
+//!   placement rescan, pre-seeded digests) instead of rebuilding, with
+//!   results bitwise identical to batch construction.
 //!
 //! Served predictions are **bitwise identical** to direct
 //! [`lhnn::Lhnn::predict`] calls regardless of worker count or cache
@@ -73,10 +80,12 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod registry;
+pub mod session;
 pub mod stats;
 
 pub use cache::{CacheKey, PredictionCache};
 pub use engine::{EngineConfig, PredictRequest, ServeEngine, ServeHandle, ServeReply};
 pub use error::{Result, ServeError};
 pub use registry::{ModelEntry, ModelRegistry};
+pub use session::{Session, SessionConfig};
 pub use stats::ServeStats;

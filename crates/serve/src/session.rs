@@ -1,0 +1,370 @@
+//! Stateful placement-loop sessions: the incremental serving surface.
+//!
+//! A stateless [`crate::ServeHandle::predict`] forces every caller to
+//! rebuild graph operators and features per query — fine for one-shot
+//! CLIs, wasteful for a placer that perturbs a few cells and re-queries
+//! thousands of times. A [`Session`] keeps a [`LatticePipeline`] hot per
+//! design:
+//!
+//! ```text
+//! open_session(circuit, placement)   // one full build
+//!   loop {
+//!     session.update(&delta)         // incremental dirty-row patch
+//!     session.predict()              // engine forward (or cache hit)
+//!   }
+//! ```
+//!
+//! Because incremental updates are bitwise identical to full rebuilds, the
+//! engine's fingerprint-keyed prediction cache composes transparently: a
+//! `predict` after a no-op update (or after a delta that returns to a
+//! previously seen placement) hits the cache exactly as if the inputs had
+//! been batch-built.
+
+use std::sync::Arc;
+
+use lh_graph::{FeatureSet, LhGraphConfig};
+use lhnn::{AblationSpec, GraphOps, LatticePipeline, PipelineStats, PipelineUpdate};
+use vlsi_netlist::{Circuit, GcellGrid, Placement, PlacementDelta};
+
+use crate::engine::{PredictRequest, ServeHandle, ServeReply};
+use crate::error::{Result, ServeError};
+
+/// Options for [`ServeHandle::open_session`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Registry name of the model to serve with.
+    pub model: String,
+    /// Congestion threshold applied to predictions.
+    pub threshold: f32,
+    /// LH-graph build options.
+    pub graph: LhGraphConfig,
+    /// Fixed per-channel G-cell feature divisors (see
+    /// [`FeatureSet::scaled_fixed`]).
+    pub gcell_divisors: Vec<f32>,
+    /// Fixed per-channel G-net feature divisors.
+    pub gnet_divisors: Vec<f32>,
+}
+
+impl SessionConfig {
+    /// Defaults: 0.5 threshold, default graph config, the reproduction's
+    /// fixed feature divisors.
+    pub fn new(model: impl Into<String>) -> Self {
+        let (gcell_divisors, gnet_divisors) = FeatureSet::default_divisors();
+        Self {
+            model: model.into(),
+            threshold: 0.5,
+            graph: LhGraphConfig::default(),
+            gcell_divisors,
+            gnet_divisors,
+        }
+    }
+
+    /// Sets the congestion threshold.
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: f32) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the LH-graph build options.
+    #[must_use]
+    pub fn with_graph_config(mut self, graph: LhGraphConfig) -> Self {
+        self.graph = graph;
+        self
+    }
+}
+
+/// A hot placement-loop session over one design.
+///
+/// Owned by the placer thread driving it; the underlying engine and its
+/// worker pool are shared with every other client of the [`ServeHandle`].
+#[derive(Debug)]
+pub struct Session {
+    handle: ServeHandle,
+    cfg: SessionConfig,
+    pipeline: LatticePipeline,
+    /// Scaled snapshot of the pipeline state, rebuilt lazily after a
+    /// non-noop update. Holding `Arc`s means repeated `predict` calls on
+    /// an unchanged placement submit pointer-identical inputs.
+    snapshot: Option<(Arc<GraphOps>, Arc<FeatureSet>)>,
+}
+
+impl ServeHandle {
+    /// Opens a placement-loop session: builds the full pipeline once and
+    /// keeps it hot for incremental [`Session::update`]s.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] if `cfg.model` is not registered;
+    /// [`ServeError::Session`] if the initial pipeline build fails.
+    pub fn open_session(
+        &self,
+        cfg: SessionConfig,
+        circuit: Arc<Circuit>,
+        placement: Placement,
+        grid: GcellGrid,
+    ) -> Result<Session> {
+        if self.registry().get(&cfg.model).is_none() {
+            return Err(ServeError::UnknownModel(cfg.model.clone()));
+        }
+        let pipeline =
+            LatticePipeline::new(circuit, placement, grid, cfg.graph.clone(), AblationSpec::full())
+                .map_err(|e| ServeError::Session(e.to_string()))?;
+        Ok(Session { handle: self.clone(), cfg, pipeline, snapshot: None })
+    }
+}
+
+impl Session {
+    /// Applies a placement delta to the hot pipeline.
+    ///
+    /// Returns what the pipeline did ([`PipelineUpdate::Noop`] /
+    /// [`PipelineUpdate::Incremental`] / [`PipelineUpdate::FullRebuild`]).
+    /// A noop keeps the current prediction snapshot — and therefore the
+    /// engine cache key — untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Session`] if a structural fallback rebuild fails
+    /// (e.g. the delta pushed every net past the size filter).
+    pub fn update(&mut self, delta: &PlacementDelta) -> Result<PipelineUpdate> {
+        let outcome = self.pipeline.apply(delta);
+        // Any non-noop outcome — including a failed rebuild, which leaves
+        // the pipeline poisoned — invalidates the prediction snapshot.
+        if !matches!(outcome, Ok(PipelineUpdate::Noop)) {
+            self.snapshot = None;
+        }
+        outcome.map_err(|e| ServeError::Session(e.to_string()))
+    }
+
+    /// Predicts congestion for the current placement through the shared
+    /// engine (worker pool, single-flight dedup, fingerprint cache).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Session`] if the pipeline is poisoned (a fallback
+    /// rebuild failed, so graph/features lag the placement — answering
+    /// would serve a stale map as current); otherwise propagates engine
+    /// errors ([`ServeError::UnknownModel`], [`ServeError::Incompatible`],
+    /// shutdown races).
+    pub fn predict(&mut self) -> Result<ServeReply> {
+        let (ops, features) = self.inputs()?;
+        let request =
+            PredictRequest::new(&self.cfg.model, ops, features).with_threshold(self.cfg.threshold);
+        self.handle.predict(&request)
+    }
+
+    /// The current `(operators, scaled features)` snapshot, as submitted
+    /// to the engine by [`Session::predict`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Session`] while the pipeline is poisoned — the
+    /// snapshot would describe an older placement than the session's.
+    pub fn inputs(&mut self) -> Result<(Arc<GraphOps>, Arc<FeatureSet>)> {
+        if self.pipeline.is_poisoned() {
+            return Err(ServeError::Session(
+                "pipeline is poisoned (a rebuild failed); apply a delta that admits a \
+                 rebuild before predicting"
+                    .into(),
+            ));
+        }
+        if self.snapshot.is_none() {
+            let ops = self.pipeline.ops();
+            let features = Arc::new(
+                self.pipeline
+                    .features()
+                    .scaled_fixed(&self.cfg.gcell_divisors, &self.cfg.gnet_divisors),
+            );
+            self.snapshot = Some((ops, features));
+        }
+        let (ops, features) = self.snapshot.as_ref().expect("just filled");
+        Ok((Arc::clone(ops), Arc::clone(features)))
+    }
+
+    /// The hot pipeline (placement, graph, counters).
+    pub fn pipeline(&self) -> &LatticePipeline {
+        &self.pipeline
+    }
+
+    /// The pipeline's lifetime counters.
+    pub fn stats(&self) -> &PipelineStats {
+        self.pipeline.stats()
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, ServeEngine};
+    use crate::registry::ModelRegistry;
+    use lhnn::{Lhnn, LhnnConfig};
+    use vlsi_netlist::synth::{generate, SynthConfig};
+    use vlsi_netlist::{CellId, Point};
+    use vlsi_place::GlobalPlacer;
+
+    fn engine() -> ServeEngine {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register("default", Lhnn::new(LhnnConfig::default(), 0)).unwrap();
+        ServeEngine::new(registry, EngineConfig { workers: 2, ..EngineConfig::default() })
+    }
+
+    fn design(seed: u64) -> (Arc<Circuit>, Placement, GcellGrid) {
+        let cfg = SynthConfig { seed, n_cells: 120, grid_nx: 8, grid_ny: 8, ..Default::default() };
+        let synth = generate(&cfg).unwrap();
+        let grid = cfg.grid();
+        let placed = GlobalPlacer::default().place_synth(&synth, &grid).unwrap();
+        (Arc::new(synth.circuit), placed.placement, grid)
+    }
+
+    #[test]
+    fn session_predicts_and_noop_update_hits_cache() {
+        let engine = engine();
+        let handle = engine.handle();
+        let (circuit, placement, grid) = design(1);
+        let mut session =
+            handle.open_session(SessionConfig::new("default"), circuit, placement, grid).unwrap();
+        let cold = session.predict().unwrap();
+        assert!(!cold.cached);
+        // unchanged placement → same fingerprints → cache hit
+        let warm = session.predict().unwrap();
+        assert!(warm.cached);
+        // a noop delta must not spoil the key
+        let id = CellId(0);
+        let pos = session.pipeline().placement().position(id);
+        let update = session.update(&PlacementDelta::single(id, pos)).unwrap();
+        assert_eq!(update, PipelineUpdate::Noop);
+        assert!(session.predict().unwrap().cached);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn session_predictions_match_direct_model_bitwise() {
+        let engine = engine();
+        let handle = engine.handle();
+        let (circuit, placement, grid) = design(2);
+        let mut session = handle
+            .open_session(
+                SessionConfig::new("default"),
+                Arc::clone(&circuit),
+                placement.clone(),
+                grid.clone(),
+            )
+            .unwrap();
+        let die = circuit.die;
+        let model = Lhnn::new(LhnnConfig::default(), 0);
+        let mut placement = placement;
+        for step in 0..4u32 {
+            // move one cell a g-cell to the right, both in the session and
+            // in the reference placement
+            let id = CellId(step);
+            let np = die.clamp(Point::new(
+                placement.position(id).x + grid.gcell_width() * 1.5,
+                placement.position(id).y,
+            ));
+            placement.set_position(id, np);
+            session.update(&PlacementDelta::single(id, np)).unwrap();
+            let reply = session.predict().unwrap();
+            // reference: batch rebuild from scratch
+            let (ops, features) = batch_inputs(&circuit, &placement, &grid, session.config());
+            let direct = model.predict(&ops, &features);
+            assert!(
+                reply.prediction.cls_prob.approx_eq(&direct.cls_prob, 0.0),
+                "served prediction diverged from batch rebuild at step {step}"
+            );
+        }
+        engine.shutdown();
+    }
+
+    fn batch_inputs(
+        circuit: &Circuit,
+        placement: &Placement,
+        grid: &GcellGrid,
+        cfg: &SessionConfig,
+    ) -> (GraphOps, FeatureSet) {
+        let graph = lh_graph::LhGraph::build(circuit, placement, grid, &cfg.graph).unwrap();
+        let features = FeatureSet::build(&graph, circuit, placement, grid)
+            .unwrap()
+            .scaled_fixed(&cfg.gcell_divisors, &cfg.gnet_divisors);
+        (GraphOps::from_graph(&graph, &AblationSpec::full()), features)
+    }
+
+    #[test]
+    fn unknown_model_is_rejected_at_open() {
+        let engine = engine();
+        let (circuit, placement, grid) = design(3);
+        let err = engine
+            .handle()
+            .open_session(SessionConfig::new("nope"), circuit, placement, grid)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownModel(_)));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn poisoned_session_refuses_to_serve_stale_predictions() {
+        use vlsi_netlist::{Cell, Net, Pin, Rect};
+        let engine = engine();
+        let handle = engine.handle();
+        // Single 2-pin net with a 1-g-cell size filter: stretching it is
+        // structural and the fallback rebuild fails (no nets survive).
+        let die = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let grid = GcellGrid::new(die, 4, 4);
+        let mut c = Circuit::new("tiny", die);
+        let a = c.add_cell(Cell::movable("a", 0.2, 0.2));
+        let b = c.add_cell(Cell::movable("b", 0.2, 0.2));
+        c.add_net(Net::new("n", vec![Pin::at_center(a), Pin::at_center(b)]));
+        let mut placement = Placement::zeroed(2);
+        placement.set_position(a, Point::new(1.0, 1.0));
+        placement.set_position(b, Point::new(1.2, 1.2));
+        let cfg = SessionConfig::new("default")
+            .with_graph_config(LhGraphConfig { max_gnet_fraction: 1e-9 });
+        let mut session = handle.open_session(cfg, Arc::new(c), placement, grid).unwrap();
+        assert!(session.predict().is_ok());
+
+        let stretch = PlacementDelta::single(b, Point::new(7.0, 7.0));
+        assert!(matches!(session.update(&stretch), Err(ServeError::Session(_))));
+        // the session must refuse to answer from the stale state
+        assert!(
+            matches!(session.predict(), Err(ServeError::Session(_))),
+            "poisoned session must not serve a pre-delta congestion map"
+        );
+        // healing delta: rebuild succeeds, predictions flow again
+        let heal = PlacementDelta::single(b, Point::new(1.3, 1.3));
+        assert!(matches!(session.update(&heal), Ok(PipelineUpdate::FullRebuild { .. })));
+        assert!(session.predict().is_ok());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn incremental_updates_are_counted() {
+        let engine = engine();
+        let handle = engine.handle();
+        let (circuit, placement, grid) = design(4);
+        let mut session = handle
+            .open_session(SessionConfig::new("default"), Arc::clone(&circuit), placement, grid)
+            .unwrap();
+        let die = circuit.die;
+        let mut moved = 0;
+        for i in 0..8u32 {
+            let id = CellId(i);
+            let p = session.pipeline().placement().position(id);
+            let np = die.clamp(Point::new(p.x + 2.5, p.y + 2.5));
+            let update = session.update(&PlacementDelta::single(id, np)).unwrap();
+            if matches!(update, PipelineUpdate::Incremental { .. }) {
+                moved += 1;
+            }
+        }
+        assert_eq!(session.stats().updates, 8);
+        assert_eq!(
+            session.stats().incremental,
+            moved,
+            "stats must count exactly the incremental updates"
+        );
+        engine.shutdown();
+    }
+}
