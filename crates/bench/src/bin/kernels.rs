@@ -117,7 +117,12 @@ fn main() {
         let (ms_1t, ms_nt) = scale_ms(threads, || {
             std::hint::black_box(a.matmul(&b));
         });
-        records.push(BenchRecord { name: format!("matmul_{rows}x64x64"), ms_1t, ms_nt });
+        records.push(BenchRecord::thread_scaling(
+            format!("matmul_{rows}x64x64"),
+            ms_1t,
+            threads,
+            ms_nt,
+        ));
     }
 
     // sparse spmm / spmm_t: lattice-like aggregation over 32 channels
@@ -127,12 +132,22 @@ fn main() {
         let (ms_1t, ms_nt) = scale_ms(threads, || {
             std::hint::black_box(s.spmm(&x));
         });
-        records.push(BenchRecord { name: format!("spmm_{rows}x{rows}x32"), ms_1t, ms_nt });
+        records.push(BenchRecord::thread_scaling(
+            format!("spmm_{rows}x{rows}x32"),
+            ms_1t,
+            threads,
+            ms_nt,
+        ));
         let _ = s.transpose_cached(); // warm: measure the product, not the build
         let (ms_1t, ms_nt) = scale_ms(threads, || {
             std::hint::black_box(s.spmm_t(&x));
         });
-        records.push(BenchRecord { name: format!("spmm_t_{rows}x{rows}x32"), ms_1t, ms_nt });
+        records.push(BenchRecord::thread_scaling(
+            format!("spmm_t_{rows}x{rows}x32"),
+            ms_1t,
+            threads,
+            ms_nt,
+        ));
     }
 
     // one full data-parallel training epoch over the synthetic suite
@@ -163,25 +178,26 @@ fn main() {
         hist_1t.epoch_loss, hist_nt.epoch_loss,
         "parallel epoch must reproduce the serial loss exactly"
     );
-    records.push(BenchRecord {
-        name: format!("train_epoch_{n_samples}designs_16x16"),
+    records.push(BenchRecord::thread_scaling(
+        format!("train_epoch_{n_samples}designs_16x16"),
         ms_1t,
+        threads,
         ms_nt,
-    });
+    ));
 
     let mut table = TextTable::new(&["kernel", "1T (ms)", &format!("{threads}T (ms)"), "speedup"]);
     for r in &records {
         println!(
             "{}: {:.2} ms -> {:.2} ms at {threads} threads ({:.2}x)",
             r.name,
-            r.ms_1t,
-            r.ms_nt,
+            r.baseline_ms,
+            r.candidate_ms,
             r.speedup()
         );
         table.add_row(vec![
             r.name.clone(),
-            format!("{:.2}", r.ms_1t),
-            format!("{:.2}", r.ms_nt),
+            format!("{:.2}", r.baseline_ms),
+            format!("{:.2}", r.candidate_ms),
             format!("{:.2}x", r.speedup()),
         ]);
     }

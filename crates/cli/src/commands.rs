@@ -291,8 +291,14 @@ fn drive_engine(
 
 /// `lhnn loop-bench`: drive the placer's own iteration deltas against the
 /// stateful session API and measure the incremental pipeline against
-/// from-scratch rebuilds.
+/// from-scratch rebuilds. With `--designs D` (D > 1) it switches to the
+/// concurrent mode: D placement loops over a `--shards S` engine,
+/// pipelined sessions vs serially-driven ones.
 pub fn loop_bench(args: &Args) -> CmdResult {
+    let designs_n = args.num("designs", 1usize).max(1);
+    if designs_n > 1 {
+        return loop_bench_concurrent(args, designs_n);
+    }
     // defaults match `lhnn generate`'s canonical design size
     let cells = args.num("cells", 800usize).max(8);
     let grid_n = args.num("grid", 24u32).max(2);
@@ -353,7 +359,7 @@ pub fn loop_bench(args: &Args) -> CmdResult {
             cache_hits += 1;
         }
     }
-    let stats = session.stats().clone();
+    let stats = session.stats();
     let n = trace.deltas.len().max(1) as f64;
     println!(
         "session replay: {} updates ({} incremental, {} full rebuilds, {} noop), \
@@ -367,7 +373,7 @@ pub fn loop_bench(args: &Args) -> CmdResult {
     );
 
     // --- bitwise parity: the replayed session vs a from-scratch build ---
-    let session_fps = session.pipeline().fingerprints();
+    let session_fps = session.fingerprints();
     let fresh =
         LatticePipeline::for_serving(Arc::clone(&circuit), placed.placement.clone(), grid.clone())?;
     if session_fps != fresh.fingerprints() {
@@ -473,24 +479,236 @@ pub fn loop_bench(args: &Args) -> CmdResult {
                 .into());
             }
         }
-        let record = BenchRecord {
-            name: format!("{label}_{cells}c_{grid_n}x{grid_n}"),
-            ms_1t: full_s / rounds as f64 * 1e3,
-            ms_nt: incr_s / rounds as f64 * 1e3,
-        };
+        let record = BenchRecord::labeled(
+            format!("{label}_{cells}c_{grid_n}x{grid_n}"),
+            "full rebuild",
+            full_s / rounds as f64 * 1e3,
+            "incremental update",
+            incr_s / rounds as f64 * 1e3,
+        );
         println!(
             "micro-bench {k:>4}-cell move: incremental {:.3} ms vs full rebuild {:.3} ms \
              -> {:.1}x speedup (avg of {rounds} rounds, bitwise-verified)",
-            record.ms_nt,
-            record.ms_1t,
+            record.candidate_ms,
+            record.baseline_ms,
             record.speedup()
         );
         records.push(record);
     }
 
     write_bench_json(Path::new(&json_path), "incremental", threads.max(1), &records)?;
-    println!("wrote {json_path} (ms_1t = full rebuild, ms_nt = incremental update)");
+    println!("wrote {json_path} (baseline = full rebuild, candidate = incremental update)");
     engine.shutdown();
+    Ok(())
+}
+
+/// One design prepared for the concurrent loop-bench: a traced placement
+/// whose deltas replay the placer's own iterations.
+struct LoopDesign {
+    name: String,
+    circuit: Arc<vlsi_netlist::Circuit>,
+    grid: GcellGrid,
+    initial: Placement,
+    final_placement: Placement,
+    deltas: Vec<PlacementDelta>,
+}
+
+/// The concurrent mode of `lhnn loop-bench`: D designs, each replaying
+/// its own placer trace through a session, comparing serially-driven
+/// sessions on a single-shard engine against concurrent pipelined
+/// sessions on an `--shards S` engine. Writes `BENCH_serve_shard.json`.
+fn loop_bench_concurrent(args: &Args, designs_n: usize) -> CmdResult {
+    let shards = args.num("shards", 2usize).max(1);
+    let workers = args.num("workers", shards).max(1);
+    let cells = args.num("cells", 800usize).max(8);
+    let grid_n = args.num("grid", 24u32).max(2);
+    let seed = args.num("seed", 1u64);
+    let threads = args.num("threads", 0usize);
+    let json_path = args.get("json", "results/BENCH_serve_shard.json");
+    if threads > 0 {
+        neurograd::pool::configure_threads(threads);
+    }
+
+    eprintln!(
+        "preparing {designs_n} designs ({cells} cells, {grid_n}x{grid_n} g-cells) with traced \
+         placements..."
+    );
+    let designs: Result<Vec<LoopDesign>, Box<dyn Error>> = (0..designs_n)
+        .map(|d| {
+            let synth_cfg = SynthConfig {
+                name: format!("loopbench-{d}"),
+                seed: seed + d as u64,
+                n_cells: cells,
+                grid_nx: grid_n,
+                grid_ny: grid_n,
+                ..SynthConfig::default()
+            };
+            let synth = synth_generate(&synth_cfg)?;
+            let grid = synth_cfg.grid();
+            let (placed, trace) = GlobalPlacer::default().place_synth_traced(&synth, &grid)?;
+            Ok(LoopDesign {
+                name: synth_cfg.name,
+                circuit: Arc::new(synth.circuit),
+                grid,
+                initial: trace.initial.clone(),
+                final_placement: placed.placement,
+                deltas: trace.deltas,
+            })
+        })
+        .collect();
+    let designs = designs?;
+    let total_deltas: usize = designs.iter().map(|d| d.deltas.len()).sum();
+    let total_ops = 2 * total_deltas; // every delta is one update + one predict
+    println!(
+        "workload: {designs_n} designs x ~{} placer deltas = {total_ops} session ops \
+         (update + predict per iteration)",
+        total_deltas / designs_n.max(1)
+    );
+    println!(
+        "host parallelism: {} (concurrent mode runs {designs_n} clients + {workers} shard \
+         workers; expect shard scaling only when cores exceed the serial baseline's two \
+         threads)",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("default", Lhnn::new(LhnnConfig::default(), 0))?;
+
+    // --- baseline: serially-driven sessions, single shard, one worker ---
+    let serial_engine = ServeEngine::new(
+        Arc::clone(&registry),
+        EngineConfig { workers: 1, shards: 1, compute_threads: threads, ..EngineConfig::default() },
+    );
+    let serial_handle = serial_engine.handle();
+    let mut serial_sessions: Vec<_> = designs
+        .iter()
+        .map(|d| {
+            serial_handle.open_session(
+                SessionConfig::new("default").with_design(&d.name),
+                Arc::clone(&d.circuit),
+                d.initial.clone(),
+                d.grid.clone(),
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    let t0 = std::time::Instant::now();
+    let mut serial_last = Vec::new();
+    for (design, session) in designs.iter().zip(serial_sessions.iter_mut()) {
+        let mut last = None;
+        for delta in &design.deltas {
+            session.update(delta)?;
+            last = Some(session.predict()?.prediction);
+        }
+        serial_last.push(last.expect("trace has deltas"));
+    }
+    let serial_s = t0.elapsed().as_secs_f64();
+    let serial_stats = serial_handle.stats();
+    serial_engine.shutdown();
+    let serial_rps = total_ops as f64 / serial_s.max(1e-9);
+    println!(
+        "  serially-driven sessions  (1 shard, 1 worker):   {serial_s:>7.2}s  {serial_rps:>8.1} ops/s  \
+         ({} forwards)",
+        serial_stats.computed
+    );
+
+    // --- concurrent pipelined sessions over the sharded engine ---
+    let engine = ServeEngine::new(
+        Arc::clone(&registry),
+        EngineConfig { workers, shards, compute_threads: threads, ..EngineConfig::default() },
+    );
+    let handle = engine.handle();
+    let conc_sessions: Vec<_> = designs
+        .iter()
+        .map(|d| {
+            handle.open_session(
+                SessionConfig::new("default").with_design(&d.name),
+                Arc::clone(&d.circuit),
+                d.initial.clone(),
+                d.grid.clone(),
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    let t1 = std::time::Instant::now();
+    let results: Vec<Result<(Arc<lhnn::Prediction>, (u64, u64)), String>> =
+        std::thread::scope(|scope| {
+            let joins: Vec<_> = designs
+                .iter()
+                .zip(conc_sessions)
+                .map(|(design, mut session)| {
+                    scope.spawn(move || -> Result<_, String> {
+                        let mut last = None;
+                        for delta in &design.deltas {
+                            // pipelined: fire the update, let the shard
+                            // apply it; predict drains in order
+                            drop(session.submit_update(delta));
+                            last = Some(session.predict().map_err(|e| e.to_string())?.prediction);
+                        }
+                        Ok((last.expect("trace has deltas"), session.fingerprints()))
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().expect("client thread")).collect()
+        });
+    let conc_s = t1.elapsed().as_secs_f64();
+    let conc_rps = total_ops as f64 / conc_s.max(1e-9);
+    println!(
+        "  pipelined sessions ({shards} shards, {workers} workers):   {conc_s:>7.2}s  \
+         {conc_rps:>8.1} ops/s  -> {:.2}x vs serial",
+        conc_rps / serial_rps.max(1e-9)
+    );
+
+    // --- bitwise parity: every concurrent session vs serial replay and a
+    // from-scratch rebuild at the final placement ---
+    for (design, (result, serial_pred)) in designs.iter().zip(results.iter().zip(&serial_last)) {
+        let (conc_pred, conc_fps) = result.as_ref().map_err(|e| e.clone())?;
+        let fresh = LatticePipeline::for_serving(
+            Arc::clone(&design.circuit),
+            design.final_placement.clone(),
+            design.grid.clone(),
+        )?;
+        if *conc_fps != fresh.fingerprints() {
+            return Err(format!(
+                "bitwise parity FAILED for {}: concurrent session {conc_fps:?} vs fresh \
+                 rebuild {:?}",
+                design.name,
+                fresh.fingerprints()
+            )
+            .into());
+        }
+        if !conc_pred.cls_prob.approx_eq(&serial_pred.cls_prob, 0.0)
+            || !conc_pred.reg.approx_eq(&serial_pred.reg, 0.0)
+        {
+            return Err(format!(
+                "final prediction of {} diverged between pipelined and serial sessions",
+                design.name
+            )
+            .into());
+        }
+    }
+    println!("bitwise parity: OK ({designs_n} designs, pipelined == serial == fresh rebuild)");
+
+    let stats = handle.stats();
+    println!("engine stats: {stats}");
+    for s in &stats.per_shard {
+        println!(
+            "  shard {}: {} workers, {} requests, {} forwards, {} cache hits, {} worker-applied \
+             updates",
+            s.shard, s.workers, s.requests, s.computed, s.cache_hits, s.session_updates
+        );
+    }
+    engine.shutdown();
+
+    let record = BenchRecord::labeled(
+        format!("serve_shard_{designs_n}d_{shards}s_{cells}c_{grid_n}x{grid_n}"),
+        "serial sessions",
+        serial_s * 1e3,
+        format!("pipelined x{designs_n} over {shards} shards"),
+        conc_s * 1e3,
+    );
+    write_bench_json(Path::new(&json_path), "serve_shard", threads.max(1), &[record])?;
+    println!(
+        "wrote {json_path} (baseline = serially-driven sessions, candidate = concurrent pipelined)"
+    );
     Ok(())
 }
 

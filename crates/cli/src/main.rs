@@ -42,12 +42,17 @@ USAGE:
       the shared intra-op compute-pool configuration
   lhnn loop-bench [--cells N] [--grid G] [--seed S] [--rounds N]
                   [--move-pct P] [--threads N] [--json FILE]
+                  [--designs D] [--shards S] [--workers W]
       placement-in-the-loop benchmark: replay the placer's own iteration
       deltas through a stateful serving session (incremental graph/feature
       updates), verify bitwise parity against from-scratch rebuilds, and
       measure the k-cell-move incremental update vs a full rebuild
       (results also written as BENCH JSON, default
-      results/BENCH_incremental.json)
+      results/BENCH_incremental.json). With --designs D (D > 1) it runs
+      the concurrent mode instead: D placement loops drive pipelined
+      sessions (submit_update tickets + predict) over an S-shard engine,
+      measured against serially-driven sessions on one shard, bitwise
+      parity enforced (JSON default results/BENCH_serve_shard.json)
 ";
 
 fn main() {

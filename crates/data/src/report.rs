@@ -114,21 +114,58 @@ impl TextTable {
     }
 }
 
-/// One serial-vs-parallel measurement of a bench harness.
+/// One baseline-vs-candidate measurement of a bench harness.
+///
+/// Earlier revisions hard-coded the two columns as `ms_1t`/`ms_nt`
+/// ("1 thread" vs "N threads"), and benches that compared anything else —
+/// `loop-bench`'s "full rebuild" vs "incremental update", say — silently
+/// redefined the fields. The record now names its own columns, so every
+/// `BENCH_*.json` is self-describing; the JSON writer still emits the
+/// legacy `ms_1t`/`ms_nt` keys (baseline/candidate respectively) so files
+/// from either era read the same way.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
     /// Workload label (e.g. `matmul_4096x64x64`).
     pub name: String,
-    /// Wall-clock milliseconds on 1 compute thread.
-    pub ms_1t: f64,
-    /// Wall-clock milliseconds on the configured thread count.
-    pub ms_nt: f64,
+    /// What the baseline column measures (e.g. `"1 thread"`,
+    /// `"full rebuild"`, `"serial sessions"`).
+    pub baseline_label: String,
+    /// Wall-clock milliseconds of the baseline.
+    pub baseline_ms: f64,
+    /// What the candidate column measures (e.g. `"4 threads"`,
+    /// `"incremental update"`).
+    pub candidate_label: String,
+    /// Wall-clock milliseconds of the candidate.
+    pub candidate_ms: f64,
 }
 
 impl BenchRecord {
-    /// Parallel speedup `1T / NT`.
+    /// A record with explicit column semantics.
+    pub fn labeled(
+        name: impl Into<String>,
+        baseline_label: impl Into<String>,
+        baseline_ms: f64,
+        candidate_label: impl Into<String>,
+        candidate_ms: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            baseline_label: baseline_label.into(),
+            baseline_ms,
+            candidate_label: candidate_label.into(),
+            candidate_ms,
+        }
+    }
+
+    /// The classic serial-vs-parallel record: baseline on 1 compute
+    /// thread, candidate on `threads`.
+    pub fn thread_scaling(name: impl Into<String>, ms_1t: f64, threads: usize, ms_nt: f64) -> Self {
+        Self::labeled(name, "1 thread", ms_1t, format!("{threads} threads"), ms_nt)
+    }
+
+    /// Speedup of the candidate over the baseline.
     pub fn speedup(&self) -> f64 {
-        self.ms_1t / self.ms_nt.max(1e-9)
+        self.baseline_ms / self.candidate_ms.max(1e-9)
     }
 }
 
@@ -152,12 +189,21 @@ pub fn write_bench_json(
     let _ = writeln!(out, "  \"results\": [");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
+        // `ms_1t`/`ms_nt` are the legacy key names for baseline/candidate;
+        // keeping them means files written before the columns were labeled
+        // and files written after parse identically.
         let _ = writeln!(
             out,
-            "    {{\"name\": \"{}\", \"ms_1t\": {:.4}, \"ms_nt\": {:.4}, \"speedup\": {:.3}}}{comma}",
+            "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"candidate\": \"{}\", \
+             \"ms_baseline\": {:.4}, \"ms_candidate\": {:.4}, \
+             \"ms_1t\": {:.4}, \"ms_nt\": {:.4}, \"speedup\": {:.3}}}{comma}",
             escape(&r.name),
-            r.ms_1t,
-            r.ms_nt,
+            escape(&r.baseline_label),
+            escape(&r.candidate_label),
+            r.baseline_ms,
+            r.candidate_ms,
+            r.baseline_ms,
+            r.candidate_ms,
             r.speedup()
         );
     }
@@ -179,8 +225,8 @@ mod tests {
         let dir = std::env::temp_dir().join("lhnn_bench_json_test");
         let path = dir.join("BENCH_kernels.json");
         let records = vec![
-            BenchRecord { name: "matmul_2x2".into(), ms_1t: 2.0, ms_nt: 1.0 },
-            BenchRecord { name: "spmm \"odd\"".into(), ms_1t: 4.0, ms_nt: 2.0 },
+            BenchRecord::thread_scaling("matmul_2x2", 2.0, 4, 1.0),
+            BenchRecord::labeled("spmm \"odd\"", "full rebuild", 4.0, "incremental", 2.0),
         ];
         write_bench_json(&path, "kernels", 4, &records).unwrap();
         let text = fs::read_to_string(&path).unwrap();
@@ -188,6 +234,12 @@ mod tests {
         assert!(text.contains("\"threads\": 4"));
         assert!(text.contains("\"speedup\": 2.000"));
         assert!(text.contains("spmm \\\"odd\\\""), "quotes must be escaped:\n{text}");
+        // self-describing columns, with the legacy keys still present
+        assert!(text.contains("\"baseline\": \"full rebuild\""));
+        assert!(text.contains("\"candidate\": \"incremental\""));
+        assert!(text.contains("\"ms_baseline\": 4.0000"));
+        assert!(text.contains("\"ms_1t\": 4.0000"), "legacy key must mirror the baseline");
+        assert!(text.contains("\"ms_nt\": 2.0000"), "legacy key must mirror the candidate");
         // crude balance check on the hand-rolled JSON
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());
@@ -196,8 +248,12 @@ mod tests {
 
     #[test]
     fn bench_record_speedup() {
-        let r = BenchRecord { name: "x".into(), ms_1t: 3.0, ms_nt: 1.5 };
+        let r = BenchRecord::labeled("x", "serial", 3.0, "pipelined", 1.5);
         assert!((r.speedup() - 2.0).abs() < 1e-9);
+        let t = BenchRecord::thread_scaling("y", 3.0, 4, 1.0);
+        assert_eq!(t.baseline_label, "1 thread");
+        assert_eq!(t.candidate_label, "4 threads");
+        assert!((t.speedup() - 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -6,10 +6,21 @@
 //! deterministic across runs and platforms of the same endianness, unlike
 //! `std::hash::DefaultHasher` whose keys are randomised per process.
 //!
-//! Floats are hashed by their IEEE-754 bit pattern ([`f32::to_bits`]), so
-//! two tensors fingerprint equal iff they are bitwise equal — exactly the
-//! contract a prediction cache needs (`-0.0` vs `0.0` and NaN payloads are
-//! distinguished; a cache miss on such hair-splitting is merely a recompute).
+//! Floats are hashed by a *canonicalised* IEEE-754 bit pattern
+//! ([`canonical_f32_bits`]): `-0.0` folds onto `+0.0` and every NaN folds
+//! onto the single quiet-NaN pattern. That makes the fingerprint a function
+//! of the tensor's *observable* value — two tensors that compare equal
+//! under `Matrix`/`CsrMatrix` `PartialEq` (where `-0.0 == 0.0`) always
+//! fingerprint equal, so a prediction cache keyed on fingerprints never
+//! misses (nor defeats single-flight dedup) between observably identical
+//! states. NaN is the one asymmetry: `NaN != NaN` under `PartialEq`, so a
+//! NaN-bearing tensor is never *observably* equal to anything, yet all
+//! NaN payloads hash alike. That is a deliberate aliasing: two NaN states
+//! differing only in payload bits share a cache key even though a direct
+//! forward on each could differ bitwise — every such state is already
+//! garbage (NaN poisons the whole forward), so no consumer can tell the
+//! difference, and payload-sensitive keys would only multiply useless
+//! cache entries.
 //!
 //! # Examples
 //!
@@ -32,6 +43,26 @@ use crate::sparse::CsrMatrix;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The canonical bit pattern a float hashes by.
+///
+/// * `-0.0` → the bits of `+0.0` (the two compare equal under `==`, and
+///   therefore under every tensor `PartialEq` in the workspace — hashing
+///   them apart would split cache keys between observably equal states);
+/// * any NaN → the standard quiet-NaN pattern `0x7fc0_0000` (NaN payloads
+///   are indistinguishable to every consumer of a tensor; a NaN state is
+///   unusable regardless of payload, so the fingerprint collapses them);
+/// * every other value → its exact [`f32::to_bits`] pattern.
+#[inline]
+pub fn canonical_f32_bits(v: f32) -> u32 {
+    if v.is_nan() {
+        0x7fc0_0000
+    } else if v == 0.0 {
+        0 // +0.0 and -0.0 share one canonical pattern
+    } else {
+        v.to_bits()
+    }
+}
 
 /// A 64-bit FNV-1a streaming hasher.
 ///
@@ -75,10 +106,16 @@ impl Fnv64 {
         self.write_u64(v as u64);
     }
 
-    /// Absorbs an `f32` slice by IEEE-754 bit pattern, one word per step.
+    /// Absorbs one `f32` by its canonical bit pattern (see
+    /// [`canonical_f32_bits`]: `-0.0` folds onto `+0.0`, NaNs collapse).
+    pub fn write_f32(&mut self, v: f32) {
+        self.write_u64(u64::from(canonical_f32_bits(v)));
+    }
+
+    /// Absorbs an `f32` slice by canonical bit pattern, one word per step.
     pub fn write_f32s(&mut self, values: &[f32]) {
         for &v in values {
-            self.write_u64(u64::from(v.to_bits()));
+            self.write_f32(v);
         }
     }
 
@@ -102,8 +139,9 @@ impl Matrix {
         h.write_f32s(self.as_slice());
     }
 
-    /// A content fingerprint: equal iff shape and every element's bit
-    /// pattern are equal.
+    /// A content fingerprint: equal iff shape and every element's
+    /// *canonical* bit pattern are equal — for finite tensors, exactly iff
+    /// the matrices compare equal under `PartialEq`.
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv64::new();
         self.hash_into(&mut h);
@@ -120,7 +158,7 @@ impl CsrMatrix {
         for (r, c, v) in self.iter() {
             h.write_usize(r);
             h.write_usize(c);
-            h.write_u64(u64::from(v.to_bits()));
+            h.write_f32(v);
         }
     }
 
@@ -151,10 +189,46 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.as_mut_slice()[3] += 1e-4;
         assert_ne!(a.fingerprint(), b.fingerprint());
-        // bitwise sensitivity: -0.0 and 0.0 are distinct cache keys
-        let zero = Matrix::from_rows(&[&[0.0f32]]);
-        let neg_zero = Matrix::from_rows(&[&[-0.0f32]]);
-        assert_ne!(zero.fingerprint(), neg_zero.fingerprint());
+    }
+
+    /// Regression (serve-layer bug sweep): for finite tensors, fingerprint
+    /// equality must coincide with observable (`PartialEq`) equality in
+    /// BOTH directions. `-0.0 == 0.0` under `PartialEq`, so the two must
+    /// share a fingerprint — a mismatch made equal placement states miss
+    /// the prediction cache and defeat single-flight dedup.
+    #[test]
+    fn negative_zero_fingerprints_like_positive_zero() {
+        let zero = Matrix::from_rows(&[&[0.0f32, 1.5]]);
+        let neg_zero = Matrix::from_rows(&[&[-0.0f32, 1.5]]);
+        assert_eq!(zero, neg_zero, "PartialEq treats -0.0 and 0.0 as equal");
+        assert_eq!(zero.fingerprint(), neg_zero.fingerprint(), "fingerprint must agree");
+
+        let s = CsrMatrix::from_triplets(2, 2, &[(0, 0, 0.0), (1, 1, 2.0)]);
+        let sn = CsrMatrix::from_triplets(2, 2, &[(0, 0, -0.0), (1, 1, 2.0)]);
+        assert_eq!(s, sn);
+        assert_eq!(s.fingerprint(), sn.fingerprint());
+        assert_eq!(s.content_fingerprint(), sn.content_fingerprint());
+
+        // ...and the other direction: observably different values keep
+        // different fingerprints.
+        let other = Matrix::from_rows(&[&[f32::MIN_POSITIVE, 1.5]]);
+        assert_ne!(zero, other);
+        assert_ne!(zero.fingerprint(), other.fingerprint());
+    }
+
+    /// NaN policy: payload bits collapse onto one canonical pattern. A NaN
+    /// state is never observably equal to anything (`NaN != NaN`), so the
+    /// fingerprint does not try to distinguish the payloads either.
+    #[test]
+    fn nan_payloads_collapse() {
+        assert_eq!(canonical_f32_bits(f32::NAN), 0x7fc0_0000);
+        assert_eq!(canonical_f32_bits(f32::from_bits(0x7fc0_dead)), 0x7fc0_0000);
+        assert_eq!(canonical_f32_bits(-0.0), 0);
+        assert_eq!(canonical_f32_bits(1.5), 1.5f32.to_bits());
+        let a = Matrix::from_rows(&[&[f32::NAN]]);
+        let b = Matrix::from_rows(&[&[f32::from_bits(0x7fc0_0001)]]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a, b, "NaN keeps PartialEq irreflexive; only the hash collapses");
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod tape;
 
 pub use conv::Conv2dCfg;
 pub use error::{NeuroError, Result};
-pub use fingerprint::Fnv64;
+pub use fingerprint::{canonical_f32_bits, Fnv64};
 pub use layers::{Activation, Linear, Mlp, ResBlock};
 pub use matrix::Matrix;
 pub use metrics::{mean_std, Confusion};

@@ -431,8 +431,11 @@ impl CsrMatrix {
     }
 
     /// The digest contribution of one row: a word-wise [`crate::Fnv64`]
-    /// over the row index, its entry count and its `(column, value-bits)`
-    /// pairs.
+    /// over the row index, its entry count and its `(column,
+    /// canonical-value-bits)` pairs (`-0.0` folds onto `+0.0`, NaNs
+    /// collapse — see [`crate::fingerprint::canonical_f32_bits`]), so the
+    /// digest coincides with observable equality exactly as the streaming
+    /// fingerprint does.
     fn row_hash(&self, r: usize) -> u64 {
         let mut h = crate::Fnv64::new();
         h.write_usize(r);
@@ -440,7 +443,7 @@ impl CsrMatrix {
         h.write_usize(hi - lo);
         for i in lo..hi {
             h.write_usize(self.indices[i]);
-            h.write_u64(u64::from(self.values[i].to_bits()));
+            h.write_f32(self.values[i]);
         }
         h.finish()
     }

@@ -1,27 +1,49 @@
-//! The inference engine: bounded request queue, worker pool,
-//! micro-batching and the synchronous client API.
+//! The inference engine: a front over N shards, each with its own
+//! bounded request queue, worker-pool slice, prediction cache and stats.
 //!
 //! # Architecture
 //!
 //! ```text
-//!  ServeHandle::predict ──► cache fast path ──► hit? reply immediately
-//!        │ miss
-//!        ▼
-//!  bounded queue (Mutex<VecDeque> + Condvars, backpressure when full)
-//!        │
-//!        ▼ drain up to `max_batch` jobs per wake-up
-//!  worker threads (one scratch Tape each; tape-free forwards in parallel)
-//!        │ identical jobs in a batch are deduplicated: one forward,
-//!        │ every requester gets the shared Arc<Prediction>
-//!        ▼
-//!  LRU prediction cache + latency/throughput stats
+//!                      ServeHandle::predict / Session
+//!                                  │ stable hash: design → shard
+//!            ┌─────────────────────┼─────────────────────┐
+//!            ▼                     ▼                     ▼
+//!         shard 0               shard 1      …        shard N-1
+//!   ┌───────────────┐    ┌───────────────┐
+//!   │ bounded queue │    │ bounded queue │   (predict jobs AND pipelined
+//!   │ worker slice  │    │ worker slice  │    session-update jobs)
+//!   │ LRU cache     │    │ LRU cache     │
+//!   │ single-flight │    │ single-flight │
+//!   │ stats         │    │ stats         │
+//!   └───────────────┘    └───────────────┘
 //! ```
 //!
+//! Sharding gives many concurrent placement loops isolation: a hot design
+//! hammering one shard cannot evict another design's cache entries or
+//! monopolise the other shards' workers, because requests route by a
+//! *stable* hash of the design's identity (sessions and
+//! [`PredictRequest::with_design`]: the design id; anonymous stateless
+//! requests: the operator fingerprint, which keeps repeats of one state
+//! on one shard but spreads a design's successive states) — the same
+//! state always lands on the same shard, so single-flight deduplication
+//! still works.
+//!
+//! Within a shard the PR-2 machinery is unchanged: a bounded queue
+//! (backpressure when full) drained in micro-batches by long-lived
+//! workers, identical in-flight requests deduplicated to one forward, an
+//! LRU prediction cache keyed by content fingerprints. Workers also
+//! service pipelined session updates (see [`crate::Session`]) from the
+//! same queue, so one pool drives both halves of a placement loop.
+//!
 //! Requests are answered synchronously: `predict` blocks the calling
-//! thread until its reply arrives, so N placer threads naturally keep up
-//! to N requests in flight. Shutdown is cooperative — workers drain the
-//! queue they were handed and exit; unserved requests observe
-//! [`ServeError::ShuttingDown`].
+//! thread until its reply arrives. Shutdown is cooperative — workers
+//! drain the queue they were handed and exit; unserved requests observe
+//! [`ServeError::ShuttingDown`] / [`ServeError::WorkerLost`].
+//!
+//! Lock discipline: every engine lock guards re-derivable state and
+//! recovers from poisoning (see [`crate::lock`]); a panicking forward is
+//! caught, its requester observes [`ServeError::WorkerLost`], and the
+//! engine keeps serving.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
@@ -31,23 +53,34 @@ use std::time::{Duration, Instant};
 
 use lh_graph::FeatureSet;
 use lhnn::{GraphOps, InferenceScratch, Prediction};
+use neurograd::Fnv64;
 
 use crate::cache::{CacheKey, PredictionCache};
 use crate::error::{Result, ServeError};
+use crate::lock;
 use crate::registry::{ModelEntry, ModelRegistry};
-use crate::stats::{ServeStats, StatsInner};
+use crate::session::SessionCore;
+use crate::stats::{self, ServeStats, StatsInner};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Worker threads executing forwards (default: available parallelism).
+    /// Worker threads executing forwards, divided across the shards
+    /// (default: available parallelism). Raised to `shards` if smaller, so
+    /// every shard owns at least one worker.
     pub workers: usize,
-    /// Maximum queued (accepted, unserved) requests before submitters
-    /// block — the backpressure bound.
+    /// Independent shards (default 1). Each shard has its own queue,
+    /// worker slice, prediction cache and stats; designs map to shards by
+    /// a stable hash, so one hot design cannot evict another design's
+    /// cache entries or monopolise all workers.
+    pub shards: usize,
+    /// Maximum queued (accepted, unserved) requests **per shard** before
+    /// submitters block — the backpressure bound.
     pub queue_depth: usize,
     /// Maximum jobs a worker drains per wake-up (micro-batch size).
     pub max_batch: usize,
-    /// LRU prediction-cache capacity in entries (0 disables caching).
+    /// LRU prediction-cache capacity in entries **per shard** (0 disables
+    /// caching).
     pub cache_capacity: usize,
     /// Intra-op compute threads: 0 (default) leaves the shared
     /// `neurograd` pool as configured; a positive value rebuilds it with
@@ -65,6 +98,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         Self {
             workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            shards: 1,
             queue_depth: 256,
             max_batch: 8,
             cache_capacity: 128,
@@ -83,6 +117,13 @@ pub struct PredictRequest {
     pub ops: Arc<GraphOps>,
     /// Input features of the design.
     pub features: Arc<FeatureSet>,
+    /// Optional design identity for shard routing. `Some` pins every
+    /// state of the design to one shard (the per-design affinity sessions
+    /// get automatically); `None` routes by the operator fingerprint, so
+    /// repeats of the *same state* still meet their cache and
+    /// single-flight entries, but successive states of one design spread
+    /// across shards.
+    pub design: Option<String>,
     /// Per-request congestion threshold applied to channel-0
     /// probabilities for [`ServeReply::congested_fraction`].
     pub threshold: f32,
@@ -91,13 +132,21 @@ pub struct PredictRequest {
 impl PredictRequest {
     /// A request against `model` with the conventional 0.5 threshold.
     pub fn new(model: &str, ops: Arc<GraphOps>, features: Arc<FeatureSet>) -> Self {
-        Self { model: model.to_string(), ops, features, threshold: 0.5 }
+        Self { model: model.to_string(), ops, features, design: None, threshold: 0.5 }
     }
 
     /// Sets the congestion threshold.
     #[must_use]
     pub fn with_threshold(mut self, threshold: f32) -> Self {
         self.threshold = threshold;
+        self
+    }
+
+    /// Pins the request to the shard owning `design` (stable hash), like
+    /// a session over that design would be.
+    #[must_use]
+    pub fn with_design(mut self, design: impl Into<String>) -> Self {
+        self.design = Some(design.into());
         self
     }
 }
@@ -117,7 +166,7 @@ pub struct ServeReply {
     pub latency: Duration,
 }
 
-struct Job {
+struct PredictJob {
     entry: Arc<ModelEntry>,
     ops: Arc<GraphOps>,
     features: Arc<FeatureSet>,
@@ -125,6 +174,13 @@ struct Job {
     threshold: f32,
     submitted: Instant,
     reply: mpsc::Sender<ServeReply>,
+}
+
+/// One unit of shard work: an inference request, or a nudge to drain a
+/// pipelined session's pending placement deltas.
+enum Job {
+    Predict(PredictJob),
+    Session(Arc<SessionCore>),
 }
 
 struct QueueState {
@@ -152,19 +208,40 @@ enum InFlightState {
     Abandoned,
 }
 
-struct Shared {
-    registry: Arc<ModelRegistry>,
-    cfg: EngineConfig,
+/// One shard: queue, cache, single-flight map and stats, isolated from
+/// every other shard.
+struct Shard {
     queue: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
     cache: Mutex<PredictionCache>,
     in_flight: Mutex<HashMap<CacheKey, Arc<InFlight>>>,
     stats: Mutex<StatsInner>,
+}
+
+impl Shard {
+    fn new(cache_capacity: usize) -> Self {
+        Self {
+            queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cache: Mutex::new(PredictionCache::new(cache_capacity)),
+            in_flight: Mutex::new(HashMap::new()),
+            stats: Mutex::new(StatsInner::new()),
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    registry: Arc<ModelRegistry>,
+    cfg: EngineConfig,
+    shards: Vec<Shard>,
+    workers_per_shard: Vec<usize>,
     started: Instant,
 }
 
-/// The engine: owns the worker pool; hand out [`ServeHandle`]s to use it.
+/// The engine: owns the sharded worker pool; hand out [`ServeHandle`]s to
+/// use it.
 ///
 /// Dropping (or [`ServeEngine::shutdown`]) stops the workers; requests
 /// still queued are abandoned and their submitters receive
@@ -176,12 +253,29 @@ pub struct ServeEngine {
 
 impl std::fmt::Debug for ServeEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ServeEngine({} workers)", self.workers.len())
+        write!(
+            f,
+            "ServeEngine({} workers over {} shards)",
+            self.workers.len(),
+            self.shared.shards.len()
+        )
     }
 }
 
+/// Splits `workers` across `shards`, front-loading the remainder, with
+/// every shard guaranteed at least one worker.
+fn partition_workers(workers: usize, shards: usize) -> Vec<usize> {
+    let shards = shards.max(1);
+    let workers = workers.max(shards);
+    let base = workers / shards;
+    let rem = workers % shards;
+    (0..shards).map(|i| base + usize::from(i < rem)).collect()
+}
+
 impl ServeEngine {
-    /// Starts `cfg.workers` long-lived worker threads over `registry`.
+    /// Starts the worker pool over `registry`: `cfg.shards` shards, with
+    /// `cfg.workers` long-lived worker threads divided among them (every
+    /// shard gets at least one).
     ///
     /// With `cfg.compute_threads > 0` the shared intra-op compute pool is
     /// rebuilt to that width first (process-wide — see
@@ -190,27 +284,23 @@ impl ServeEngine {
         if cfg.compute_threads > 0 {
             neurograd::pool::configure_threads(cfg.compute_threads);
         }
-        let workers_n = cfg.workers.max(1);
-        let shared = Arc::new(Shared {
-            registry,
-            cache: Mutex::new(PredictionCache::new(cfg.cache_capacity)),
-            in_flight: Mutex::new(HashMap::new()),
-            stats: Mutex::new(StatsInner::new()),
-            queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
-            started: Instant::now(),
-            cfg,
-        });
-        let workers = (0..workers_n)
-            .map(|i| {
+        let workers_per_shard = partition_workers(cfg.workers.max(1), cfg.shards.max(1));
+        let shards: Vec<Shard> =
+            workers_per_shard.iter().map(|_| Shard::new(cfg.cache_capacity)).collect();
+        let shared =
+            Arc::new(Shared { registry, shards, workers_per_shard, started: Instant::now(), cfg });
+        let mut workers = Vec::new();
+        for (shard_idx, &n) in shared.workers_per_shard.iter().enumerate() {
+            for lane in 0..n {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("lhnn-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("lhnn-serve-{shard_idx}-{lane}"))
+                        .spawn(move || worker_loop(&shared, shard_idx))
+                        .expect("spawn worker"),
+                );
+            }
+        }
         Self { shared, workers }
     }
 
@@ -218,6 +308,11 @@ impl ServeEngine {
     /// count (the knob benchmarks sweep).
     pub fn with_workers(registry: Arc<ModelRegistry>, workers: usize) -> Self {
         Self::new(registry, EngineConfig { workers, ..EngineConfig::default() })
+    }
+
+    /// A convenience engine with `shards` shards and one worker per shard.
+    pub fn with_shards(registry: Arc<ModelRegistry>, shards: usize) -> Self {
+        Self::new(registry, EngineConfig { workers: shards, shards, ..EngineConfig::default() })
     }
 
     /// A cloneable client handle.
@@ -231,15 +326,19 @@ impl ServeEngine {
     }
 
     fn stop_and_join(&mut self) {
-        {
-            let mut q = self.shared.queue.lock().expect("queue lock");
+        for shard in &self.shared.shards {
+            let mut q = lock::recover(&shard.queue);
             q.shutdown = true;
-            // Abandoned jobs: dropping them closes their reply channels,
-            // so blocked submitters observe WorkerLost rather than hanging.
+            // Abandoned predict jobs: dropping them closes their reply
+            // channels, so blocked submitters observe WorkerLost rather
+            // than hanging. Session jobs are just nudges — their pending
+            // deltas stay with the session, whose ticket-wait drains them
+            // inline, so pipelined updates survive engine shutdown.
             q.jobs.clear();
+            drop(q);
+            shard.not_empty.notify_all();
+            shard.not_full.notify_all();
         }
-        self.shared.not_empty.notify_all();
-        self.shared.not_full.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -260,12 +359,20 @@ pub struct ServeHandle {
 
 impl std::fmt::Debug for ServeHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ServeHandle")
+        write!(f, "ServeHandle({} shards)", self.shared.shards.len())
     }
 }
 
 impl ServeHandle {
     /// Serves one request, blocking until the prediction is available.
+    ///
+    /// Routing: a request carrying a design id
+    /// ([`PredictRequest::with_design`]) goes to that design's shard —
+    /// the same per-design affinity sessions get. Without one, the shard
+    /// is a stable hash of the operator fingerprint: repeats of the same
+    /// state always meet their own cache and single-flight entries, but
+    /// successive states of an anonymous design spread across shards, so
+    /// pass a design id when one placement loop should stay isolated.
     ///
     /// # Errors
     ///
@@ -274,21 +381,43 @@ impl ServeHandle {
     /// [`ServeError::ShuttingDown`] / [`ServeError::WorkerLost`] around
     /// engine shutdown.
     pub fn predict(&self, request: &PredictRequest) -> Result<ServeReply> {
+        self.predict_on_shard(self.shard_of_request(request), request)
+    }
+
+    /// The shard a request routes to: its design id when it has one, the
+    /// operator fingerprint otherwise.
+    fn shard_of_request(&self, request: &PredictRequest) -> usize {
+        match &request.design {
+            Some(design) => self.shard_of_design(design),
+            None => self.shard_of_ops_fingerprint(request.ops.fingerprint()),
+        }
+    }
+
+    /// Serves one request on an explicit shard (sessions pin their design's
+    /// shard so updates and predictions share a worker slice and cache).
+    pub(crate) fn predict_on_shard(
+        &self,
+        shard_idx: usize,
+        request: &PredictRequest,
+    ) -> Result<ServeReply> {
         let submitted = Instant::now();
         let (entry, key) = self.admit(request)?;
-        // Fast path: answer from the cache without touching the queue.
-        // (The guard is scoped to the lookup — never held across other locks.)
-        let hit = self.shared.cache.lock().expect("cache lock").get(&key);
+        let shard = &self.shared.shards[shard_idx.min(self.shared.shards.len() - 1)];
+        // Fast path: answer from the shard's cache without touching the
+        // queue. (The guard is scoped to the lookup — never held across
+        // other locks.)
+        let hit = lock::recover(&shard.cache).get(&key);
         if let Some(hit) = hit {
             let latency = submitted.elapsed();
-            self.shared.stats.lock().expect("stats lock").record_request(latency, true);
+            lock::recover(&shard.stats).record_request(latency, true);
             return Ok(reply_from(hit, true, request.threshold, latency));
         }
-        let rx = self.enqueue(entry, request, key, submitted)?;
+        let rx = self.enqueue(shard, entry, request, key, submitted)?;
         rx.recv().map_err(|_| ServeError::WorkerLost)
     }
 
-    /// Serves many requests, keeping all of them in flight at once.
+    /// Serves many requests, keeping all of them in flight at once
+    /// (across their designs' shards).
     ///
     /// Replies come back in request order; each slot fails independently
     /// (one unknown model does not sink the batch).
@@ -299,10 +428,12 @@ impl ServeHandle {
             .iter()
             .map(|request| {
                 let (entry, key) = self.admit(request)?;
-                let hit = self.shared.cache.lock().expect("cache lock").get(&key);
+                let shard_idx = self.shard_of_request(request);
+                let shard = &self.shared.shards[shard_idx];
+                let hit = lock::recover(&shard.cache).get(&key);
                 if let Some(hit) = hit {
                     let latency = submitted.elapsed();
-                    self.shared.stats.lock().expect("stats lock").record_request(latency, true);
+                    lock::recover(&shard.stats).record_request(latency, true);
                     return Ok(PendingReply::Ready(reply_from(
                         hit,
                         true,
@@ -310,7 +441,7 @@ impl ServeHandle {
                         latency,
                     )));
                 }
-                let rx = self.enqueue(Arc::clone(&entry), request, key, submitted)?;
+                let rx = self.enqueue(shard, Arc::clone(&entry), request, key, submitted)?;
                 Ok(PendingReply::InFlight(rx))
             })
             .collect();
@@ -325,14 +456,48 @@ impl ServeHandle {
             .collect()
     }
 
-    /// A snapshot of the engine's counters and latency percentiles.
+    /// A snapshot of the engine's counters and latency percentiles,
+    /// aggregated across shards ([`ServeStats::per_shard`] has the
+    /// breakdown).
     pub fn stats(&self) -> ServeStats {
-        self.shared.stats.lock().expect("stats lock").snapshot(self.shared.started.elapsed())
+        // Snapshot each shard under its own lock; clone out so no lock is
+        // held across the aggregation.
+        let snapshots: Vec<StatsInner> = self
+            .shared
+            .shards
+            .iter()
+            .map(|s| {
+                let guard = lock::recover(&s.stats);
+                guard.clone_for_snapshot()
+            })
+            .collect();
+        stats::aggregate(&snapshots, &self.shared.workers_per_shard, self.shared.started.elapsed())
     }
 
-    /// Number of engine worker threads.
+    /// Number of engine worker threads (across all shards).
     pub fn workers(&self) -> usize {
-        self.shared.cfg.workers.max(1)
+        self.shared.workers_per_shard.iter().sum()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// The shard a design id routes to (stable FNV hash, so the same
+    /// design always lands on the same shard).
+    pub fn shard_of_design(&self, design_id: &str) -> usize {
+        let mut h = Fnv64::new();
+        h.write_str(design_id);
+        (h.finish() % self.shared.shards.len() as u64) as usize
+    }
+
+    fn shard_of_ops_fingerprint(&self, fp: u64) -> usize {
+        // The fingerprint is already well-mixed; fold it through FNV once
+        // more so shard routing is independent of cache-key equality.
+        let mut h = Fnv64::new();
+        h.write_u64(fp);
+        (h.finish() % self.shared.shards.len() as u64) as usize
     }
 
     /// Width of the shared intra-op compute pool the workers' forwards fan
@@ -341,19 +506,53 @@ impl ServeHandle {
         neurograd::pool::current_threads()
     }
 
-    /// Number of predictions currently cached.
+    /// Number of predictions currently cached, across all shards.
     pub fn cache_len(&self) -> usize {
-        self.shared.cache.lock().expect("cache lock").len()
+        self.shared.shards.iter().map(|s| lock::recover(&s.cache).len()).sum()
     }
 
-    /// Drops every cached prediction.
+    /// Number of predictions cached on one shard.
+    pub fn shard_cache_len(&self, shard: usize) -> usize {
+        lock::recover(&self.shared.shards[shard.min(self.shared.shards.len() - 1)].cache).len()
+    }
+
+    /// Drops every cached prediction on every shard.
     pub fn clear_cache(&self) {
-        self.shared.cache.lock().expect("cache lock").clear();
+        for s in &self.shared.shards {
+            lock::recover(&s.cache).clear();
+        }
     }
 
     /// The registry this engine serves from.
     pub fn registry(&self) -> &Arc<ModelRegistry> {
         &self.shared.registry
+    }
+
+    /// Enqueues a session-drain nudge on `shard_idx`, blocking on the
+    /// shard's backpressure bound.
+    pub(crate) fn enqueue_session(&self, shard_idx: usize, core: Arc<SessionCore>) -> Result<()> {
+        let shard = &self.shared.shards[shard_idx.min(self.shared.shards.len() - 1)];
+        self.push_job(shard, Job::Session(core))
+    }
+
+    /// The one queue-admission path every job kind goes through: wait out
+    /// the shard's backpressure bound, refuse on shutdown, push, wake a
+    /// worker.
+    fn push_job(&self, shard: &Shard, job: Job) -> Result<()> {
+        let mut q = lock::recover(&shard.queue);
+        while q.jobs.len() >= self.shared.cfg.queue_depth.max(1) {
+            if q.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            q = shard.not_full.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if q.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        q.jobs.push_back(job);
+        drop(q);
+        shard.not_empty.notify_one();
+        Ok(())
     }
 
     fn admit(&self, request: &PredictRequest) -> Result<(Arc<ModelEntry>, CacheKey)> {
@@ -401,13 +600,14 @@ impl ServeHandle {
 
     fn enqueue(
         &self,
+        shard: &Shard,
         entry: Arc<ModelEntry>,
         request: &PredictRequest,
         key: CacheKey,
         submitted: Instant,
     ) -> Result<mpsc::Receiver<ServeReply>> {
         let (tx, rx) = mpsc::channel();
-        let job = Job {
+        let job = PredictJob {
             entry,
             ops: Arc::clone(&request.ops),
             features: Arc::clone(&request.features),
@@ -416,19 +616,7 @@ impl ServeHandle {
             submitted,
             reply: tx,
         };
-        let mut q = self.shared.queue.lock().expect("queue lock");
-        while q.jobs.len() >= self.shared.cfg.queue_depth.max(1) {
-            if q.shutdown {
-                return Err(ServeError::ShuttingDown);
-            }
-            q = self.shared.not_full.wait(q).expect("queue lock");
-        }
-        if q.shutdown {
-            return Err(ServeError::ShuttingDown);
-        }
-        q.jobs.push_back(job);
-        drop(q);
-        self.shared.not_empty.notify_one();
+        self.push_job(shard, Job::Predict(job))?;
         Ok(rx)
     }
 }
@@ -451,11 +639,12 @@ fn reply_from(
     ServeReply { prediction, cached, congested_fraction: congested as f64 / rows as f64, latency }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, shard_idx: usize) {
+    let shard = &shared.shards[shard_idx];
     let mut scratch = InferenceScratch::new();
     loop {
         let batch: Vec<Job> = {
-            let mut q = shared.queue.lock().expect("queue lock");
+            let mut q = lock::recover(&shard.queue);
             loop {
                 if !q.jobs.is_empty() {
                     break;
@@ -463,31 +652,66 @@ fn worker_loop(shared: &Shared) {
                 if q.shutdown {
                     return;
                 }
-                q = shared.not_empty.wait(q).expect("queue lock");
+                q = shard.not_empty.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             let n = q.jobs.len().min(shared.cfg.max_batch.max(1));
             let batch = q.jobs.drain(..n).collect();
             drop(q);
-            shared.not_full.notify_all();
+            shard.not_full.notify_all();
             batch
         };
-        shared.stats.lock().expect("stats lock").record_batch(batch.len());
-        // Same-key jobs in the batch share one forward pass. Lock scopes
-        // are kept explicit: the cache guard must be released before the
-        // (long) forward pass and before any other lock is taken. Jobs
-        // whose key is owned by ANOTHER worker are deferred to the end of
-        // the batch so a slow peer never head-of-line-blocks work this
-        // worker could run immediately.
+        // Batch-size stats count only inference jobs — session nudges are
+        // control messages, not batched forwards.
+        let predict_jobs = batch.iter().filter(|j| matches!(j, Job::Predict(_))).count();
+        if predict_jobs > 0 {
+            lock::recover(&shard.stats).record_batch(predict_jobs);
+        }
+        // Same-key predict jobs in the batch share one forward pass. Lock
+        // scopes are kept explicit: the cache guard must be released
+        // before the (long) forward pass and before any other lock is
+        // taken. Jobs whose key is owned by ANOTHER worker are deferred to
+        // the end of the batch so a slow peer never head-of-line-blocks
+        // work this worker could run immediately. Session jobs drain their
+        // session's pending deltas in submission order, in place.
         let mut local: HashMap<CacheKey, Arc<Prediction>> = HashMap::new();
-        let mut deferred: Vec<(Job, Arc<InFlight>)> = Vec::new();
+        let mut deferred: Vec<(PredictJob, Arc<InFlight>)> = Vec::new();
         for job in batch {
+            let job = match job {
+                Job::Session(core) => {
+                    // Non-blocking: parking this worker on one session's
+                    // state mutex would head-of-line-block every other
+                    // design on the shard (inline drains keep liveness).
+                    match core.service_nonblocking() {
+                        Some(applied) => {
+                            if applied > 0 {
+                                lock::recover(&shard.stats).record_session_updates(applied);
+                            }
+                        }
+                        None => {
+                            // Lock busy with deltas still pending: the
+                            // holder may not re-drain, so keep the nudge
+                            // alive (we just freed this queue slot, so no
+                            // backpressure wait) and let go of the CPU —
+                            // the holder likely needs it to finish.
+                            let mut q = lock::recover(&shard.queue);
+                            if !q.shutdown {
+                                q.jobs.push_back(Job::Session(core));
+                            }
+                            drop(q);
+                            std::thread::yield_now();
+                        }
+                    }
+                    continue;
+                }
+                Job::Predict(job) => job,
+            };
             let in_batch = local.get(&job.key).map(Arc::clone);
             let (prediction, cached) = if let Some(p) = in_batch {
                 (p, true)
             } else {
                 // Another worker (or an earlier batch) may have filled the
                 // cache since the submitter's fast-path miss.
-                let from_cache = shared.cache.lock().expect("cache lock").get(&job.key);
+                let from_cache = lock::recover(&shard.cache).get(&job.key);
                 if let Some(p) = from_cache {
                     local.insert(job.key, Arc::clone(&p));
                     (p, true)
@@ -495,8 +719,8 @@ fn worker_loop(shared: &Shared) {
                     // Single-flight: the first claimant computes;
                     // concurrent claimants wait for its result (after
                     // finishing the rest of their own batch).
-                    match claim_key(shared, job.key) {
-                        Ok(marker) => match compute_owned(shared, &job, &marker, &mut scratch) {
+                    match claim_key(shard, job.key) {
+                        Ok(marker) => match compute_owned(shard, &job, &marker, &mut scratch) {
                             Some((p, cached)) => {
                                 local.insert(job.key, Arc::clone(&p));
                                 (p, cached)
@@ -513,34 +737,35 @@ fn worker_loop(shared: &Shared) {
                     }
                 }
             };
-            send_reply(shared, &job, prediction, cached);
+            send_reply(shard, &job, prediction, cached);
         }
         // Second pass: resolve waits on keys owned by other workers.
         for (job, first_marker) in deferred {
             let mut marker = first_marker;
             loop {
                 let state = {
-                    let mut done = marker.done.lock().expect("marker lock");
+                    let mut done = lock::recover(&marker.done);
                     while matches!(*done, InFlightState::Pending) {
-                        done = marker.cv.wait(done).expect("marker lock");
+                        done =
+                            marker.cv.wait(done).unwrap_or_else(std::sync::PoisonError::into_inner);
                     }
                     done.clone()
                 };
                 match state {
                     InFlightState::Done(p) => {
-                        send_reply(shared, &job, p, true);
+                        send_reply(shard, &job, p, true);
                         break;
                     }
                     InFlightState::Abandoned => {
                         // The owner's forward panicked on ITS inputs (only
                         // key-equal to ours); retry the claim protocol.
                         // compute_owned re-checks the cache after claiming.
-                        match claim_key(shared, job.key) {
+                        match claim_key(shard, job.key) {
                             Ok(m) => {
                                 if let Some((p, cached)) =
-                                    compute_owned(shared, &job, &m, &mut scratch)
+                                    compute_owned(shard, &job, &m, &mut scratch)
                                 {
-                                    send_reply(shared, &job, p, cached);
+                                    send_reply(shard, &job, p, cached);
                                 }
                                 break;
                             }
@@ -555,11 +780,11 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Claims `key` in the single-flight map: `Ok` hands the caller ownership
-/// (it must publish via `compute_owned`), `Err` returns the current
-/// owner's marker to wait on.
-fn claim_key(shared: &Shared, key: CacheKey) -> std::result::Result<Arc<InFlight>, Arc<InFlight>> {
-    let mut map = shared.in_flight.lock().expect("in-flight lock");
+/// Claims `key` in the shard's single-flight map: `Ok` hands the caller
+/// ownership (it must publish via `compute_owned`), `Err` returns the
+/// current owner's marker to wait on.
+fn claim_key(shard: &Shard, key: CacheKey) -> std::result::Result<Arc<InFlight>, Arc<InFlight>> {
+    let mut map = lock::recover(&shard.in_flight);
     match map.get(&key) {
         Some(m) => Err(Arc::clone(m)),
         None => {
@@ -571,19 +796,19 @@ fn claim_key(shared: &Shared, key: CacheKey) -> std::result::Result<Arc<InFlight
 }
 
 /// Resolves the forward for a claimed key, publishing the result to the
-/// cache and the single-flight marker. The cache is re-checked first —
-/// another worker may have finished (and unclaimed) this key between the
-/// caller's miss and its claim — so the returned flag reports whether the
-/// prediction was cached. Returns `None` (after unclaiming the key and
-/// waking waiters) if the forward panics, so one malformed request cannot
-/// wedge the pool — see `ServeError::WorkerLost`.
+/// shard's cache and the single-flight marker. The cache is re-checked
+/// first — another worker may have finished (and unclaimed) this key
+/// between the caller's miss and its claim — so the returned flag reports
+/// whether the prediction was cached. Returns `None` (after unclaiming
+/// the key and waking waiters) if the forward panics, so one malformed
+/// request cannot wedge the pool — see `ServeError::WorkerLost`.
 fn compute_owned(
-    shared: &Shared,
-    job: &Job,
+    shard: &Shard,
+    job: &PredictJob,
     marker: &Arc<InFlight>,
     scratch: &mut InferenceScratch,
 ) -> Option<(Arc<Prediction>, bool)> {
-    let recheck = shared.cache.lock().expect("cache lock").get(&job.key);
+    let recheck = lock::recover(&shard.cache).get(&job.key);
     let outcome = match recheck {
         Some(p) => Ok((p, true)),
         None => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -593,24 +818,24 @@ fn compute_owned(
     let (result, state) = match outcome {
         Ok((p, cached)) => {
             if !cached {
-                shared.stats.lock().expect("stats lock").record_computed();
+                lock::recover(&shard.stats).record_computed();
                 // cache before unmarking, so latecomers that miss the
                 // marker hit the cache
-                shared.cache.lock().expect("cache lock").insert(job.key, Arc::clone(&p));
+                lock::recover(&shard.cache).insert(job.key, Arc::clone(&p));
             }
             (Some((Arc::clone(&p), cached)), InFlightState::Done(p))
         }
         Err(_) => (None, InFlightState::Abandoned),
     };
-    shared.in_flight.lock().expect("in-flight lock").remove(&job.key);
-    *marker.done.lock().expect("marker lock") = state;
+    lock::recover(&shard.in_flight).remove(&job.key);
+    *lock::recover(&marker.done) = state;
     marker.cv.notify_all();
     result
 }
 
-fn send_reply(shared: &Shared, job: &Job, prediction: Arc<Prediction>, cached: bool) {
+fn send_reply(shard: &Shard, job: &PredictJob, prediction: Arc<Prediction>, cached: bool) {
     let latency = job.submitted.elapsed();
-    shared.stats.lock().expect("stats lock").record_request(latency, cached);
+    lock::recover(&shard.stats).record_request(latency, cached);
     // A requester that gave up (dropped the receiver) is fine.
     let _ = job.reply.send(reply_from(prediction, cached, job.threshold, latency));
 }
@@ -619,6 +844,7 @@ fn send_reply(shared: &Shared, job: &Job, prediction: Arc<Prediction>, cached: b
 mod tests {
     use super::*;
     use lhnn::{Lhnn, LhnnConfig};
+    use neurograd::CsrMatrix;
 
     fn design(seed: u64, n_cells: usize, grid: u32) -> (Arc<GraphOps>, Arc<FeatureSet>) {
         let (ops, feats) = lhnn_data::serving_inputs(seed, n_cells, grid).expect("build design");
@@ -746,6 +972,64 @@ mod tests {
     }
 
     #[test]
+    fn sharded_engine_serves_and_isolates_routing() {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register("default", Lhnn::new(LhnnConfig::default(), 0)).unwrap();
+        let engine = ServeEngine::new(
+            Arc::clone(&registry),
+            EngineConfig { workers: 3, shards: 3, cache_capacity: 8, ..Default::default() },
+        );
+        let handle = engine.handle();
+        assert_eq!(handle.shards(), 3);
+        assert_eq!(handle.workers(), 3);
+        // distinct designs spread over the shards; every request lands on
+        // a deterministic shard, so repeats always hit their own cache
+        let designs: Vec<_> = (0..6).map(|s| design(40 + s, 70, 6)).collect();
+        for (ops, feats) in &designs {
+            let req = PredictRequest::new("default", Arc::clone(ops), Arc::clone(feats));
+            assert!(!handle.predict(&req).unwrap().cached);
+            assert!(handle.predict(&req).unwrap().cached, "repeat must hit the same shard");
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.requests, 12);
+        assert_eq!(stats.computed, 6);
+        assert_eq!(stats.per_shard.len(), 3);
+        let spread: u64 = stats.per_shard.iter().map(|s| s.requests).sum();
+        assert_eq!(spread, 12, "per-shard requests must sum to the aggregate");
+        assert_eq!(handle.cache_len(), 6);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn stateless_requests_with_a_design_id_pin_their_shard() {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register("default", Lhnn::new(LhnnConfig::default(), 0)).unwrap();
+        let engine = ServeEngine::new(
+            Arc::clone(&registry),
+            EngineConfig { workers: 2, shards: 2, cache_capacity: 8, ..Default::default() },
+        );
+        let handle = engine.handle();
+        let expected = handle.shard_of_design("pinned");
+        // two different states of the same named design land on one shard
+        for seed in [20, 21] {
+            let (ops, feats) = design(seed, 80, 6);
+            let req = PredictRequest::new("default", ops, feats).with_design("pinned");
+            handle.predict(&req).unwrap();
+        }
+        assert_eq!(handle.shard_cache_len(expected), 2, "both states cached on the pinned shard");
+        assert_eq!(handle.cache_len(), 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn worker_partition_covers_every_shard() {
+        assert_eq!(partition_workers(4, 2), vec![2, 2]);
+        assert_eq!(partition_workers(5, 2), vec![3, 2]);
+        assert_eq!(partition_workers(1, 3), vec![1, 1, 1], "every shard gets a worker");
+        assert_eq!(partition_workers(7, 3), vec![3, 2, 2]);
+    }
+
+    #[test]
     fn shutdown_rejects_new_work() {
         let engine = engine_with_default_model(1, 4);
         let handle = engine.handle();
@@ -753,5 +1037,58 @@ mod tests {
         engine.shutdown();
         let err = handle.predict(&PredictRequest::new("default", ops, feats)).unwrap_err();
         assert!(matches!(err, ServeError::ShuttingDown | ServeError::WorkerLost));
+    }
+
+    /// Serve-layer bug sweep: a forward that panics must cost only its own
+    /// requester (`WorkerLost`) — the worker, its locks and the engine all
+    /// keep serving afterwards.
+    #[test]
+    fn panicking_forward_does_not_brick_the_engine() {
+        let engine = engine_with_default_model(2, 16);
+        let handle = engine.handle();
+        let (ops, feats) = design(8, 80, 6);
+        // Operators whose declared node counts match the features (so
+        // admission passes) but whose matrices are inconsistent: the
+        // forward's dimension asserts fire inside the worker.
+        let bad_ops = Arc::new(GraphOps {
+            gnc_sum: Arc::new(CsrMatrix::empty(3, 3)),
+            gnc_mean: Arc::new(CsrMatrix::empty(3, 3)),
+            gcn_mean: Arc::new(CsrMatrix::empty(3, 3)),
+            lattice_mean: Arc::new(CsrMatrix::empty(3, 3)),
+            num_gcells: ops.num_gcells,
+            num_gnets: ops.num_gnets,
+        });
+        let poisoned_req = PredictRequest::new("default", bad_ops, Arc::clone(&feats));
+        let err = handle.predict(&poisoned_req).unwrap_err();
+        assert!(matches!(err, ServeError::WorkerLost), "got {err:?}");
+        // the engine is alive: the well-formed design still serves, stats
+        // still snapshot, the cache still fills
+        let ok = handle.predict(&PredictRequest::new("default", ops, feats)).unwrap();
+        assert!(ok.prediction.cls_prob.is_finite());
+        let stats = handle.stats();
+        assert!(stats.requests >= 1);
+        assert_eq!(handle.cache_len(), 1);
+        engine.shutdown();
+    }
+
+    /// Poisoned re-derivable locks recover instead of cascading panics:
+    /// deliberately poison a shard's stats mutex and confirm every surface
+    /// that crosses it still works.
+    #[test]
+    fn poisoned_stats_mutex_recovers() {
+        let engine = engine_with_default_model(1, 4);
+        let handle = engine.handle();
+        let shared = Arc::clone(&handle.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.shards[0].stats.lock().unwrap();
+            panic!("poison the stats mutex");
+        })
+        .join();
+        assert!(handle.shared.shards[0].stats.lock().is_err(), "mutex really poisoned");
+        let (ops, feats) = design(9, 80, 6);
+        let ok = handle.predict(&PredictRequest::new("default", ops, feats)).unwrap();
+        assert!(ok.prediction.cls_prob.is_finite());
+        assert_eq!(handle.stats().requests, 1, "stats keep counting after recovery");
+        engine.shutdown();
     }
 }

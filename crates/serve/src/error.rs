@@ -17,6 +17,12 @@ pub enum ServeError {
     /// A placement-loop session could not build or rebuild its pipeline
     /// (e.g. every net filtered out at the current placement).
     Session(String),
+    /// State behind a lock was lost to a panic and cannot be re-derived
+    /// (e.g. a session pipeline wedged mid-update). Unlike re-derivable
+    /// engine state — caches, stats, queues — which recovers from mutex
+    /// poisoning transparently, this error is permanent for the surface
+    /// that returns it: drop and reopen it.
+    Poisoned(String),
     /// The engine is shutting down; the request was not accepted.
     ShuttingDown,
     /// The worker serving this request died before replying (a panic in
@@ -34,6 +40,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "model `{name}` is already registered")
             }
             ServeError::Session(msg) => write!(f, "session pipeline failed: {msg}"),
+            ServeError::Poisoned(msg) => write!(f, "state lost to a panic: {msg}"),
             ServeError::ShuttingDown => write!(f, "inference engine is shutting down"),
             ServeError::WorkerLost => write!(f, "worker died before replying"),
         }

@@ -1,32 +1,44 @@
-//! `lhnn-serve` — a batched, multi-threaded congestion-inference engine.
+//! `lhnn-serve` — a sharded, batched, multi-threaded congestion-inference
+//! engine.
 //!
 //! The paper's end goal is congestion feedback *inside* placement loops: a
 //! placer queries "where will routing congest?" thousands of times per
-//! design, so inference must stay hot, parallel and deduplicated. This
+//! design, and a serving deployment fields *many* such loops at once. This
 //! crate turns the one-shot [`lhnn::Lhnn::predict`] path into an always-on
 //! service skeleton:
 //!
 //! * [`ModelRegistry`] — loads `.lhnn` checkpoints once, validates them
 //!   against the feature pipeline, hands out shared entries; bad
 //!   checkpoints are rejected without touching serving state.
-//! * [`ServeEngine`] — a bounded request queue drained by long-lived
-//!   worker threads, each running tape-free forwards on a reusable
-//!   [`lhnn::InferenceScratch`]; same-shape identical requests drained in
-//!   one wake-up share a single forward (micro-batching).
-//! * [`PredictionCache`] — an LRU keyed by content fingerprints of
-//!   `(model weights, graph operators, features)`, so repeated queries on
-//!   an unchanged placement cost only hashing.
+//! * [`ServeEngine`] — a front over [`EngineConfig::shards`] independent
+//!   shards; each owns a bounded request queue drained by its slice of
+//!   long-lived worker threads (tape-free forwards on a reusable
+//!   [`lhnn::InferenceScratch`], micro-batching, single-flight dedup),
+//!   its own prediction cache and its own stats. Designs route to shards
+//!   by a stable hash, so one hot placement loop can neither evict
+//!   another design's cache entries nor monopolise all workers.
+//! * [`PredictionCache`] — a per-shard LRU keyed by content fingerprints
+//!   of `(model weights, graph operators, features)`, so repeated queries
+//!   on an unchanged placement cost only hashing.
 //! * [`ServeHandle`] — the synchronous client API
 //!   ([`ServeHandle::predict`], [`ServeHandle::predict_batch`],
-//!   [`ServeHandle::stats`]) with latency percentiles, throughput and
-//!   cache hit rate.
-//! * [`Session`] — the stateful placement-loop surface
-//!   ([`ServeHandle::open_session`] / [`Session::update`] /
+//!   [`ServeHandle::stats`]) with latency percentiles, throughput, cache
+//!   hit rate and a per-shard breakdown ([`ServeStats::per_shard`]).
+//! * [`Session`] — the stateful, **pipelined** placement-loop surface
+//!   ([`ServeHandle::open_session`] / [`Session::submit_update`] /
 //!   [`Session::predict`]): keeps an incremental
-//!   [`lhnn::LatticePipeline`] hot per design so a placer's per-iteration
-//!   deltas patch only the dirty graph/feature rows (sort-free copies, no
-//!   placement rescan, pre-seeded digests) instead of rebuilding, with
-//!   results bitwise identical to batch construction.
+//!   [`lhnn::LatticePipeline`] hot per design, pinned to the design's
+//!   shard. `submit_update` returns an [`UpdateTicket`] and the shard's
+//!   workers apply the delta while the caller overlaps its own work;
+//!   `predict` drains pending tickets in submission order before the
+//!   forward, so one placer thread keeps several designs in flight
+//!   without ever observing a half-applied sequence.
+//!
+//! Failures stay contained: a panicking forward costs its requester a
+//! [`ServeError::WorkerLost`] and nothing else; engine locks guard
+//! re-derivable state and recover from mutex poisoning instead of
+//! cascading panics; a session wedged by a panic mid-update fails its own
+//! calls with [`ServeError::Poisoned`] while the engine keeps serving.
 //!
 //! Served predictions are **bitwise identical** to direct
 //! [`lhnn::Lhnn::predict`] calls regardless of worker count or cache
@@ -79,6 +91,7 @@
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub(crate) mod lock;
 pub mod registry;
 pub mod session;
 pub mod stats;
@@ -87,5 +100,5 @@ pub use cache::{CacheKey, PredictionCache};
 pub use engine::{EngineConfig, PredictRequest, ServeEngine, ServeHandle, ServeReply};
 pub use error::{Result, ServeError};
 pub use registry::{ModelEntry, ModelRegistry};
-pub use session::{Session, SessionConfig};
-pub use stats::ServeStats;
+pub use session::{Session, SessionConfig, UpdateTicket};
+pub use stats::{ServeStats, ShardStats};

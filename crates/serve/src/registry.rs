@@ -12,6 +12,8 @@ use std::io::Read;
 use std::path::Path;
 use std::sync::{Arc, RwLock};
 
+use crate::lock;
+
 use lh_graph::{gcell_channel, gnet_channel};
 use lhnn::{Lhnn, LhnnConfig};
 
@@ -112,7 +114,7 @@ impl ModelRegistry {
             version: model.weights_fingerprint(),
             model,
         });
-        let mut map = self.models.write().expect("registry lock");
+        let mut map = lock::write_recover(&self.models);
         if !allow_replace && map.contains_key(name) {
             return Err(ServeError::AlreadyRegistered(name.to_string()));
         }
@@ -148,26 +150,25 @@ impl ModelRegistry {
 
     /// Resolves a name to its current entry.
     pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
-        self.models.read().expect("registry lock").get(name).cloned()
+        lock::read_recover(&self.models).get(name).cloned()
     }
 
     /// Removes a model; returns whether it existed. In-flight requests
     /// holding the `Arc` finish normally.
     pub fn remove(&self, name: &str) -> bool {
-        self.models.write().expect("registry lock").remove(name).is_some()
+        lock::write_recover(&self.models).remove(name).is_some()
     }
 
     /// Registered names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut v: Vec<String> =
-            self.models.read().expect("registry lock").keys().cloned().collect();
+        let mut v: Vec<String> = lock::read_recover(&self.models).keys().cloned().collect();
         v.sort();
         v
     }
 
     /// Number of registered models.
     pub fn len(&self) -> usize {
-        self.models.read().expect("registry lock").len()
+        lock::read_recover(&self.models).len()
     }
 
     /// Whether no model is registered.

@@ -1,26 +1,54 @@
-//! Stateful placement-loop sessions: the incremental serving surface.
+//! Stateful placement-loop sessions: the pipelined incremental serving
+//! surface.
 //!
 //! A stateless [`crate::ServeHandle::predict`] forces every caller to
 //! rebuild graph operators and features per query — fine for one-shot
 //! CLIs, wasteful for a placer that perturbs a few cells and re-queries
 //! thousands of times. A [`Session`] keeps a [`LatticePipeline`] hot per
-//! design:
+//! design, and since this PR the update half is **pipelined**: the delta
+//! is applied by the session's shard workers while the caller overlaps
+//! its own work.
 //!
 //! ```text
-//! open_session(circuit, placement)   // one full build
+//! open_session(circuit, placement)      // one full build; design → shard
 //!   loop {
-//!     session.update(&delta)         // incremental dirty-row patch
-//!     session.predict()              // engine forward (or cache hit)
+//!     let t = session.submit_update(&delta);   // no waiting;
+//!                                              // the shard applies it
+//!     /* caller overlaps placer work here */
+//!     session.predict()                 // drains pending tickets in
+//!                                       // order, then runs the forward
 //!   }
 //! ```
 //!
-//! Because incremental updates are bitwise identical to full rebuilds, the
-//! engine's fingerprint-keyed prediction cache composes transparently: a
-//! `predict` after a no-op update (or after a delta that returns to a
-//! previously seen placement) hits the cache exactly as if the inputs had
-//! been batch-built.
+//! # Ordering and determinism
+//!
+//! Deltas apply strictly in submission order: appliers (shard workers,
+//! `predict`, `UpdateTicket::wait`) take the session's state lock first
+//! and then drain the pending queue FIFO, so no interleaving of workers
+//! can reorder two updates. Combined with the bitwise-deterministic
+//! kernel backend, any interleaving of sessions across any shard count
+//! yields predictions bitwise identical to serial single-shard execution
+//! (proptest-enforced in `tests/sharded_sessions.rs`).
+//!
+//! # Failure discipline
+//!
+//! A failed structural fallback rebuild poisons the pipeline: the ticket
+//! that triggered it *and every later call* fail until a delta admits a
+//! successful rebuild — exactly the pre-pipelining behaviour. A *panic*
+//! mid-apply (distinct from a clean error) wedges the session
+//! permanently: the placement may have advanced while graph state did
+//! not, so every later call surfaces [`ServeError::Poisoned`]; the
+//! engine itself keeps serving every other session.
+//!
+//! Because incremental updates are bitwise identical to full rebuilds,
+//! the engine's fingerprint-keyed prediction cache composes
+//! transparently: a `predict` after a no-op update (or after a delta
+//! that returns to a previously seen placement) hits the cache exactly
+//! as if the inputs had been batch-built.
 
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 use lh_graph::{FeatureSet, LhGraphConfig};
 use lhnn::{AblationSpec, GraphOps, LatticePipeline, PipelineStats, PipelineUpdate};
@@ -34,6 +62,10 @@ use crate::error::{Result, ServeError};
 pub struct SessionConfig {
     /// Registry name of the model to serve with.
     pub model: String,
+    /// Design identity used for shard affinity (stable hash of this id
+    /// picks the shard). `None` (the default) uses the circuit's name, so
+    /// two sessions over the same design share a shard — and its cache.
+    pub design: Option<String>,
     /// Congestion threshold applied to predictions.
     pub threshold: f32,
     /// LH-graph build options.
@@ -47,11 +79,12 @@ pub struct SessionConfig {
 
 impl SessionConfig {
     /// Defaults: 0.5 threshold, default graph config, the reproduction's
-    /// fixed feature divisors.
+    /// fixed feature divisors, shard affinity by circuit name.
     pub fn new(model: impl Into<String>) -> Self {
         let (gcell_divisors, gnet_divisors) = FeatureSet::default_divisors();
         Self {
             model: model.into(),
+            design: None,
             threshold: 0.5,
             graph: LhGraphConfig::default(),
             gcell_divisors,
@@ -72,26 +105,207 @@ impl SessionConfig {
         self.graph = graph;
         self
     }
+
+    /// Sets an explicit design id for shard affinity.
+    #[must_use]
+    pub fn with_design(mut self, design: impl Into<String>) -> Self {
+        self.design = Some(design.into());
+        self
+    }
 }
 
-/// A hot placement-loop session over one design.
+/// A pending, not-yet-applied [`Session::submit_update`].
 ///
-/// Owned by the placer thread driving it; the underlying engine and its
-/// worker pool are shared with every other client of the [`ServeHandle`].
+/// The outcome arrives when the session's shard (or any in-order drain —
+/// a later `predict`, a blocking [`UpdateTicket::wait`]) applies the
+/// delta. Dropping the ticket is fine: the update still applies; only
+/// the outcome is discarded.
 #[derive(Debug)]
-pub struct Session {
-    handle: ServeHandle,
-    cfg: SessionConfig,
+pub struct UpdateTicket {
+    core: Arc<SessionCore>,
+    rx: mpsc::Receiver<Result<PipelineUpdate>>,
+}
+
+impl UpdateTicket {
+    /// Blocks until the update has been applied, returning what the
+    /// pipeline did.
+    ///
+    /// Never deadlocks: if no shard worker has drained the queue yet (the
+    /// engine may be saturated, or already shut down), the caller drains
+    /// it inline — in submission order, exactly as a worker would.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Session`] if a structural fallback rebuild failed
+    /// (the pipeline is poisoned until a later delta admits a rebuild);
+    /// [`ServeError::Poisoned`] if the session wedged (a panic mid-apply).
+    pub fn wait(self) -> Result<PipelineUpdate> {
+        if let Ok(outcome) = self.rx.try_recv() {
+            return outcome;
+        }
+        // Drain inline. If a worker owns the state lock right now it will
+        // apply our delta before releasing; either way the reply is in
+        // the channel once we get the lock and find the queue empty.
+        self.core.service();
+        self.rx.recv().map_err(|_| {
+            ServeError::Poisoned("update ticket lost: session state dropped mid-apply".into())
+        })?
+    }
+}
+
+struct PendingUpdate {
+    delta: PlacementDelta,
+    reply: mpsc::Sender<Result<PipelineUpdate>>,
+}
+
+struct SessionState {
     pipeline: LatticePipeline,
     /// Scaled snapshot of the pipeline state, rebuilt lazily after a
     /// non-noop update. Holding `Arc`s means repeated `predict` calls on
     /// an unchanged placement submit pointer-identical inputs.
     snapshot: Option<(Arc<GraphOps>, Arc<FeatureSet>)>,
+    /// Set when an apply *panicked* (not merely errored): the placement
+    /// may have advanced while graph state did not, and unlike a failed
+    /// rebuild the divergence is unknowable. Every later call fails with
+    /// [`ServeError::Poisoned`].
+    wedged: Option<String>,
+}
+
+/// The shard-shared half of a [`Session`]: the hot pipeline plus the
+/// FIFO queue of not-yet-applied deltas.
+///
+/// Appliers take `state` first and then drain `pending` front-to-back
+/// under it, so updates apply in submission order no matter which thread
+/// (shard worker, `predict`, `UpdateTicket::wait`) performs the drain.
+pub(crate) struct SessionCore {
+    state: Mutex<SessionState>,
+    pending: Mutex<VecDeque<PendingUpdate>>,
+    divisors: (Vec<f32>, Vec<f32>),
+}
+
+impl std::fmt::Debug for SessionCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SessionCore")
+    }
+}
+
+impl SessionCore {
+    /// Recovers a session-state guard from mutex poisoning, recording
+    /// that coherence is gone: the holder panicked outside
+    /// `drain_locked`'s catch (e.g. mid-snapshot), so unlike the engine's
+    /// re-derivable locks this state cannot be trusted again.
+    fn wedge_on_poison(
+        poison: std::sync::PoisonError<std::sync::MutexGuard<'_, SessionState>>,
+    ) -> std::sync::MutexGuard<'_, SessionState> {
+        let mut guard = poison.into_inner();
+        if guard.wedged.is_none() {
+            guard.wedged = Some("a thread panicked while holding the session state".into());
+        }
+        guard
+    }
+
+    /// Locks the session state, converting poison into a wedge.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, SessionState> {
+        self.state.lock().unwrap_or_else(Self::wedge_on_poison)
+    }
+
+    /// Applies every pending delta in submission order; returns how many
+    /// were applied. Blocking — used by the inline drains
+    /// ([`UpdateTicket::wait`]), which guarantee liveness.
+    pub(crate) fn service(&self) -> usize {
+        self.drain_locked(&mut self.lock_state())
+    }
+
+    /// The shard-worker variant of [`SessionCore::service`]: never blocks
+    /// on the session state — a worker parked on one session's mutex
+    /// would head-of-line-block every other job on its shard.
+    ///
+    /// Returns `Some(applied)` when the drain ran (possibly applying
+    /// nothing), and `None` when the state lock was busy while deltas are
+    /// still pending — the current holder may have finished its own drain
+    /// before those deltas arrived, so the caller must re-nudge rather
+    /// than drop them on the floor (a lost nudge would silently degrade
+    /// pipelining to apply-on-next-inline-drain).
+    pub(crate) fn service_nonblocking(&self) -> Option<usize> {
+        let mut state = match self.state.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                let drained = crate::lock::recover(&self.pending).is_empty();
+                return if drained { Some(0) } else { None };
+            }
+            Err(std::sync::TryLockError::Poisoned(poison)) => Self::wedge_on_poison(poison),
+        };
+        Some(self.drain_locked(&mut state))
+    }
+
+    fn drain_locked(&self, state: &mut SessionState) -> usize {
+        let mut applied = 0;
+        loop {
+            let next = crate::lock::recover(&self.pending).pop_front();
+            let Some(PendingUpdate { delta, reply }) = next else { break };
+            applied += 1;
+            // A submitter that dropped its ticket is fine.
+            let _ = reply.send(self.apply_locked(state, &delta));
+        }
+        applied
+    }
+
+    /// Applies one delta under the state lock, enforcing the wedge/poison
+    /// discipline. The single apply path for drained and inline updates.
+    fn apply_locked(
+        &self,
+        state: &mut SessionState,
+        delta: &PlacementDelta,
+    ) -> Result<PipelineUpdate> {
+        if let Some(why) = &state.wedged {
+            return Err(ServeError::Poisoned(format!("session wedged: {why}")));
+        }
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.pipeline.apply(delta)))
+        {
+            Ok(Ok(update)) => {
+                if !matches!(update, PipelineUpdate::Noop) {
+                    state.snapshot = None;
+                }
+                Ok(update)
+            }
+            Ok(Err(e)) => {
+                // Failed fallback rebuild: the pipeline is poisoned and
+                // every later call fails until a rebuild succeeds (the
+                // pipeline retries on each subsequent apply).
+                state.snapshot = None;
+                Err(ServeError::Session(e.to_string()))
+            }
+            Err(panic) => {
+                let why = panic
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic mid-apply".into());
+                state.snapshot = None;
+                state.wedged = Some(why.clone());
+                Err(ServeError::Poisoned(format!("session wedged: {why}")))
+            }
+        }
+    }
+}
+
+/// A hot placement-loop session over one design, pinned to one shard.
+///
+/// Owned by the placer thread driving it; the underlying engine, its
+/// shard's worker slice and prediction cache are shared with every other
+/// client of the [`ServeHandle`].
+#[derive(Debug)]
+pub struct Session {
+    handle: ServeHandle,
+    cfg: SessionConfig,
+    core: Arc<SessionCore>,
+    shard: usize,
 }
 
 impl ServeHandle {
-    /// Opens a placement-loop session: builds the full pipeline once and
-    /// keeps it hot for incremental [`Session::update`]s.
+    /// Opens a placement-loop session: builds the full pipeline once,
+    /// pins the session to its design's shard (stable hash of the design
+    /// id) and keeps it hot for incremental updates.
     ///
     /// # Errors
     ///
@@ -107,15 +321,55 @@ impl ServeHandle {
         if self.registry().get(&cfg.model).is_none() {
             return Err(ServeError::UnknownModel(cfg.model.clone()));
         }
+        let design_id = cfg.design.clone().unwrap_or_else(|| circuit.name.clone());
+        let shard = self.shard_of_design(&design_id);
         let pipeline =
             LatticePipeline::new(circuit, placement, grid, cfg.graph.clone(), AblationSpec::full())
                 .map_err(|e| ServeError::Session(e.to_string()))?;
-        Ok(Session { handle: self.clone(), cfg, pipeline, snapshot: None })
+        let core = Arc::new(SessionCore {
+            state: Mutex::new(SessionState { pipeline, snapshot: None, wedged: None }),
+            pending: Mutex::new(VecDeque::new()),
+            divisors: (cfg.gcell_divisors.clone(), cfg.gnet_divisors.clone()),
+        });
+        Ok(Session { handle: self.clone(), cfg, core, shard })
     }
 }
 
 impl Session {
-    /// Applies a placement delta to the hot pipeline.
+    /// Submits a placement delta for pipelined application on the
+    /// session's shard, without waiting for it to apply.
+    ///
+    /// The caller overlaps its own work while a shard worker applies the
+    /// delta; the returned [`UpdateTicket`] resolves to what the pipeline
+    /// did. Updates apply strictly in submission order, and
+    /// [`Session::predict`] drains every pending ticket before running a
+    /// forward — predictions can never observe a half-applied sequence.
+    ///
+    /// Submission cannot fail: the delta always lands in the session's
+    /// pending queue, and even if the engine refuses the nudge (shutdown)
+    /// the next in-order drain — `predict` or [`UpdateTicket::wait`] —
+    /// applies it inline, so the session survives its engine. The call
+    /// may block briefly on the shard's backpressure bound when its queue
+    /// is full.
+    pub fn submit_update(&self, delta: &PlacementDelta) -> UpdateTicket {
+        let (tx, rx) = mpsc::channel();
+        let was_empty = {
+            let mut pending = crate::lock::recover(&self.core.pending);
+            let was_empty = pending.is_empty();
+            pending.push_back(PendingUpdate { delta: delta.clone(), reply: tx });
+            was_empty
+        };
+        // Nudge the shard — but only when this push made the queue
+        // non-empty: a non-empty queue already has a nudge in flight (or
+        // an active drainer, which pops until empty and so picks this
+        // delta up too).
+        if was_empty {
+            let _ = self.handle.enqueue_session(self.shard, Arc::clone(&self.core));
+        }
+        UpdateTicket { core: Arc::clone(&self.core), rx }
+    }
+
+    /// Applies a placement delta synchronously (submit + wait).
     ///
     /// Returns what the pipeline did ([`PipelineUpdate::Noop`] /
     /// [`PipelineUpdate::Incremental`] / [`PipelineUpdate::FullRebuild`]).
@@ -125,70 +379,99 @@ impl Session {
     /// # Errors
     ///
     /// [`ServeError::Session`] if a structural fallback rebuild fails
-    /// (e.g. the delta pushed every net past the size filter).
+    /// (e.g. the delta pushed every net past the size filter);
+    /// [`ServeError::Poisoned`] if the session wedged.
     pub fn update(&mut self, delta: &PlacementDelta) -> Result<PipelineUpdate> {
-        let outcome = self.pipeline.apply(delta);
-        // Any non-noop outcome — including a failed rebuild, which leaves
-        // the pipeline poisoned — invalidates the prediction snapshot.
-        if !matches!(outcome, Ok(PipelineUpdate::Noop)) {
-            self.snapshot = None;
-        }
-        outcome.map_err(|e| ServeError::Session(e.to_string()))
+        // The blocking path skips the ticket/nudge machinery entirely:
+        // drain anything still pending (in submission order), then apply
+        // this delta inline — no channel, no queue round-trip, no worker
+        // wake-up that would find nothing to do.
+        let mut state = self.core.lock_state();
+        self.core.drain_locked(&mut state);
+        self.core.apply_locked(&mut state, delta)
     }
 
     /// Predicts congestion for the current placement through the shared
-    /// engine (worker pool, single-flight dedup, fingerprint cache).
+    /// engine, after draining every pending update in submission order.
+    ///
+    /// Routes to the session's shard, so the forward runs on the worker
+    /// slice that owns this design and the result lands in that shard's
+    /// cache.
     ///
     /// # Errors
     ///
     /// [`ServeError::Session`] if the pipeline is poisoned (a fallback
     /// rebuild failed, so graph/features lag the placement — answering
-    /// would serve a stale map as current); otherwise propagates engine
-    /// errors ([`ServeError::UnknownModel`], [`ServeError::Incompatible`],
+    /// would serve a stale map as current); [`ServeError::Poisoned`] if
+    /// the session wedged; otherwise propagates engine errors
+    /// ([`ServeError::UnknownModel`], [`ServeError::Incompatible`],
     /// shutdown races).
     pub fn predict(&mut self) -> Result<ServeReply> {
         let (ops, features) = self.inputs()?;
         let request =
             PredictRequest::new(&self.cfg.model, ops, features).with_threshold(self.cfg.threshold);
-        self.handle.predict(&request)
+        self.handle.predict_on_shard(self.shard, &request)
     }
 
     /// The current `(operators, scaled features)` snapshot, as submitted
-    /// to the engine by [`Session::predict`].
+    /// to the engine by [`Session::predict`] — after draining every
+    /// pending update.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Session`] while the pipeline is poisoned — the
-    /// snapshot would describe an older placement than the session's.
+    /// [`ServeError::Session`] while the pipeline is poisoned (the
+    /// snapshot would describe an older placement than the session's);
+    /// [`ServeError::Poisoned`] if the session wedged.
     pub fn inputs(&mut self) -> Result<(Arc<GraphOps>, Arc<FeatureSet>)> {
-        if self.pipeline.is_poisoned() {
+        let mut state = self.core.lock_state();
+        // In-order drain of anything still pending: predictions always
+        // describe every update submitted before them.
+        self.core.drain_locked(&mut state);
+        if let Some(why) = &state.wedged {
+            return Err(ServeError::Poisoned(format!("session wedged: {why}")));
+        }
+        if state.pipeline.is_poisoned() {
             return Err(ServeError::Session(
                 "pipeline is poisoned (a rebuild failed); apply a delta that admits a \
                  rebuild before predicting"
                     .into(),
             ));
         }
-        if self.snapshot.is_none() {
-            let ops = self.pipeline.ops();
-            let features = Arc::new(
-                self.pipeline
-                    .features()
-                    .scaled_fixed(&self.cfg.gcell_divisors, &self.cfg.gnet_divisors),
-            );
-            self.snapshot = Some((ops, features));
+        if state.snapshot.is_none() {
+            let ops = state.pipeline.ops();
+            let (gcell_div, gnet_div) = &self.core.divisors;
+            let features = Arc::new(state.pipeline.features().scaled_fixed(gcell_div, gnet_div));
+            state.snapshot = Some((ops, features));
         }
-        let (ops, features) = self.snapshot.as_ref().expect("just filled");
+        let (ops, features) = state.snapshot.as_ref().expect("just filled");
         Ok((Arc::clone(ops), Arc::clone(features)))
     }
 
-    /// The hot pipeline (placement, graph, counters).
-    pub fn pipeline(&self) -> &LatticePipeline {
-        &self.pipeline
+    /// Runs `f` against the hot pipeline (placement, graph, counters),
+    /// after draining pending updates so the observed state is current.
+    /// A wedged session still exposes its (last coherent-looking)
+    /// pipeline here for diagnostics; prefer [`Session::inputs`] /
+    /// [`Session::predict`] for anything that must refuse wedged state.
+    pub fn with_pipeline<T>(&self, f: impl FnOnce(&LatticePipeline) -> T) -> T {
+        let mut state = self.core.lock_state();
+        self.core.drain_locked(&mut state);
+        f(&state.pipeline)
     }
 
-    /// The pipeline's lifetime counters.
-    pub fn stats(&self) -> &PipelineStats {
-        self.pipeline.stats()
+    /// The pipeline's lifetime counters (pending updates drained first).
+    pub fn stats(&self) -> PipelineStats {
+        self.with_pipeline(|p| p.stats().clone())
+    }
+
+    /// `(operators, features)` content fingerprints of the current state
+    /// (pending updates drained first).
+    pub fn fingerprints(&self) -> (u64, u64) {
+        self.with_pipeline(LatticePipeline::fingerprints)
+    }
+
+    /// The shard this session's updates and predictions are pinned to.
+    pub fn shard(&self) -> usize {
+        self.shard
     }
 
     /// The session's configuration.
@@ -213,6 +496,15 @@ mod tests {
         ServeEngine::new(registry, EngineConfig { workers: 2, ..EngineConfig::default() })
     }
 
+    fn sharded_engine(shards: usize) -> ServeEngine {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register("default", Lhnn::new(LhnnConfig::default(), 0)).unwrap();
+        ServeEngine::new(
+            registry,
+            EngineConfig { workers: shards, shards, ..EngineConfig::default() },
+        )
+    }
+
     fn design(seed: u64) -> (Arc<Circuit>, Placement, GcellGrid) {
         let cfg = SynthConfig { seed, n_cells: 120, grid_nx: 8, grid_ny: 8, ..Default::default() };
         let synth = generate(&cfg).unwrap();
@@ -235,11 +527,70 @@ mod tests {
         assert!(warm.cached);
         // a noop delta must not spoil the key
         let id = CellId(0);
-        let pos = session.pipeline().placement().position(id);
+        let pos = session.with_pipeline(|p| p.placement().position(id));
         let update = session.update(&PlacementDelta::single(id, pos)).unwrap();
         assert_eq!(update, PipelineUpdate::Noop);
         assert!(session.predict().unwrap().cached);
         engine.shutdown();
+    }
+
+    #[test]
+    fn pipelined_updates_apply_in_order_and_predict_drains() {
+        let engine = sharded_engine(2);
+        let handle = engine.handle();
+        let (circuit, placement, grid) = design(9);
+        let die = circuit.die;
+        let mut session = handle
+            .open_session(
+                SessionConfig::new("default"),
+                Arc::clone(&circuit),
+                placement.clone(),
+                grid.clone(),
+            )
+            .unwrap();
+        // submit a burst of updates without waiting on any of them
+        let mut reference = placement;
+        let mut tickets = Vec::new();
+        for step in 0..5u32 {
+            let id = CellId(step);
+            let np = die.clamp(Point::new(
+                reference.position(id).x + grid.gcell_width() * 1.25,
+                reference.position(id).y + grid.gcell_height() * 0.75,
+            ));
+            reference.set_position(id, np);
+            tickets.push(session.submit_update(&PlacementDelta::single(id, np)));
+        }
+        // predict drains all five in order before the forward
+        let reply = session.predict().unwrap();
+        assert!(reply.prediction.cls_prob.is_finite());
+        for t in tickets {
+            // tickets resolve (possibly applied by the predict drain)
+            t.wait().unwrap();
+        }
+        // the session state equals a from-scratch build at the reference
+        // placement — updates were neither lost nor reordered
+        let fresh = LatticePipeline::for_serving(circuit, reference, grid).unwrap();
+        assert_eq!(session.fingerprints(), fresh.fingerprints());
+        assert_eq!(session.stats().updates, 5);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn tickets_resolve_after_engine_shutdown() {
+        let engine = engine();
+        let handle = engine.handle();
+        let (circuit, placement, grid) = design(10);
+        let die = circuit.die;
+        let session =
+            handle.open_session(SessionConfig::new("default"), circuit, placement, grid).unwrap();
+        engine.shutdown();
+        // the engine is gone, but the ticket drains inline instead of
+        // hanging forever
+        let id = CellId(0);
+        let np = die.clamp(Point::new(die.ux * 0.5, die.uy * 0.5));
+        let ticket = session.submit_update(&PlacementDelta::single(id, np));
+        ticket.wait().unwrap();
+        assert_eq!(session.stats().updates, 1);
     }
 
     #[test]
@@ -333,10 +684,41 @@ mod tests {
             matches!(session.predict(), Err(ServeError::Session(_))),
             "poisoned session must not serve a pre-delta congestion map"
         );
+        // pipelined tickets observe the same discipline: every call after
+        // the failed rebuild fails until a delta admits a rebuild
+        let nudge = PlacementDelta::single(b, Point::new(7.1, 7.1));
+        let ticket = session.submit_update(&nudge);
+        assert!(matches!(ticket.wait(), Err(ServeError::Session(_))));
         // healing delta: rebuild succeeds, predictions flow again
         let heal = PlacementDelta::single(b, Point::new(1.3, 1.3));
         assert!(matches!(session.update(&heal), Ok(PipelineUpdate::FullRebuild { .. })));
         assert!(session.predict().is_ok());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn wedged_session_fails_permanently_but_not_the_engine() {
+        let engine = engine();
+        let handle = engine.handle();
+        let (circuit, placement, grid) = design(11);
+        let n_cells = circuit.num_cells() as u32;
+        let mut session =
+            handle.open_session(SessionConfig::new("default"), circuit, placement, grid).unwrap();
+        assert!(session.predict().is_ok());
+        // a delta referencing a cell outside the circuit panics mid-apply
+        let bogus = PlacementDelta::single(CellId(n_cells + 7), Point::new(1.0, 1.0));
+        let err = session.update(&bogus).unwrap_err();
+        assert!(matches!(err, ServeError::Poisoned(_)), "got {err:?}");
+        // every later call fails the same way — the state is unknowable
+        assert!(matches!(session.predict(), Err(ServeError::Poisoned(_))));
+        let id = CellId(0);
+        let t = session.submit_update(&PlacementDelta::single(id, Point::new(1.0, 1.0)));
+        assert!(matches!(t.wait(), Err(ServeError::Poisoned(_))));
+        // ...but the engine is fine: a fresh session over a healthy design
+        // serves normally
+        let (c2, p2, g2) = design(12);
+        let mut healthy = handle.open_session(SessionConfig::new("default"), c2, p2, g2).unwrap();
+        assert!(healthy.predict().is_ok());
         engine.shutdown();
     }
 
@@ -352,7 +734,7 @@ mod tests {
         let mut moved = 0;
         for i in 0..8u32 {
             let id = CellId(i);
-            let p = session.pipeline().placement().position(id);
+            let p = session.with_pipeline(|pl| pl.placement().position(id));
             let np = die.clamp(Point::new(p.x + 2.5, p.y + 2.5));
             let update = session.update(&PlacementDelta::single(id, np)).unwrap();
             if matches!(update, PipelineUpdate::Incremental { .. }) {
@@ -365,6 +747,37 @@ mod tests {
             moved,
             "stats must count exactly the incremental updates"
         );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn sessions_pin_their_design_shard() {
+        let engine = sharded_engine(3);
+        let handle = engine.handle();
+        let (circuit, placement, grid) = design(5);
+        let expected = handle.shard_of_design(&circuit.name);
+        let mut session = handle
+            .open_session(
+                SessionConfig::new("default"),
+                Arc::clone(&circuit),
+                placement.clone(),
+                grid.clone(),
+            )
+            .unwrap();
+        assert_eq!(session.shard(), expected);
+        assert!(session.predict().is_ok());
+        // the prediction landed in the pinned shard's cache
+        assert_eq!(handle.shard_cache_len(expected), 1);
+        // an explicit design id overrides the circuit name
+        let named = handle
+            .open_session(
+                SessionConfig::new("default").with_design("other-design"),
+                circuit,
+                placement,
+                grid,
+            )
+            .unwrap();
+        assert_eq!(named.shard(), handle.shard_of_design("other-design"));
         engine.shutdown();
     }
 }

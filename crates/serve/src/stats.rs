@@ -1,23 +1,29 @@
 //! Latency and throughput accounting for the engine.
 //!
+//! Each shard owns one [`StatsInner`]; a [`ServeStats`] snapshot
+//! aggregates every shard's counters and merges their latency rings
+//! before computing percentiles, and carries a per-shard breakdown so a
+//! hot design monopolising one shard is visible at a glance.
+//!
 //! Per-request latencies (submission to reply, cache hits included) land
 //! in a fixed-size ring so the memory footprint is bounded no matter how
-//! long the engine runs; percentiles are nearest-rank over the ring's
+//! long the engine runs; percentiles are nearest-rank over the rings'
 //! current contents. Counters (requests, cache hits, computed forwards,
-//! batches) are exact over the whole lifetime.
+//! batches, session updates) are exact over the whole lifetime.
 
 use std::time::Duration;
 
 const RING: usize = 4096;
 
-/// Mutable accumulator, lives behind the engine's stats mutex.
-#[derive(Debug)]
+/// Mutable accumulator, one per shard, behind that shard's stats mutex.
+#[derive(Debug, Clone)]
 pub(crate) struct StatsInner {
     requests: u64,
     cache_hits: u64,
     computed: u64,
     batches: u64,
     batched_jobs: u64,
+    session_updates: u64,
     total_latency_us: u128,
     ring: Vec<u64>,
     next: usize,
@@ -31,6 +37,7 @@ impl StatsInner {
             computed: 0,
             batches: 0,
             batched_jobs: 0,
+            session_updates: 0,
             total_latency_us: 0,
             ring: Vec::with_capacity(RING),
             next: 0,
@@ -61,53 +68,110 @@ impl StatsInner {
         self.batched_jobs += jobs as u64;
     }
 
+    pub(crate) fn record_session_updates(&mut self, applied: usize) {
+        self.session_updates += applied as u64;
+    }
+
+    /// A copy taken under the shard's stats lock, so aggregation can run
+    /// without holding any lock.
+    pub(crate) fn clone_for_snapshot(&self) -> StatsInner {
+        self.clone()
+    }
+
+    /// Single-shard snapshot (kept for unit tests; the engine snapshots
+    /// through [`aggregate`]).
+    #[cfg(test)]
     pub(crate) fn snapshot(&self, uptime: Duration) -> ServeStats {
-        let mut sorted = self.ring.clone();
-        sorted.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if sorted.is_empty() {
-                return 0;
-            }
-            // nearest-rank: ceil(p/100 * n), 1-indexed
-            let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
-            sorted[rank.min(sorted.len()) - 1]
-        };
-        let secs = uptime.as_secs_f64();
-        ServeStats {
-            requests: self.requests,
-            cache_hits: self.cache_hits,
-            computed: self.computed,
-            cache_hit_rate: if self.requests == 0 {
-                0.0
-            } else {
-                self.cache_hits as f64 / self.requests as f64
-            },
-            batches: self.batches,
-            mean_batch_size: if self.batches == 0 {
-                0.0
-            } else {
-                self.batched_jobs as f64 / self.batches as f64
-            },
-            p50_us: pct(50.0),
-            p95_us: pct(95.0),
-            p99_us: pct(99.0),
-            mean_us: if self.requests == 0 {
-                0.0
-            } else {
-                self.total_latency_us as f64 / self.requests as f64
-            },
-            throughput_rps: if secs > 0.0 { self.requests as f64 / secs } else { 0.0 },
-            uptime,
-        }
+        aggregate(std::slice::from_ref(self), &[1], uptime)
     }
 }
 
-/// An immutable snapshot of engine counters and latency percentiles.
+/// Builds an aggregate [`ServeStats`] over every shard's accumulator.
+///
+/// Counters sum; latency percentiles are nearest-rank over the merged
+/// rings (so a one-shard engine reports exactly what it did before
+/// sharding existed); `per_shard[i]` carries shard `i`'s own counters.
+pub(crate) fn aggregate(
+    shards: &[StatsInner],
+    workers_per_shard: &[usize],
+    uptime: Duration,
+) -> ServeStats {
+    let mut merged: Vec<u64> = Vec::with_capacity(shards.iter().map(|s| s.ring.len()).sum());
+    for s in shards {
+        merged.extend_from_slice(&s.ring);
+    }
+    merged.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if merged.is_empty() {
+            return 0;
+        }
+        // nearest-rank: ceil(p/100 * n), 1-indexed
+        let rank = ((p / 100.0) * merged.len() as f64).ceil().max(1.0) as usize;
+        merged[rank.min(merged.len()) - 1]
+    };
+    let requests: u64 = shards.iter().map(|s| s.requests).sum();
+    let cache_hits: u64 = shards.iter().map(|s| s.cache_hits).sum();
+    let computed: u64 = shards.iter().map(|s| s.computed).sum();
+    let batches: u64 = shards.iter().map(|s| s.batches).sum();
+    let batched_jobs: u64 = shards.iter().map(|s| s.batched_jobs).sum();
+    let session_updates: u64 = shards.iter().map(|s| s.session_updates).sum();
+    let total_latency_us: u128 = shards.iter().map(|s| s.total_latency_us).sum();
+    let secs = uptime.as_secs_f64();
+    ServeStats {
+        requests,
+        cache_hits,
+        computed,
+        cache_hit_rate: if requests == 0 { 0.0 } else { cache_hits as f64 / requests as f64 },
+        batches,
+        mean_batch_size: if batches == 0 { 0.0 } else { batched_jobs as f64 / batches as f64 },
+        session_updates,
+        p50_us: pct(50.0),
+        p95_us: pct(95.0),
+        p99_us: pct(99.0),
+        mean_us: if requests == 0 { 0.0 } else { total_latency_us as f64 / requests as f64 },
+        throughput_rps: if secs > 0.0 { requests as f64 / secs } else { 0.0 },
+        uptime,
+        per_shard: shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardStats {
+                shard: i,
+                workers: workers_per_shard.get(i).copied().unwrap_or(0),
+                requests: s.requests,
+                cache_hits: s.cache_hits,
+                computed: s.computed,
+                session_updates: s.session_updates,
+            })
+            .collect(),
+    }
+}
+
+/// One shard's slice of the aggregate counters.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index (stable for the engine's lifetime).
+    pub shard: usize,
+    /// Worker threads pinned to this shard.
+    pub workers: usize,
+    /// Requests answered by this shard (cache hits included).
+    pub requests: u64,
+    /// Requests this shard answered from its prediction cache or by
+    /// deduplication.
+    pub cache_hits: u64,
+    /// Forward passes this shard's workers executed.
+    pub computed: u64,
+    /// Pipelined session updates this shard's workers applied
+    /// (inline drains on caller threads are not counted here).
+    pub session_updates: u64,
+}
+
+/// An immutable snapshot of engine counters and latency percentiles,
+/// aggregated across shards.
 #[derive(Debug, Clone)]
 pub struct ServeStats {
     /// Requests answered (cache hits included).
     pub requests: u64,
-    /// Requests answered from the prediction cache (fast path or worker
+    /// Requests answered from a prediction cache (fast path or worker
     /// side) or deduplicated against an identical in-batch request.
     pub cache_hits: u64,
     /// Forward passes actually executed.
@@ -118,7 +182,10 @@ pub struct ServeStats {
     pub batches: u64,
     /// Mean jobs drained per worker wake-up (micro-batching factor).
     pub mean_batch_size: f64,
-    /// Median request latency, microseconds (over the last 4096 requests).
+    /// Pipelined session updates applied by engine workers.
+    pub session_updates: u64,
+    /// Median request latency, microseconds (over the last 4096 requests
+    /// per shard).
     pub p50_us: u64,
     /// 95th-percentile latency, microseconds.
     pub p95_us: u64,
@@ -130,6 +197,8 @@ pub struct ServeStats {
     pub throughput_rps: f64,
     /// Time since the engine started.
     pub uptime: Duration,
+    /// Per-shard counter breakdown (length = shard count).
+    pub per_shard: Vec<ShardStats>,
 }
 
 impl std::fmt::Display for ServeStats {
@@ -145,7 +214,18 @@ impl std::fmt::Display for ServeStats {
             self.p99_us as f64 / 1000.0,
             self.throughput_rps,
             self.mean_batch_size,
-        )
+        )?;
+        if self.per_shard.len() > 1 {
+            write!(f, " | {} shards:", self.per_shard.len())?;
+            for s in &self.per_shard {
+                write!(
+                    f,
+                    " [{}: {} req, {} fwd, {} upd]",
+                    s.shard, s.requests, s.computed, s.session_updates
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -209,5 +289,48 @@ mod tests {
         s.record_batch(7);
         let snap = s.snapshot(Duration::from_secs(1));
         assert!((snap.mean_batch_size - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_merges_shards() {
+        let mut a = StatsInner::new();
+        let mut b = StatsInner::new();
+        // shard a: fast requests; shard b: slow ones
+        for _ in 0..50 {
+            a.record_request(Duration::from_micros(10), true);
+        }
+        for _ in 0..50 {
+            b.record_request(Duration::from_micros(1000), false);
+            b.record_computed();
+        }
+        b.record_session_updates(3);
+        let shards = [a, b];
+        let snap = aggregate(&shards, &[2, 2], Duration::from_secs(1));
+        assert_eq!(snap.requests, 100);
+        assert_eq!(snap.computed, 50);
+        assert_eq!(snap.cache_hits, 50);
+        assert_eq!(snap.session_updates, 3);
+        // merged percentiles straddle the two shards' latency bands
+        assert_eq!(snap.p50_us, 10);
+        assert_eq!(snap.p95_us, 1000);
+        assert_eq!(snap.per_shard.len(), 2);
+        assert_eq!(snap.per_shard[0].requests, 50);
+        assert_eq!(snap.per_shard[0].workers, 2);
+        assert_eq!(snap.per_shard[1].computed, 50);
+        assert_eq!(snap.per_shard[1].session_updates, 3);
+        assert!((snap.cache_hit_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_shard_breakdown_when_sharded() {
+        let mut a = StatsInner::new();
+        a.record_request(Duration::from_micros(10), false);
+        let one = aggregate(std::slice::from_ref(&a), &[1], Duration::from_secs(1));
+        assert!(!format!("{one}").contains("shards:"));
+        let shards = [a, StatsInner::new()];
+        let two = aggregate(&shards, &[1, 1], Duration::from_secs(1));
+        let text = format!("{two}");
+        assert!(text.contains("2 shards:"), "got {text}");
+        assert!(text.contains("[0: 1 req"), "got {text}");
     }
 }

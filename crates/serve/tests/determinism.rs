@@ -17,8 +17,8 @@ fn design(seed: u64, n_cells: usize, grid: u32) -> (Arc<GraphOps>, Arc<FeatureSe
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Cold cache, warm cache and every worker count agree bitwise with
-    /// the direct forward.
+    /// Cold cache, warm cache and every worker AND shard count agree
+    /// bitwise with the direct forward.
     #[test]
     fn served_prediction_is_bitwise_identical(
         design_seed in 0u64..1000,
@@ -26,6 +26,7 @@ proptest! {
         n_cells in 60usize..140,
         grid in 6u32..10,
         workers in 1usize..5,
+        shards in 1usize..4,
         cache_capacity in 0usize..8,
     ) {
         let (ops, features) = design(design_seed, n_cells, grid);
@@ -36,7 +37,7 @@ proptest! {
         registry.register("m", model).expect("register");
         let engine = ServeEngine::new(
             registry,
-            EngineConfig { workers, cache_capacity, ..Default::default() },
+            EngineConfig { workers, shards, cache_capacity, ..Default::default() },
         );
         let handle = engine.handle();
         let req = PredictRequest::new("m", ops, features);

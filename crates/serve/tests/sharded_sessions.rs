@@ -1,0 +1,233 @@
+//! Properties of the sharded, pipelined session layer.
+//!
+//! 1. **Interleaving parity**: any interleaving of
+//!    `open_session`/`submit_update`/`predict` across D designs and S
+//!    shards, driven by D concurrent client threads, yields predictions
+//!    and final pipeline states bitwise identical to a serial replay on a
+//!    single-shard, single-worker engine.
+//! 2. **Cache isolation**: a hot design hammering its shard cannot evict
+//!    another design's cached prediction on a different shard.
+
+use std::sync::Arc;
+
+use lhnn::{Lhnn, LhnnConfig, Prediction};
+use lhnn_serve::{EngineConfig, ModelRegistry, ServeEngine, SessionConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vlsi_netlist::synth::{generate, SynthConfig};
+use vlsi_netlist::{CellId, Circuit, GcellGrid, Placement, PlacementDelta, Point};
+use vlsi_place::GlobalPlacer;
+
+struct Design {
+    name: String,
+    circuit: Arc<Circuit>,
+    placement: Placement,
+    grid: GcellGrid,
+    /// The delta sequence this design's client replays, with a flag for
+    /// "predict after this delta" (the final delta always predicts).
+    script: Vec<(PlacementDelta, bool)>,
+}
+
+/// Builds a design plus a deterministic delta script from one seed.
+fn scripted_design(tag: usize, seed: u64, n_deltas: usize) -> Design {
+    let cfg = SynthConfig {
+        name: format!("design-{tag}-{seed}"),
+        seed,
+        n_cells: 80,
+        grid_nx: 6,
+        grid_ny: 6,
+        ..SynthConfig::default()
+    };
+    let synth = generate(&cfg).expect("synth");
+    let grid = cfg.grid();
+    let placed = GlobalPlacer::default().place_synth(&synth, &grid).expect("place");
+    let circuit = Arc::new(synth.circuit);
+    let die = circuit.die;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut reference = placed.placement.clone();
+    let mut script = Vec::new();
+    for i in 0..n_deltas {
+        // move a couple of cells by ~1.25 g-cells in a seed-dependent
+        // direction; the reference placement tracks the moves so scripted
+        // positions stay in-die and meaningful
+        let mut delta = PlacementDelta::new();
+        for _ in 0..rng.gen_range(1usize..3) {
+            let id = CellId(rng.gen_range(0u32..circuit.num_cells() as u32));
+            let p = reference.position(id);
+            let dx = (rng.gen_range(0i32..5) - 2) as f32 * 0.8 * grid.gcell_width();
+            let dy = (rng.gen_range(0i32..5) - 2) as f32 * 0.8 * grid.gcell_height();
+            let np = die.clamp(Point::new(p.x + dx, p.y + dy));
+            reference.set_position(id, np);
+            delta.push(id, np);
+        }
+        let predict_here = i + 1 == n_deltas || rng.gen_range(0u32..3) == 0;
+        script.push((delta, predict_here));
+    }
+    Design { name: cfg.name, circuit, placement: placed.placement, grid, script }
+}
+
+fn registry() -> Arc<ModelRegistry> {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("m", Lhnn::new(LhnnConfig::default(), 0)).expect("register");
+    registry
+}
+
+/// Drives one design's script through a session; `pipelined` uses
+/// `submit_update` tickets (waited lazily by the next predict), the
+/// serial mode blocks on every update. Returns every prediction plus the
+/// final `(ops, features)` fingerprints.
+fn drive(
+    engine: &ServeEngine,
+    design: &Design,
+    pipelined: bool,
+) -> (Vec<Arc<Prediction>>, (u64, u64)) {
+    let handle = engine.handle();
+    let mut session = handle
+        .open_session(
+            SessionConfig::new("m").with_design(&design.name),
+            Arc::clone(&design.circuit),
+            design.placement.clone(),
+            design.grid.clone(),
+        )
+        .expect("open session");
+    let mut predictions = Vec::new();
+    for (delta, predict_here) in &design.script {
+        if pipelined {
+            // fire-and-forget: predict (or a later update's drain) applies it
+            drop(session.submit_update(delta));
+        } else {
+            session.update(delta).expect("update");
+        }
+        if *predict_here {
+            predictions.push(session.predict().expect("predict").prediction);
+        }
+    }
+    (predictions, session.fingerprints())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn interleaved_sessions_match_serial_replay(
+        base_seed in 0u64..500,
+        n_designs in 2usize..5,
+        shards in 1usize..4,
+        workers in 1usize..5,
+        n_deltas in 2usize..5,
+    ) {
+        let designs: Vec<Design> = (0..n_designs)
+            .map(|d| scripted_design(d, base_seed + d as u64 * 101, n_deltas))
+            .collect();
+
+        // Concurrent, pipelined, sharded: one client thread per design.
+        let engine = ServeEngine::new(
+            registry(),
+            EngineConfig { workers, shards, ..EngineConfig::default() },
+        );
+        let concurrent: Vec<(Vec<Arc<Prediction>>, (u64, u64))> = std::thread::scope(|scope| {
+            let joins: Vec<_> = designs
+                .iter()
+                .map(|design| scope.spawn(|| drive(&engine, design, true)))
+                .collect();
+            joins.into_iter().map(|j| j.join().expect("client thread")).collect()
+        });
+        engine.shutdown();
+
+        // Serial replay: single shard, single worker, blocking updates,
+        // one design at a time.
+        let serial_engine = ServeEngine::new(
+            registry(),
+            EngineConfig { workers: 1, shards: 1, ..EngineConfig::default() },
+        );
+        for (design, (got_preds, got_fps)) in designs.iter().zip(&concurrent) {
+            let (want_preds, want_fps) = drive(&serial_engine, design, false);
+            prop_assert_eq!(got_fps, &want_fps, "final state diverged for {}", design.name);
+            prop_assert_eq!(
+                got_preds.len(),
+                want_preds.len(),
+                "prediction count diverged for {}",
+                design.name
+            );
+            for (step, (got, want)) in got_preds.iter().zip(&want_preds).enumerate() {
+                prop_assert!(
+                    got.cls_prob.approx_eq(&want.cls_prob, 0.0)
+                        && got.reg.approx_eq(&want.reg, 0.0),
+                    "prediction {step} of {} not bitwise equal to serial replay",
+                    design.name
+                );
+            }
+        }
+        serial_engine.shutdown();
+    }
+}
+
+/// Finds a design name that maps to a different shard than `other` maps to.
+fn name_on_other_shard(handle: &lhnn_serve::ServeHandle, other: &str) -> String {
+    let taken = handle.shard_of_design(other);
+    (0..)
+        .map(|i| format!("cold-design-{i}"))
+        .find(|name| handle.shard_of_design(name) != taken)
+        .expect("some name lands on another shard")
+}
+
+#[test]
+fn hot_design_cannot_evict_another_shards_cache() {
+    let hot = scripted_design(0, 7, 0);
+    let engine = ServeEngine::new(
+        registry(),
+        // tiny per-shard cache so the hot design's states overflow it
+        EngineConfig { workers: 2, shards: 2, cache_capacity: 2, ..EngineConfig::default() },
+    );
+    let handle = engine.handle();
+    let cold_name = name_on_other_shard(&handle, &hot.name);
+    let cold = Design { name: cold_name.clone(), ..scripted_design(1, 8, 0) };
+    let hot_shard = handle.shard_of_design(&hot.name);
+    let cold_shard = handle.shard_of_design(&cold.name);
+    assert_ne!(hot_shard, cold_shard);
+
+    // cold design: one prediction, cached on its own shard
+    let mut cold_session = handle
+        .open_session(
+            SessionConfig::new("m").with_design(&cold.name),
+            Arc::clone(&cold.circuit),
+            cold.placement.clone(),
+            cold.grid.clone(),
+        )
+        .expect("open cold session");
+    assert!(!cold_session.predict().expect("cold predict").cached);
+    assert_eq!(handle.shard_cache_len(cold_shard), 1);
+
+    // hot design: churn through many distinct placements — far more than
+    // the per-shard cache holds — all on the hot shard
+    let mut hot_session = handle
+        .open_session(
+            SessionConfig::new("m").with_design(&hot.name),
+            Arc::clone(&hot.circuit),
+            hot.placement.clone(),
+            hot.grid.clone(),
+        )
+        .expect("open hot session");
+    let die = hot.circuit.die;
+    let mut computed = 0;
+    for i in 0..8u32 {
+        let id = CellId(i);
+        let p = hot_session.with_pipeline(|pl| pl.placement().position(id));
+        let np = die.clamp(Point::new(
+            p.x + 1.25 * hot.grid.gcell_width(),
+            p.y + 1.25 * hot.grid.gcell_height(),
+        ));
+        hot_session.update(&PlacementDelta::single(id, np)).expect("hot update");
+        if !hot_session.predict().expect("hot predict").cached {
+            computed += 1;
+        }
+    }
+    assert!(computed > 2, "the hot design must overflow its own shard's cache ({computed})");
+    assert!(handle.shard_cache_len(hot_shard) <= 2, "hot shard respects its own capacity");
+
+    // the cold design's entry was untouchable: still a cache hit
+    let warm = cold_session.predict().expect("cold re-predict");
+    assert!(warm.cached, "hot design A must not evict design B's cache entry on another shard");
+    engine.shutdown();
+}
