@@ -23,6 +23,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod incremental;
 pub mod loss;
 pub mod model;
 pub mod ops;
@@ -31,9 +32,10 @@ pub mod serialize;
 pub mod trainer;
 
 pub use config::{AblationSpec, LhnnConfig, TrainConfig};
+pub use incremental::{ForwardDirty, IncrementalForward, IncrementalStats, SpliceOutcome};
 pub use model::{InferenceScratch, Lhnn, LhnnOutput, Prediction};
 pub use ops::GraphOps;
-pub use pipeline::{LatticePipeline, PipelineStats, PipelineUpdate};
+pub use pipeline::{LatticePipeline, PipelineStats, PipelineUpdate, StalePipeline};
 pub use serialize::ModelIoError;
 pub use trainer::{
     evaluate, evaluate_regression, predict_map, train, DesignEval, EvalResult, RegEval, Sample,

@@ -28,11 +28,11 @@ use crate::ops::GraphOps;
 
 /// FeatureGen block (Eq. 1–2).
 #[derive(Debug, Clone)]
-struct FeatureGenBlock {
-    f_c: ResBlock,
-    f_n: ResBlock,
-    phi_c: Linear,
-    phi_n: Linear,
+pub(crate) struct FeatureGenBlock {
+    pub(crate) f_c: ResBlock,
+    pub(crate) f_n: ResBlock,
+    pub(crate) phi_c: Linear,
+    pub(crate) phi_n: Linear,
 }
 
 impl FeatureGenBlock {
@@ -85,13 +85,13 @@ impl FeatureGenBlock {
 
 /// HyperMP block: one G-cell → G-net and one G-net → G-cell half-step.
 #[derive(Debug, Clone)]
-struct HyperMpBlock {
-    res_c_in: ResBlock,
-    res_n_prev: ResBlock,
-    fuse_n: Linear,
-    res_n_in: ResBlock,
-    res_c_prev: ResBlock,
-    fuse_c: Linear,
+pub(crate) struct HyperMpBlock {
+    pub(crate) res_c_in: ResBlock,
+    pub(crate) res_n_prev: ResBlock,
+    pub(crate) fuse_n: Linear,
+    pub(crate) res_n_in: ResBlock,
+    pub(crate) res_c_prev: ResBlock,
+    pub(crate) fuse_c: Linear,
 }
 
 impl HyperMpBlock {
@@ -170,9 +170,9 @@ impl HyperMpBlock {
 
 /// LatticeMP block: lattice mean aggregation with a skip connection.
 #[derive(Debug, Clone)]
-struct LatticeMpBlock {
-    res: ResBlock,
-    lin: Linear,
+pub(crate) struct LatticeMpBlock {
+    pub(crate) res: ResBlock,
+    pub(crate) lin: Linear,
 }
 
 impl LatticeMpBlock {
@@ -258,14 +258,14 @@ impl InferenceScratch {
 /// The LHNN model: parameters plus architecture.
 #[derive(Debug)]
 pub struct Lhnn {
-    cfg: LhnnConfig,
-    store: ParamStore,
-    featuregen: FeatureGenBlock,
-    hypermp: Vec<HyperMpBlock>,
-    lattice_encode: Vec<LatticeMpBlock>,
-    lattice_joint: Vec<LatticeMpBlock>,
-    cls_head: Linear,
-    reg_head: Linear,
+    pub(crate) cfg: LhnnConfig,
+    pub(crate) store: ParamStore,
+    pub(crate) featuregen: FeatureGenBlock,
+    pub(crate) hypermp: Vec<HyperMpBlock>,
+    pub(crate) lattice_encode: Vec<LatticeMpBlock>,
+    pub(crate) lattice_joint: Vec<LatticeMpBlock>,
+    pub(crate) cls_head: Linear,
+    pub(crate) reg_head: Linear,
 }
 
 impl Lhnn {

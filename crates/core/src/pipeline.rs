@@ -33,10 +33,12 @@ pub enum PipelineUpdate {
     Noop,
     /// Dirty rows were patched in place.
     Incremental {
-        /// G-net columns whose span changed.
-        dirty_nets: usize,
-        /// G-cell rows whose features were recomputed.
-        dirty_gcells: usize,
+        /// G-net rows whose span/features changed (sorted, unique).
+        dirty_nets: Vec<usize>,
+        /// G-cell rows whose features or operator rows changed (sorted,
+        /// unique; includes pin-move source/target bins, and every row
+        /// when a terminal moved — the terminal mask repaints globally).
+        dirty_gcells: Vec<usize>,
     },
     /// A net crossed the size filter; the chain was rebuilt from scratch.
     FullRebuild {
@@ -60,7 +62,30 @@ pub struct PipelineStats {
     pub dirty_nets: usize,
     /// Total G-cell rows recomputed by incremental updates.
     pub dirty_gcells: usize,
+    /// Set when the pipeline is poisoned: these counters (and any
+    /// fingerprints) describe the *pre-failure* placement, not the
+    /// current one. See [`LatticePipeline::is_poisoned`].
+    pub stale: bool,
 }
+
+/// Error returned by [`LatticePipeline::fingerprints`] while the pipeline
+/// is poisoned: graph/features/ops describe the pre-failure placement, so
+/// handing out their fingerprints as current would let a caller key a
+/// cache (or claim parity) on stale state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StalePipeline;
+
+impl std::fmt::Display for StalePipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pipeline is poisoned (a fallback rebuild failed): fingerprints describe the \
+             pre-failure placement; apply a delta that admits a rebuild first"
+        )
+    }
+}
+
+impl std::error::Error for StalePipeline {}
 
 /// The stateful construction pipeline for one design on one grid.
 ///
@@ -175,14 +200,30 @@ impl LatticePipeline {
                     &self.placement,
                     &self.grid,
                 )?;
-                let dirty_nets = patch.dirty_cols.len();
-                let dirty_gcells = patch.dirty_rows.len();
+                // The dirty G-cell set a downstream incremental forward
+                // must recompute: net-coverage rows, plus pin-move
+                // source/target bins (pin density is ±1-adjusted there),
+                // plus every row when a terminal moved (the terminal mask
+                // repaints globally).
+                let mut dirty_gcells = patch.dirty_rows.clone();
+                if report.moved_terminal {
+                    dirty_gcells = (0..patch.graph.num_gcells()).collect();
+                } else {
+                    for pm in &report.pin_moves {
+                        if patch.graph.net_column(pm.net).is_some() {
+                            dirty_gcells.push(pm.from);
+                            dirty_gcells.push(pm.to);
+                        }
+                    }
+                }
+                let dirty_gcells = lh_graph::halo::canonicalize(dirty_gcells);
+                let dirty_nets = lh_graph::halo::canonicalize(patch.dirty_cols.clone());
                 self.ops = Arc::new(self.ops.patch_from(&patch.graph, &self.ablation));
                 self.graph = patch.graph;
                 self.features = Arc::new(features);
                 self.stats.incremental += 1;
-                self.stats.dirty_nets += dirty_nets;
-                self.stats.dirty_gcells += dirty_gcells;
+                self.stats.dirty_nets += dirty_nets.len();
+                self.stats.dirty_gcells += dirty_gcells.len();
                 Ok(PipelineUpdate::Incremental { dirty_nets, dirty_gcells })
             }
             DeltaOutcome::Structural(reason) => {
@@ -251,17 +292,26 @@ impl LatticePipeline {
         self.poisoned
     }
 
-    /// Lifetime counters.
-    pub fn stats(&self) -> &PipelineStats {
-        &self.stats
+    /// Lifetime counters, tagged stale while the pipeline is poisoned
+    /// (the counts then describe the pre-failure placement).
+    pub fn stats(&self) -> PipelineStats {
+        PipelineStats { stale: self.poisoned, ..self.stats.clone() }
     }
 
     /// `(operators, features)` content fingerprints — the serving cache
     /// key components. Cheap after an incremental update: patched operator
     /// matrices carry pre-seeded digests (untouched ones answer from their
     /// memoised one); only the dense feature blocks re-hash in full.
-    pub fn fingerprints(&self) -> (u64, u64) {
-        (self.ops.fingerprint(), self.features.fingerprint())
+    ///
+    /// # Errors
+    ///
+    /// [`StalePipeline`] while the pipeline is poisoned: the fingerprints
+    /// would describe the pre-failure placement, not the current one.
+    pub fn fingerprints(&self) -> Result<(u64, u64), StalePipeline> {
+        if self.poisoned {
+            return Err(StalePipeline);
+        }
+        Ok((self.ops.fingerprint(), self.features.fingerprint()))
     }
 }
 
@@ -291,11 +341,11 @@ mod tests {
     #[test]
     fn noop_delta_keeps_fingerprints_bitwise() {
         let mut p = pipeline(1, 120, 8);
-        let before = p.fingerprints();
+        let before = p.fingerprints().unwrap();
         let id = CellId(0);
         let delta = PlacementDelta::single(id, p.placement().position(id));
         assert_eq!(p.apply(&delta).unwrap(), PipelineUpdate::Noop);
-        assert_eq!(p.fingerprints(), before, "no-op must keep the cache key");
+        assert_eq!(p.fingerprints().unwrap(), before, "no-op must keep the cache key");
         assert_eq!(p.stats().noops, 1);
     }
 
@@ -310,7 +360,7 @@ mod tests {
             let np = die.clamp(Point::new(pos.x + p.grid().gcell_width() * 1.25, pos.y));
             p.apply(&PlacementDelta::single(id, np)).unwrap();
             assert_eq!(
-                p.fingerprints(),
+                p.fingerprints().unwrap(),
                 rebuilt_fingerprints(&p),
                 "incremental state diverged at step {step}"
             );
@@ -331,7 +381,7 @@ mod tests {
             update = Some(p.apply(&PlacementDelta::single(cell, corner)).unwrap());
         }
         // whichever path it took, parity must hold
-        assert_eq!(p.fingerprints(), rebuilt_fingerprints(&p));
+        assert_eq!(p.fingerprints().unwrap(), rebuilt_fingerprints(&p));
         assert!(update.is_some());
         assert!(p.stats().updates == 2);
     }
@@ -375,7 +425,7 @@ mod tests {
         let graph = LhGraph::build(p.circuit(), p.placement(), p.grid(), &cfg).unwrap();
         let features = FeatureSet::build(&graph, p.circuit(), p.placement(), p.grid()).unwrap();
         let batch_ops = GraphOps::from_graph(&graph, &AblationSpec::full());
-        assert_eq!(p.fingerprints(), (batch_ops.fingerprint(), features.fingerprint()));
+        assert_eq!(p.fingerprints().unwrap(), (batch_ops.fingerprint(), features.fingerprint()));
 
         // and the pipeline is healthy again: further small moves are
         // incremental

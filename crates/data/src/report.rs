@@ -137,6 +137,10 @@ pub struct BenchRecord {
     pub candidate_label: String,
     /// Wall-clock milliseconds of the candidate.
     pub candidate_ms: f64,
+    /// Extra named numeric columns emitted verbatim into the JSON record
+    /// (e.g. `full_rebuilds`, `fallback_fraction`, `halo_gcells`). Keys
+    /// must not collide with the fixed column names.
+    pub extras: Vec<(String, f64)>,
 }
 
 impl BenchRecord {
@@ -154,7 +158,15 @@ impl BenchRecord {
             baseline_ms,
             candidate_label: candidate_label.into(),
             candidate_ms,
+            extras: Vec::new(),
         }
+    }
+
+    /// Appends an extra named numeric column to the JSON record.
+    #[must_use]
+    pub fn with_extra(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.extras.push((key.into(), value));
+        self
     }
 
     /// The classic serial-vs-parallel record: baseline on 1 compute
@@ -192,11 +204,15 @@ pub fn write_bench_json(
         // `ms_1t`/`ms_nt` are the legacy key names for baseline/candidate;
         // keeping them means files written before the columns were labeled
         // and files written after parse identically.
+        let mut extras = String::new();
+        for (k, v) in &r.extras {
+            let _ = write!(extras, ", \"{}\": {:.4}", escape(k), v);
+        }
         let _ = writeln!(
             out,
             "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"candidate\": \"{}\", \
              \"ms_baseline\": {:.4}, \"ms_candidate\": {:.4}, \
-             \"ms_1t\": {:.4}, \"ms_nt\": {:.4}, \"speedup\": {:.3}}}{comma}",
+             \"ms_1t\": {:.4}, \"ms_nt\": {:.4}, \"speedup\": {:.3}{extras}}}{comma}",
             escape(&r.name),
             escape(&r.baseline_label),
             escape(&r.candidate_label),
@@ -226,7 +242,9 @@ mod tests {
         let path = dir.join("BENCH_kernels.json");
         let records = vec![
             BenchRecord::thread_scaling("matmul_2x2", 2.0, 4, 1.0),
-            BenchRecord::labeled("spmm \"odd\"", "full rebuild", 4.0, "incremental", 2.0),
+            BenchRecord::labeled("spmm \"odd\"", "full rebuild", 4.0, "incremental", 2.0)
+                .with_extra("full_rebuilds", 3.0)
+                .with_extra("fallback_fraction", 0.25),
         ];
         write_bench_json(&path, "kernels", 4, &records).unwrap();
         let text = fs::read_to_string(&path).unwrap();
@@ -240,6 +258,10 @@ mod tests {
         assert!(text.contains("\"ms_baseline\": 4.0000"));
         assert!(text.contains("\"ms_1t\": 4.0000"), "legacy key must mirror the baseline");
         assert!(text.contains("\"ms_nt\": 2.0000"), "legacy key must mirror the candidate");
+        // extra columns land verbatim on their record only
+        assert!(text.contains("\"full_rebuilds\": 3.0000"));
+        assert!(text.contains("\"fallback_fraction\": 0.2500"));
+        assert_eq!(text.matches("full_rebuilds").count(), 1, "extras stay per-record");
         // crude balance check on the hand-rolled JSON
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());

@@ -36,6 +36,7 @@
 pub mod error;
 pub mod features;
 pub mod graph;
+pub mod halo;
 pub mod targets;
 
 pub use error::{LhGraphError, Result};

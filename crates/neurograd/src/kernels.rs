@@ -234,6 +234,250 @@ pub fn spmm_into(s: &CsrMatrix, x: &Matrix, out: &mut [f32]) {
     });
 }
 
+// ---- row-subset kernels ----
+//
+// Masked variants of the dense/sparse kernels above: they recompute only a
+// caller-supplied list of output rows and leave every other row of `out`
+// untouched. Because every kernel in this module partitions *output rows*
+// and computes each row as an independent, fixed sequence of operations,
+// recomputing a row subset with the same per-row loop is bitwise identical
+// to the corresponding rows of the full kernel — the foundation of the
+// bounded-radius incremental forward in `lhnn`.
+
+/// Runs `per_row(r, out_row)` for every row index in `rows`, chunked over
+/// the pool. `rows` must be sorted and duplicate-free so the listed rows
+/// address disjoint slices of `out`.
+fn for_each_listed_row(
+    out: &mut [f32],
+    rows: &[usize],
+    row_len: usize,
+    cost_per_row: usize,
+    per_row: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "row list must be sorted and unique");
+    if let Some(&last) = rows.last() {
+        assert!((last + 1) * row_len <= out.len(), "row index {} out of bounds", last);
+    }
+    let min_rows = (MIN_CHUNK_FLOPS / cost_per_row.max(1)).max(1);
+    // Sub-threshold fast path — the expected case for small dirty halos.
+    if rows.len() < 2 * min_rows {
+        for &r in rows {
+            per_row(r, &mut out[r * row_len..(r + 1) * row_len]);
+        }
+        return;
+    }
+    let pool = pool::global();
+    let ranges = pool::chunk_ranges(rows.len(), min_rows, pool.threads());
+    if ranges.len() <= 1 {
+        for &r in rows {
+            per_row(r, &mut out[r * row_len..(r + 1) * row_len]);
+        }
+        return;
+    }
+    let base = SendPtr(out.as_mut_ptr());
+    pool.run(ranges.len(), &|ci| {
+        for li in ranges[ci].clone() {
+            let r = rows[li];
+            // SAFETY: `rows` is duplicate-free and chunk ranges of the list
+            // are disjoint, so each row slice is exclusive; `out` outlives
+            // the blocking `run` call.
+            let out_row =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(r * row_len), row_len) };
+            per_row(r, out_row);
+        }
+    });
+}
+
+/// `out[r] = (a · b)[r]` for every listed row; other rows are untouched.
+/// Listed rows are zeroed before accumulation, so `out` may hold stale
+/// data. `rows` must be sorted and duplicate-free.
+///
+/// # Panics
+///
+/// Panics if `a.cols != b.rows`, `out` is missized, or a row index is out
+/// of bounds.
+pub fn matmul_rows_into(a: &Matrix, b: &Matrix, rows: &[usize], out: &mut [f32]) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(k, b.rows(), "matmul shape mismatch: {}x{} * {}x{}", m, k, b.rows(), b.cols());
+    assert_eq!(out.len(), m * n, "matmul output buffer mismatch");
+    let (a_data, b_data) = (a.as_slice(), b.as_slice());
+    for_each_listed_row(out, rows, n, k * n, |i, out_row| {
+        out_row.fill(0.0);
+        for (kk, &av) in a_data[i * k..(i + 1) * k].iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            for (o, &bv) in out_row.iter_mut().zip(&b_data[kk * n..(kk + 1) * n]) {
+                *o += av * bv;
+            }
+        }
+    });
+}
+
+/// `out[r] = act((a · w)[r] + bias)` for every listed row — the fused
+/// row-subset form of `Tape::linear` plus an activation map. Bitwise
+/// identical to matmul → add-bias → map on the same rows because each
+/// element sees the same operation sequence (accumulate in `k` order, add
+/// bias, apply `act`). `rows` must be sorted and duplicate-free.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or a row index is out of bounds.
+pub fn linear_act_rows_into(
+    a: &Matrix,
+    w: &Matrix,
+    bias: &[f32],
+    rows: &[usize],
+    out: &mut [f32],
+    act: impl Fn(f32) -> f32 + Sync,
+) {
+    let (m, k) = a.shape();
+    let n = w.cols();
+    assert_eq!(k, w.rows(), "linear shape mismatch: {}x{} * {}x{}", m, k, w.rows(), w.cols());
+    assert_eq!(bias.len(), n, "linear bias length mismatch");
+    assert_eq!(out.len(), m * n, "linear output buffer mismatch");
+    let (a_data, w_data) = (a.as_slice(), w.as_slice());
+    for_each_listed_row(out, rows, n, k * n, |i, out_row| {
+        out_row.fill(0.0);
+        for (kk, &av) in a_data[i * k..(i + 1) * k].iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            for (o, &wv) in out_row.iter_mut().zip(&w_data[kk * n..(kk + 1) * n]) {
+                *o += av * wv;
+            }
+        }
+        for (o, &bv) in out_row.iter_mut().zip(bias) {
+            *o = act(*o + bv);
+        }
+    });
+}
+
+/// `out[r] = (s · x)[r]` for every listed row; other rows are untouched.
+/// Listed rows are zeroed before accumulation. `rows` must be sorted and
+/// duplicate-free.
+///
+/// # Panics
+///
+/// Panics if `s.cols != x.rows`, `out` is missized, or a row index is out
+/// of bounds.
+pub fn spmm_rows_into(s: &CsrMatrix, x: &Matrix, rows: &[usize], out: &mut [f32]) {
+    let m = s.rows();
+    let n = x.cols();
+    assert_eq!(
+        s.cols(),
+        x.rows(),
+        "spmm shape mismatch: {}x{} * {}x{}",
+        m,
+        s.cols(),
+        x.rows(),
+        x.cols()
+    );
+    assert_eq!(out.len(), m * n, "spmm output buffer mismatch");
+    let x_data = x.as_slice();
+    let cost = (s.nnz() / m.max(1)).max(1) * n;
+    for_each_listed_row(out, rows, n, cost, |r, out_row| {
+        out_row.fill(0.0);
+        for (c, v) in s.row_entries(r) {
+            for (o, &xv) in out_row.iter_mut().zip(&x_data[c * n..(c + 1) * n]) {
+                *o += v * xv;
+            }
+        }
+    });
+}
+
+/// `out[r][j] = f(a[r][j], b[r][j])` for every listed row; other rows are
+/// untouched. `rows` must be sorted and duplicate-free.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or a row index is out of bounds.
+pub fn zip_rows_into(
+    a: &[f32],
+    b: &[f32],
+    rows: &[usize],
+    row_len: usize,
+    out: &mut [f32],
+    f: impl Fn(f32, f32) -> f32 + Sync,
+) {
+    assert_eq!(a.len(), out.len(), "zip length mismatch");
+    assert_eq!(b.len(), out.len(), "zip length mismatch");
+    for_each_listed_row(out, rows, row_len, row_len.max(1), |r, out_row| {
+        let start = r * row_len;
+        let end = start + row_len;
+        for ((o, &x), &y) in out_row.iter_mut().zip(&a[start..end]).zip(&b[start..end]) {
+            *o = f(x, y);
+        }
+    });
+}
+
+/// `out[r][j] = f(a[r][j], out[r][j])` for every listed row — the in-place
+/// variant of [`zip_rows_into`] for when one operand is the destination.
+/// `rows` must be sorted and duplicate-free.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or a row index is out of bounds.
+pub fn zip_rows_inplace(
+    a: &[f32],
+    rows: &[usize],
+    row_len: usize,
+    out: &mut [f32],
+    f: impl Fn(f32, f32) -> f32 + Sync,
+) {
+    assert_eq!(a.len(), out.len(), "zip length mismatch");
+    for_each_listed_row(out, rows, row_len, row_len.max(1), |r, out_row| {
+        let start = r * row_len;
+        let end = start + row_len;
+        for (o, &x) in out_row.iter_mut().zip(&a[start..end]) {
+            *o = f(x, *o);
+        }
+    });
+}
+
+/// Row-subset column concatenation: `out[r] = [a[r] | b[r]]` for every
+/// listed row; other rows are untouched. `rows` must be sorted and
+/// duplicate-free.
+///
+/// # Panics
+///
+/// Panics if row counts differ or `out` is missized.
+pub fn concat_rows_into(a: &Matrix, b: &Matrix, rows: &[usize], out: &mut [f32]) {
+    assert_eq!(a.rows(), b.rows(), "concat row mismatch");
+    let (an, bn) = (a.cols(), b.cols());
+    let n = an + bn;
+    assert_eq!(out.len(), a.rows() * n, "concat output buffer mismatch");
+    let (a_data, b_data) = (a.as_slice(), b.as_slice());
+    for_each_listed_row(out, rows, n, n.max(1), |r, out_row| {
+        out_row[..an].copy_from_slice(&a_data[r * an..(r + 1) * an]);
+        out_row[an..].copy_from_slice(&b_data[r * bn..(r + 1) * bn]);
+    });
+}
+
+/// `out[r][j] = f(src[r][j])` for every listed row; other rows are
+/// untouched. `rows` must be sorted and duplicate-free.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or a row index is out of bounds.
+pub fn map_rows_into(
+    src: &[f32],
+    rows: &[usize],
+    row_len: usize,
+    out: &mut [f32],
+    f: impl Fn(f32) -> f32 + Sync,
+) {
+    assert_eq!(src.len(), out.len(), "map length mismatch");
+    for_each_listed_row(out, rows, row_len, row_len.max(1), |r, out_row| {
+        let start = r * row_len;
+        let end = start + row_len;
+        for (o, &s) in out_row.iter_mut().zip(&src[start..end]) {
+            *o = f(s);
+        }
+    });
+}
+
 // ---- elementwise kernels ----
 
 /// `out[i] = f(src[i])`, chunk-partitioned. Lengths must match.

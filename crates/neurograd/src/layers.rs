@@ -39,6 +39,25 @@ impl Activation {
             Activation::Tanh => tape.tanh(x),
         }
     }
+
+    /// Evaluates the activation on a scalar, using the *same* float
+    /// expressions as the tape ops so tape-free forwards stay bitwise
+    /// identical to taped ones.
+    pub fn eval(self, v: f32) -> f32 {
+        match self {
+            Activation::Identity => v,
+            Activation::Relu => v.max(0.0),
+            Activation::LeakyRelu(a) => {
+                if v >= 0.0 {
+                    v
+                } else {
+                    a * v
+                }
+            }
+            Activation::Sigmoid => crate::tape::stable_sigmoid(v),
+            Activation::Tanh => v.tanh(),
+        }
+    }
 }
 
 /// A fully-connected layer `y = act(x·W + b)`.
@@ -102,6 +121,33 @@ impl Linear {
         let b = store.var(self.bias, tape);
         let y = tape.linear(x, w, b);
         self.activation.apply(tape, y)
+    }
+
+    /// Tape-free forward over a sorted, duplicate-free subset of input
+    /// rows: `out[r] = act(x[r] · W + b)` for each listed row, every other
+    /// row of `out` untouched. Bitwise identical to the listed rows of
+    /// [`Linear::forward`] (fused matmul → bias → activation preserves the
+    /// per-element operation sequence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not have `in_dim` columns or `out` is not
+    /// `x.rows() × out_dim`.
+    pub fn forward_rows_into(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        rows: &[usize],
+        out: &mut Matrix,
+    ) {
+        assert_eq!(x.cols(), self.in_dim, "linear input dim mismatch");
+        assert_eq!(out.shape(), (x.rows(), self.out_dim), "linear output shape mismatch");
+        let w = &store.param(self.weight).value;
+        let b = store.param(self.bias).value.as_slice();
+        let act = self.activation;
+        crate::kernels::linear_act_rows_into(x, w, b, rows, out.as_mut_slice(), move |v| {
+            act.eval(v)
+        });
     }
 }
 
@@ -220,6 +266,60 @@ impl ResBlock {
         };
         let y = tape.add(h, skip);
         self.out_activation.apply(tape, y)
+    }
+
+    /// Tape-free forward over a sorted, duplicate-free subset of input
+    /// rows; every other row of `out` is untouched. Bitwise identical to
+    /// the listed rows of [`ResBlock::forward`].
+    ///
+    /// `scratch_h` (`N × hidden`) and `scratch_y` (`N × out_dim`) hold the
+    /// intermediate activations for the listed rows; their other rows are
+    /// never read, so stale contents are fine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn forward_rows_into(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        rows: &[usize],
+        scratch_h: &mut Matrix,
+        scratch_y: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        let n = self.out_dim();
+        assert_eq!(scratch_h.shape(), (x.rows(), self.lin1.out_dim()), "resblock scratch_h shape");
+        assert_eq!(scratch_y.shape(), (x.rows(), n), "resblock scratch_y shape");
+        assert_eq!(out.shape(), (x.rows(), n), "resblock output shape");
+        self.lin1.forward_rows_into(store, x, rows, scratch_h);
+        self.lin2.forward_rows_into(store, scratch_h, rows, scratch_y);
+        let act = self.out_activation;
+        match &self.proj {
+            Some(p) => {
+                // `out` holds the projected skip; fold `h + skip` in place
+                // (same operand order as `tape.add(h, skip)`).
+                p.forward_rows_into(store, x, rows, out);
+                crate::kernels::zip_rows_inplace(
+                    scratch_y.as_slice(),
+                    rows,
+                    n,
+                    out.as_mut_slice(),
+                    move |h, skip| act.eval(h + skip),
+                );
+            }
+            None => {
+                assert_eq!(x.cols(), n, "identity skip dim mismatch");
+                crate::kernels::zip_rows_into(
+                    scratch_y.as_slice(),
+                    x.as_slice(),
+                    rows,
+                    n,
+                    out.as_mut_slice(),
+                    move |h, skip| act.eval(h + skip),
+                );
+            }
+        }
     }
 }
 

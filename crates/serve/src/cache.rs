@@ -96,6 +96,20 @@ impl PredictionCache {
     pub fn clear(&mut self) {
         self.map.clear();
     }
+
+    /// Drops every entry computed by model `version`, returning how many
+    /// were evicted.
+    ///
+    /// Versioned keys make a displaced model's entries unreachable after a
+    /// hot-swap, but unreachable is not gone: they still occupy LRU slots
+    /// and push out live predictions until enough traffic ages them off.
+    /// The engine calls this on [`crate::ServeHandle::replace_model`] so a
+    /// swap reclaims the dead capacity immediately.
+    pub fn evict_model(&mut self, version: u64) -> usize {
+        let before = self.map.len();
+        self.map.retain(|k, _| k.model != version);
+        before - self.map.len()
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +166,18 @@ mod tests {
         c.insert(key(0), pred(0.0));
         assert!(c.is_empty());
         assert!(c.get(&key(0)).is_none());
+    }
+
+    #[test]
+    fn evict_model_drops_only_that_version() {
+        let mut c = PredictionCache::new(8);
+        c.insert(CacheKey { model: 1, ops: 10, features: 10 }, pred(1.0));
+        c.insert(CacheKey { model: 1, ops: 11, features: 11 }, pred(1.1));
+        c.insert(CacheKey { model: 2, ops: 10, features: 10 }, pred(2.0));
+        assert_eq!(c.evict_model(1), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&CacheKey { model: 2, ops: 10, features: 10 }).is_some());
+        assert_eq!(c.evict_model(1), 0, "idempotent on an absent version");
     }
 
     #[test]

@@ -52,7 +52,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use lh_graph::FeatureSet;
-use lhnn::{GraphOps, InferenceScratch, Prediction};
+use lhnn::{GraphOps, IncrementalForward, InferenceScratch, Lhnn, Prediction};
 use neurograd::Fnv64;
 
 use crate::cache::{CacheKey, PredictionCache};
@@ -127,12 +127,33 @@ pub struct PredictRequest {
     /// Per-request congestion threshold applied to channel-0
     /// probabilities for [`ServeReply::congested_fraction`].
     pub threshold: f32,
+    /// Session-owned bounded-radius forward state plus the note-sequence
+    /// snapshot matching `(ops, features)`. When set, a worker that must
+    /// compute (cache miss) runs [`IncrementalForward::predict`] — a halo
+    /// splice over the dirty region when the cached activations allow it —
+    /// instead of a from-scratch forward. Results are bitwise identical
+    /// either way, so the fingerprint-keyed cache stays coherent.
+    pub(crate) incremental: Option<(Arc<IncrementalForward>, u64)>,
 }
 
 impl PredictRequest {
     /// A request against `model` with the conventional 0.5 threshold.
     pub fn new(model: &str, ops: Arc<GraphOps>, features: Arc<FeatureSet>) -> Self {
-        Self { model: model.to_string(), ops, features, design: None, threshold: 0.5 }
+        Self {
+            model: model.to_string(),
+            ops,
+            features,
+            design: None,
+            threshold: 0.5,
+            incremental: None,
+        }
+    }
+
+    /// Attaches a session's incremental-forward state (see the field doc).
+    #[must_use]
+    pub(crate) fn with_incremental(mut self, incr: Arc<IncrementalForward>, seq: u64) -> Self {
+        self.incremental = Some((incr, seq));
+        self
     }
 
     /// Sets the congestion threshold.
@@ -174,6 +195,7 @@ struct PredictJob {
     threshold: f32,
     submitted: Instant,
     reply: mpsc::Sender<ServeReply>,
+    incremental: Option<(Arc<IncrementalForward>, u64)>,
 }
 
 /// One unit of shard work: an inference request, or a nudge to drain a
@@ -528,6 +550,31 @@ impl ServeHandle {
         &self.shared.registry
     }
 
+    /// Hot-swaps the model registered under `name` and evicts the
+    /// displaced version's predictions from every shard cache.
+    ///
+    /// Prefer this over [`ModelRegistry::replace`] on a live engine: the
+    /// versioned cache keys make the old entries unreachable either way,
+    /// but a bare registry swap leaves them squatting in the shard LRUs,
+    /// evicting live predictions until traffic ages them off.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Incompatible`] if the new model fails validation (the
+    /// registry and the caches are left untouched).
+    pub fn replace_model(&self, name: &str, model: Lhnn) -> Result<Arc<ModelEntry>> {
+        let displaced = self.shared.registry.get(name).map(|e| e.version);
+        let entry = self.shared.registry.replace(name, model)?;
+        if let Some(old) = displaced {
+            if old != entry.version {
+                for s in &self.shared.shards {
+                    lock::recover(&s.cache).evict_model(old);
+                }
+            }
+        }
+        Ok(entry)
+    }
+
     /// Enqueues a session-drain nudge on `shard_idx`, blocking on the
     /// shard's backpressure bound.
     pub(crate) fn enqueue_session(&self, shard_idx: usize, core: Arc<SessionCore>) -> Result<()> {
@@ -615,6 +662,7 @@ impl ServeHandle {
             threshold: request.threshold,
             submitted,
             reply: tx,
+            incremental: request.incremental.as_ref().map(|(i, s)| (Arc::clone(i), *s)),
         };
         self.push_job(shard, Job::Predict(job))?;
         Ok(rx)
@@ -812,7 +860,17 @@ fn compute_owned(
     let outcome = match recheck {
         Some(p) => Ok((p, true)),
         None => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            (Arc::new(job.entry.model.predict_into(&job.ops, &job.features, scratch)), false)
+            // A session attaches its bounded-radius forward state: splice
+            // over the dirty halo when possible (bitwise identical to the
+            // from-scratch path, so the fingerprint cache stays coherent).
+            let p = match &job.incremental {
+                Some((inc, seq)) => {
+                    inc.predict(&job.entry.model, job.entry.version, &job.ops, &job.features, *seq)
+                        .0
+                }
+                None => job.entry.model.predict_into(&job.ops, &job.features, scratch),
+            };
+            (Arc::new(p), false)
         })),
     };
     let (result, state) = match outcome {
@@ -1018,6 +1076,46 @@ mod tests {
         }
         assert_eq!(handle.shard_cache_len(expected), 2, "both states cached on the pinned shard");
         assert_eq!(handle.cache_len(), 2);
+        engine.shutdown();
+    }
+
+    /// Regression: a hot-swap through the bare registry left the displaced
+    /// version's predictions squatting in the shard LRUs — unreachable
+    /// (versioned keys) but still evicting live entries. `replace_model`
+    /// must reclaim them immediately, on every shard, and leave other
+    /// models' entries alone.
+    #[test]
+    fn hot_swap_evicts_displaced_versions_cache_entries() {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register("default", Lhnn::new(LhnnConfig::default(), 0)).unwrap();
+        registry.register("other", Lhnn::new(LhnnConfig::default(), 7)).unwrap();
+        let engine = ServeEngine::new(
+            Arc::clone(&registry),
+            EngineConfig { workers: 2, shards: 2, cache_capacity: 8, ..Default::default() },
+        );
+        let handle = engine.handle();
+        // fill both shards with predictions from both models
+        for seed in 0..4 {
+            let (ops, feats) = design(60 + seed, 70, 6);
+            handle
+                .predict(&PredictRequest::new("default", Arc::clone(&ops), Arc::clone(&feats)))
+                .unwrap();
+            handle.predict(&PredictRequest::new("other", ops, feats)).unwrap();
+        }
+        assert_eq!(handle.cache_len(), 8);
+        let old = registry.get("default").unwrap().version;
+        let entry = handle.replace_model("default", Lhnn::new(LhnnConfig::default(), 99)).unwrap();
+        assert_ne!(entry.version, old, "swap must change the serving version");
+        assert_eq!(
+            handle.cache_len(),
+            4,
+            "displaced version evicted from every shard, other model untouched"
+        );
+        // the swapped-in model serves (and re-fills the cache) normally
+        let (ops, feats) = design(60, 70, 6);
+        let reply = handle.predict(&PredictRequest::new("default", ops, feats)).unwrap();
+        assert!(!reply.cached, "old version's entry must not answer for the new weights");
+        assert_eq!(handle.cache_len(), 5);
         engine.shutdown();
     }
 

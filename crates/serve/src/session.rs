@@ -51,7 +51,10 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
 use lh_graph::{FeatureSet, LhGraphConfig};
-use lhnn::{AblationSpec, GraphOps, LatticePipeline, PipelineStats, PipelineUpdate};
+use lhnn::{
+    AblationSpec, ForwardDirty, GraphOps, IncrementalForward, IncrementalStats, LatticePipeline,
+    PipelineStats, PipelineUpdate,
+};
 use vlsi_netlist::{Circuit, GcellGrid, Placement, PlacementDelta};
 
 use crate::engine::{PredictRequest, ServeHandle, ServeReply};
@@ -181,6 +184,12 @@ pub(crate) struct SessionCore {
     state: Mutex<SessionState>,
     pending: Mutex<VecDeque<PendingUpdate>>,
     divisors: (Vec<f32>, Vec<f32>),
+    /// Bounded-radius forward state for this design: cached per-layer
+    /// activations plus the dirty sets noted by applied updates. Appliers
+    /// note every outcome here (under the state lock, so notes follow
+    /// apply order); `predict` hands it to the engine so a worker can
+    /// splice instead of recomputing every G-cell.
+    incr: Arc<IncrementalForward>,
 }
 
 impl std::fmt::Debug for SessionCore {
@@ -263,6 +272,21 @@ impl SessionCore {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.pipeline.apply(delta)))
         {
             Ok(Ok(update)) => {
+                // Feed the incremental-forward notes (still under the
+                // state lock, so notes land in apply order). A noop
+                // touches nothing; an incremental patch contributes its
+                // dirty sets; a full rebuild may have renumbered G-net
+                // columns, so the activation cache must die with it.
+                match &update {
+                    PipelineUpdate::Noop => {}
+                    PipelineUpdate::Incremental { dirty_nets, dirty_gcells } => {
+                        self.incr.note_incremental(&ForwardDirty::new(
+                            dirty_gcells.clone(),
+                            dirty_nets.clone(),
+                        ));
+                    }
+                    PipelineUpdate::FullRebuild { .. } => self.incr.note_structural(),
+                }
                 if !matches!(update, PipelineUpdate::Noop) {
                     state.snapshot = None;
                 }
@@ -273,6 +297,7 @@ impl SessionCore {
                 // every later call fails until a rebuild succeeds (the
                 // pipeline retries on each subsequent apply).
                 state.snapshot = None;
+                self.incr.note_structural();
                 Err(ServeError::Session(e.to_string()))
             }
             Err(panic) => {
@@ -283,6 +308,7 @@ impl SessionCore {
                     .unwrap_or_else(|| "panic mid-apply".into());
                 state.snapshot = None;
                 state.wedged = Some(why.clone());
+                self.incr.note_structural();
                 Err(ServeError::Poisoned(format!("session wedged: {why}")))
             }
         }
@@ -330,6 +356,7 @@ impl ServeHandle {
             state: Mutex::new(SessionState { pipeline, snapshot: None, wedged: None }),
             pending: Mutex::new(VecDeque::new()),
             divisors: (cfg.gcell_divisors.clone(), cfg.gnet_divisors.clone()),
+            incr: Arc::new(IncrementalForward::new()),
         });
         Ok(Session { handle: self.clone(), cfg, core, shard })
     }
@@ -407,9 +434,10 @@ impl Session {
     /// ([`ServeError::UnknownModel`], [`ServeError::Incompatible`],
     /// shutdown races).
     pub fn predict(&mut self) -> Result<ServeReply> {
-        let (ops, features) = self.inputs()?;
-        let request =
-            PredictRequest::new(&self.cfg.model, ops, features).with_threshold(self.cfg.threshold);
+        let (ops, features, seq) = self.inputs_with_seq()?;
+        let request = PredictRequest::new(&self.cfg.model, ops, features)
+            .with_threshold(self.cfg.threshold)
+            .with_incremental(Arc::clone(&self.core.incr), seq);
         self.handle.predict_on_shard(self.shard, &request)
     }
 
@@ -423,6 +451,15 @@ impl Session {
     /// snapshot would describe an older placement than the session's);
     /// [`ServeError::Poisoned`] if the session wedged.
     pub fn inputs(&mut self) -> Result<(Arc<GraphOps>, Arc<FeatureSet>)> {
+        let (ops, features, _) = self.inputs_with_seq()?;
+        Ok((ops, features))
+    }
+
+    /// [`Session::inputs`] plus the incremental-forward note sequence,
+    /// captured under the same state lock as the snapshot — so dirt noted
+    /// by updates applied *after* this snapshot stays pending across the
+    /// forward that consumes it.
+    fn inputs_with_seq(&mut self) -> Result<(Arc<GraphOps>, Arc<FeatureSet>, u64)> {
         let mut state = self.core.lock_state();
         // In-order drain of anything still pending: predictions always
         // describe every update submitted before them.
@@ -443,8 +480,9 @@ impl Session {
             let features = Arc::new(state.pipeline.features().scaled_fixed(gcell_div, gnet_div));
             state.snapshot = Some((ops, features));
         }
+        let seq = self.core.incr.seq();
         let (ops, features) = state.snapshot.as_ref().expect("just filled");
-        Ok((Arc::clone(ops), Arc::clone(features)))
+        Ok((Arc::clone(ops), Arc::clone(features), seq))
     }
 
     /// Runs `f` against the hot pipeline (placement, graph, counters),
@@ -459,14 +497,31 @@ impl Session {
     }
 
     /// The pipeline's lifetime counters (pending updates drained first).
+    /// [`PipelineStats::stale`] is set while the pipeline is poisoned —
+    /// the counters then describe the pre-failure placement.
     pub fn stats(&self) -> PipelineStats {
-        self.with_pipeline(|p| p.stats().clone())
+        self.with_pipeline(LatticePipeline::stats)
+    }
+
+    /// The incremental-forward counters: how many predictions were served
+    /// from the activation cache outright, spliced over a dirty halo, or
+    /// recomputed in full, and how often structural events invalidated
+    /// the cache.
+    pub fn incremental_stats(&self) -> IncrementalStats {
+        self.core.incr.stats()
     }
 
     /// `(operators, features)` content fingerprints of the current state
     /// (pending updates drained first).
-    pub fn fingerprints(&self) -> (u64, u64) {
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Session`] while the pipeline is poisoned: the
+    /// fingerprints would describe the pre-failure placement, not the
+    /// session's.
+    pub fn fingerprints(&self) -> Result<(u64, u64)> {
         self.with_pipeline(LatticePipeline::fingerprints)
+            .map_err(|e| ServeError::Session(e.to_string()))
     }
 
     /// The shard this session's updates and predictions are pinned to.
@@ -570,7 +625,7 @@ mod tests {
         // the session state equals a from-scratch build at the reference
         // placement — updates were neither lost nor reordered
         let fresh = LatticePipeline::for_serving(circuit, reference, grid).unwrap();
-        assert_eq!(session.fingerprints(), fresh.fingerprints());
+        assert_eq!(session.fingerprints().unwrap(), fresh.fingerprints().unwrap());
         assert_eq!(session.stats().updates, 5);
         engine.shutdown();
     }
@@ -628,6 +683,12 @@ mod tests {
                 "served prediction diverged from batch rebuild at step {step}"
             );
         }
+        // The loop-query path really took the bounded-radius fast path:
+        // the first forward is full (cold cache), later ones splice over
+        // the dirty halo — and each was bitwise-checked above.
+        let inc = session.incremental_stats();
+        assert_eq!(inc.full_forwards, 1, "only the cold forward recomputes everything");
+        assert!(inc.spliced_forwards >= 1, "incremental updates must splice, got {inc:?}");
         engine.shutdown();
     }
 
@@ -746,6 +807,57 @@ mod tests {
             session.stats().incremental,
             moved,
             "stats must count exactly the incremental updates"
+        );
+        engine.shutdown();
+    }
+
+    /// A structural crossing (full rebuild) must invalidate the activation
+    /// cache completely: the next prediction recomputes in full and still
+    /// matches a from-scratch build bitwise.
+    #[test]
+    fn structural_update_invalidates_the_activation_cache() {
+        let engine = engine();
+        let handle = engine.handle();
+        let (circuit, placement, grid) = design(13);
+        let die = circuit.die;
+        let mut session = handle
+            .open_session(
+                SessionConfig::new("default"),
+                Arc::clone(&circuit),
+                placement.clone(),
+                grid.clone(),
+            )
+            .unwrap();
+        assert!(session.predict().is_ok());
+        // yank cells across the die until one stretches a kept net past
+        // the size filter — a structural crossing (full rebuild)
+        let mut reference = placement;
+        let mut structural = false;
+        for i in 0..20u32 {
+            let id = CellId(i);
+            let far = die.clamp(Point::new(die.ux - 0.01, die.uy - 0.01));
+            reference.set_position(id, far);
+            let update = session.update(&PlacementDelta::single(id, far)).unwrap();
+            if matches!(update, PipelineUpdate::FullRebuild { .. }) {
+                structural = true;
+                break;
+            }
+        }
+        assert!(structural, "no cross-die move crossed the size filter");
+        let inc = session.incremental_stats();
+        assert!(inc.invalidations >= 1, "rebuild must invalidate the cache, got {inc:?}");
+        let reply = session.predict().unwrap();
+        let model = Lhnn::new(LhnnConfig::default(), 0);
+        let (ops, features) = batch_inputs(&circuit, &reference, &grid, session.config());
+        let direct = model.predict(&ops, &features);
+        assert!(
+            reply.prediction.cls_prob.approx_eq(&direct.cls_prob, 0.0),
+            "post-rebuild prediction must match a from-scratch build bitwise"
+        );
+        assert_eq!(
+            session.incremental_stats().full_forwards,
+            2,
+            "the forward after a structural update recomputes everything"
         );
         engine.shutdown();
     }

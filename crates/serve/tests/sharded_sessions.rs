@@ -103,7 +103,7 @@ fn drive(
             predictions.push(session.predict().expect("predict").prediction);
         }
     }
-    (predictions, session.fingerprints())
+    (predictions, session.fingerprints().expect("fingerprints"))
 }
 
 proptest! {
