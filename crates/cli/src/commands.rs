@@ -13,6 +13,7 @@ use lhnn::{
 use lhnn_data::{
     ascii_map, write_bench_json, write_pgm, BenchRecord, DatasetConfig, PreparedDataset,
 };
+use lhnn_serve::obs::{parse_prometheus, FlightEvent, Snapshot, PREDICT_STAGES, UPDATE_STAGES};
 use lhnn_serve::{EngineConfig, ModelRegistry, PredictRequest, ServeEngine, SessionConfig};
 use neurograd::Confusion;
 use vlsi_netlist::synth::{generate as synth_generate, SynthConfig};
@@ -68,8 +69,12 @@ fn grid_for(args: &Args, circuit: &Circuit) -> GcellGrid {
     GcellGrid::new(die, g, g)
 }
 
-/// `lhnn stats`: netlist statistics.
+/// `lhnn stats`: netlist statistics — or, with `--metrics FILE`, a read
+/// back of a Prometheus exposition written by a bench's `--metrics` dump.
 pub fn stats(args: &Args) -> CmdResult {
+    if let Some(path) = args.opt("metrics") {
+        return metrics_report(path);
+    }
     let (circuit, _) = load_design(args)?;
     let s = netlist_stats(&circuit);
     println!("design: {}", circuit.name);
@@ -232,6 +237,107 @@ pub fn predict(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Whether a bench command should record metrics (`--no-metrics` turns
+/// the registry, stage tracing and flight recorder off entirely).
+fn metrics_enabled(args: &Args) -> bool {
+    !args.has("no-metrics")
+}
+
+/// Prints the per-stage latency breakdown and the flight recorder's
+/// events from a metrics snapshot; with `--metrics [PREFIX]` also writes
+/// the Prometheus text and JSON expositions to `PREFIX.prom` /
+/// `PREFIX.json` (default prefix per command, e.g.
+/// `results/METRICS_loop_bench`).
+fn report_observability(
+    snap: &Snapshot,
+    events: &[FlightEvent],
+    args: &Args,
+    default_prefix: &str,
+) -> CmdResult {
+    println!("stage latency breakdown:");
+    for (family, stages) in [("predict", &PREDICT_STAGES[..]), ("update", &UPDATE_STAGES[..])] {
+        for stage in stages {
+            let key = format!("lhnn_stage_us{{stage=\"{stage}\"}}");
+            let Some(h) = snap.histogram(&key) else { continue };
+            if h.count == 0 {
+                println!("  {family:<7} {stage:<13} (no samples)");
+            } else {
+                println!(
+                    "  {family:<7} {stage:<13} {:>7} samples  mean {:>9.1} us  \
+                     p95 {:>8} us  p99 {:>8} us",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                );
+            }
+        }
+    }
+    println!(
+        "  counters: {} requests ({} cache hits, {} computed), {} batches, \
+         {} session updates, {} fallbacks",
+        snap.counter("lhnn_requests_total"),
+        snap.counter("lhnn_cache_hits_total"),
+        snap.counter("lhnn_computed_total"),
+        snap.counter("lhnn_batches_total"),
+        snap.counter("lhnn_session_updates_total"),
+        snap.counter("lhnn_fallbacks_total"),
+    );
+    if events.is_empty() {
+        println!("flight recorder: no events");
+    } else {
+        println!("flight recorder ({} events, oldest first):", events.len());
+        for e in events.iter().take(12) {
+            println!(
+                "  [+{:>8.3}s] {:<11} {}: {}",
+                e.at_us as f64 / 1e6,
+                e.kind,
+                e.scope,
+                e.detail
+            );
+        }
+        if events.len() > 12 {
+            println!("  ... {} more", events.len() - 12);
+        }
+    }
+    if args.has("metrics") {
+        let prefix = match args.get("metrics", "true").as_str() {
+            "true" => default_prefix.to_string(),
+            custom => custom.to_string(),
+        };
+        if let Some(parent) = Path::new(&prefix).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(format!("{prefix}.prom"), snap.to_prometheus())?;
+        std::fs::write(format!("{prefix}.json"), snap.to_json())?;
+        println!("wrote {prefix}.prom / {prefix}.json");
+    }
+    Ok(())
+}
+
+/// `lhnn stats --metrics FILE`: read back a Prometheus-style exposition
+/// written by `--metrics` and print every series.
+fn metrics_report(path: &str) -> CmdResult {
+    let text = std::fs::read_to_string(path)?;
+    let series = parse_prometheus(&text);
+    if series.is_empty() {
+        return Err(format!("{path} contains no readable metric series").into());
+    }
+    println!("{path}: {} series", series.len());
+    for s in &series {
+        let labels = if s.labels.is_empty() {
+            String::new()
+        } else {
+            let body: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            format!("{{{}}}", body.join(","))
+        };
+        println!("  {}{labels} = {}", s.name, s.value);
+    }
+    Ok(())
+}
+
 /// One prepared synthetic design for `serve-bench`.
 fn bench_design(
     seed: u64,
@@ -253,12 +359,19 @@ fn drive_engine(
     cache_capacity: usize,
     threshold: f32,
     compute_threads: usize,
-) -> Result<(f64, lhnn_serve::ServeStats), Box<dyn Error>> {
+    metrics: bool,
+) -> Result<(f64, lhnn_serve::ServeStats, Snapshot, Vec<FlightEvent>), Box<dyn Error>> {
     let registry = Arc::new(ModelRegistry::new());
     registry.register("default", Lhnn::new(LhnnConfig::default(), 0))?;
     let engine = ServeEngine::new(
         registry,
-        EngineConfig { workers, cache_capacity, compute_threads, ..EngineConfig::default() },
+        EngineConfig {
+            workers,
+            cache_capacity,
+            compute_threads,
+            metrics,
+            ..EngineConfig::default()
+        },
     );
     let handle = engine.handle();
     let start = std::time::Instant::now();
@@ -285,8 +398,10 @@ fn drive_engine(
     })?;
     let elapsed = start.elapsed().as_secs_f64();
     let stats = handle.stats();
+    let snapshot = handle.metrics_snapshot();
+    let events = handle.flight_events();
     engine.shutdown();
-    Ok((elapsed, stats))
+    Ok((elapsed, stats, snapshot, events))
 }
 
 /// `lhnn loop-bench`: drive the placer's own iteration deltas against the
@@ -336,7 +451,12 @@ pub fn loop_bench(args: &Args) -> CmdResult {
     registry.register("default", Lhnn::new(LhnnConfig::default(), 0))?;
     let engine = ServeEngine::new(
         Arc::clone(&registry),
-        EngineConfig { workers: 1, compute_threads: threads, ..EngineConfig::default() },
+        EngineConfig {
+            workers: 1,
+            compute_threads: threads,
+            metrics: metrics_enabled(args),
+            ..EngineConfig::default()
+        },
     );
     let handle = engine.handle();
     let mut session = handle.open_session(
@@ -698,6 +818,14 @@ pub fn loop_bench(args: &Args) -> CmdResult {
 
     write_bench_json(Path::new(&json_path), "incremental", threads.max(1), &records)?;
     println!("wrote {json_path} (baseline = full rebuild, candidate = incremental update)");
+    if handle.metrics_enabled() {
+        report_observability(
+            &handle.metrics_snapshot(),
+            &handle.flight_events(),
+            args,
+            "results/METRICS_loop_bench",
+        )?;
+    }
     engine.shutdown();
     Ok(())
 }
@@ -777,7 +905,13 @@ fn loop_bench_concurrent(args: &Args, designs_n: usize) -> CmdResult {
     // --- baseline: serially-driven sessions, single shard, one worker ---
     let serial_engine = ServeEngine::new(
         Arc::clone(&registry),
-        EngineConfig { workers: 1, shards: 1, compute_threads: threads, ..EngineConfig::default() },
+        EngineConfig {
+            workers: 1,
+            shards: 1,
+            compute_threads: threads,
+            metrics: metrics_enabled(args),
+            ..EngineConfig::default()
+        },
     );
     let serial_handle = serial_engine.handle();
     let mut serial_sessions: Vec<_> = designs
@@ -814,7 +948,13 @@ fn loop_bench_concurrent(args: &Args, designs_n: usize) -> CmdResult {
     // --- concurrent pipelined sessions over the sharded engine ---
     let engine = ServeEngine::new(
         Arc::clone(&registry),
-        EngineConfig { workers, shards, compute_threads: threads, ..EngineConfig::default() },
+        EngineConfig {
+            workers,
+            shards,
+            compute_threads: threads,
+            metrics: metrics_enabled(args),
+            ..EngineConfig::default()
+        },
     );
     let handle = engine.handle();
     let conc_sessions: Vec<_> = designs
@@ -895,19 +1035,43 @@ fn loop_bench_concurrent(args: &Args, designs_n: usize) -> CmdResult {
     for s in &stats.per_shard {
         println!(
             "  shard {}: {} workers, {} requests, {} forwards, {} cache hits, {} worker-applied \
-             updates",
-            s.shard, s.workers, s.requests, s.computed, s.cache_hits, s.session_updates
+             updates, p99 {:.2} ms",
+            s.shard,
+            s.workers,
+            s.requests,
+            s.computed,
+            s.cache_hits,
+            s.session_updates,
+            s.p99_us as f64 / 1000.0
         );
+    }
+    if handle.metrics_enabled() {
+        report_observability(
+            &handle.metrics_snapshot(),
+            &handle.flight_events(),
+            args,
+            "results/METRICS_loop_bench",
+        )?;
     }
     engine.shutdown();
 
-    let record = BenchRecord::labeled(
+    // Tail latency rides along in the bench record: the aggregate
+    // percentiles (recency-weighted across shards) plus each shard's own
+    // p99, so a regression on one hot shard is visible even when the
+    // aggregate hides it.
+    let mut record = BenchRecord::labeled(
         format!("serve_shard_{designs_n}d_{shards}s_{cells}c_{grid_n}x{grid_n}"),
         "serial sessions",
         serial_s * 1e3,
         format!("pipelined x{designs_n} over {shards} shards"),
         conc_s * 1e3,
-    );
+    )
+    .with_extra("p50_us", stats.p50_us as f64)
+    .with_extra("p95_us", stats.p95_us as f64)
+    .with_extra("p99_us", stats.p99_us as f64);
+    for s in &stats.per_shard {
+        record = record.with_extra(format!("shard{}_p99_us", s.shard), s.p99_us as f64);
+    }
     write_bench_json(Path::new(&json_path), "serve_shard", threads.max(1), &[record])?;
     println!(
         "wrote {json_path} (baseline = serially-driven sessions, candidate = concurrent pipelined)"
@@ -950,8 +1114,16 @@ pub fn serve_bench(args: &Args) -> CmdResult {
         ("1 worker, cold cache", 1, 0),
         (&format!("{workers} workers, cold cache")[..], workers, 0),
     ] {
-        let (elapsed, stats) =
-            drive_engine(&designs, w, clients, requests, cache_cap, threshold, compute_threads)?;
+        let (elapsed, stats, _, _) = drive_engine(
+            &designs,
+            w,
+            clients,
+            requests,
+            cache_cap,
+            threshold,
+            compute_threads,
+            metrics_enabled(args),
+        )?;
         let rps = requests as f64 / elapsed.max(1e-9);
         if w == 1 {
             baseline_rps = rps;
@@ -967,8 +1139,16 @@ pub fn serve_bench(args: &Args) -> CmdResult {
         }
     }
     // Warm-cache pass: every design repeats, so hits dominate.
-    let (elapsed, stats) =
-        drive_engine(&designs, workers, clients, requests, cache, threshold, compute_threads)?;
+    let (elapsed, stats, snapshot, events) = drive_engine(
+        &designs,
+        workers,
+        clients,
+        requests,
+        cache,
+        threshold,
+        compute_threads,
+        metrics_enabled(args),
+    )?;
     println!(
         "  {:<24} {elapsed:>7.2}s  {:>8.1} req/s  cache hit rate {:.1}% ({} of {} served from cache)",
         format!("{workers} workers, LRU cache"),
@@ -978,5 +1158,8 @@ pub fn serve_bench(args: &Args) -> CmdResult {
         stats.requests,
     );
     println!("engine stats: {stats}");
+    if metrics_enabled(args) {
+        report_observability(&snapshot, &events, args, "results/METRICS_serve_bench")?;
+    }
     Ok(())
 }

@@ -45,9 +45,11 @@
 //! itself bitwise identical to the tape forward in [`crate::Lhnn`].
 
 use std::sync::Mutex;
+use std::time::Instant;
 
 use lh_graph::halo::{dilate, union_sorted};
 use lh_graph::{halo, FeatureSet};
+use lhnn_obs::{Counter, Histogram, Registry};
 use neurograd::{kernels, stable_sigmoid, Matrix};
 
 use crate::model::{LatticeMpBlock, Lhnn, Prediction};
@@ -119,6 +121,81 @@ pub struct IncrementalStats {
     pub reused: u64,
     /// Structural notes that dropped the activation cache.
     pub invalidations: u64,
+}
+
+/// Metric handles for one design's incremental forward (resolved once in
+/// [`IncrementalForward::with_metrics`]; absent on the plain constructor,
+/// which keeps the hot path free of even relaxed loads).
+///
+/// The stage split follows the predict span hierarchy: `dilate` is the
+/// time spent growing dirty sets through operator transposes, `forward`
+/// the masked row-subset recompute (total refresh minus dilation), and
+/// `splice` the assembly of the served prediction from the cached state.
+struct IncrObs {
+    dilate: Histogram,
+    forward: Histogram,
+    splice: Histogram,
+    halo_gcells: Histogram,
+    halo_gnets: Histogram,
+    full: Counter,
+    spliced: Counter,
+    reused: Counter,
+    invalidations: Counter,
+    design_full: Counter,
+    design_spliced: Counter,
+    design_reused: Counter,
+    design_invalidations: Counter,
+}
+
+impl IncrObs {
+    fn new(registry: &Registry, design: &str) -> Self {
+        let d = &[("design", design)][..];
+        Self {
+            dilate: registry.stage("dilate"),
+            forward: registry.stage("forward"),
+            splice: registry.stage("splice"),
+            halo_gcells: registry.histogram("lhnn_halo_gcells"),
+            halo_gnets: registry.histogram("lhnn_halo_gnets"),
+            full: registry.counter("lhnn_full_forwards_total"),
+            spliced: registry.counter("lhnn_spliced_forwards_total"),
+            reused: registry.counter("lhnn_reused_predictions_total"),
+            invalidations: registry.counter("lhnn_invalidations_total"),
+            design_full: registry.counter_with("lhnn_design_full_forwards_total", d),
+            design_spliced: registry.counter_with("lhnn_design_spliced_forwards_total", d),
+            design_reused: registry.counter_with("lhnn_design_reused_total", d),
+            design_invalidations: registry.counter_with("lhnn_design_invalidations_total", d),
+        }
+    }
+}
+
+/// Accumulates nanoseconds spent in the dilation sites of one refresh.
+/// Timing-only: wraps each site in a clock read when armed and is a plain
+/// passthrough when not, so the float work is identical either way.
+struct DilateTimer {
+    armed: bool,
+    ns: u128,
+}
+
+impl DilateTimer {
+    fn new(armed: bool) -> Self {
+        Self { armed, ns: 0 }
+    }
+
+    #[inline]
+    fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        if self.armed {
+            let t0 = Instant::now();
+            let out = f();
+            self.ns += t0.elapsed().as_nanos();
+            out
+        } else {
+            f()
+        }
+    }
+
+    fn us(&self) -> u64 {
+        u64::try_from(self.ns / 1_000).unwrap_or(u64::MAX)
+    }
 }
 
 /// Per-HyperMP-block cached activations (one tensor per forward step).
@@ -244,6 +321,7 @@ fn refresh(
     mut dc: Vec<usize>,
     mut dn: Vec<usize>,
     grow: bool,
+    dilate_t: &mut DilateTimer,
 ) -> (Vec<usize>, Vec<usize>) {
     let h = model.cfg.hidden;
     let ch = model.cfg.channel_mode.channels();
@@ -269,7 +347,7 @@ fn refresh(
 
     // ---- FeatureGen (Eq. 1–2): one H hop from G-nets onto G-cells ----
     if grow {
-        dc = union_sorted(&dc, &dilate(ops.gnc_sum.transpose_cached(), &dn));
+        dc = dilate_t.time(|| union_sorted(&dc, &dilate(ops.gnc_sum.transpose_cached(), &dn)));
     }
     model.featuregen.f_n.forward_rows_into(store, &features.gnet, &dn, sc_n, sy_n, fn_);
     model.featuregen.f_c.forward_rows_into(store, &features.gcell, &dc, sc_c, sy_c, fc);
@@ -286,7 +364,7 @@ fn refresh(
             if i == 0 { (v_c1, v_n1) } else { (&done[i - 1].v_c, &done[i - 1].v_n) };
         block.res_c_in.forward_rows_into(store, pc, &dc, sc_c, sy_c, &mut la.hc);
         if grow {
-            dn = union_sorted(&dn, &dilate(ops.gcn_mean.transpose_cached(), &dc));
+            dn = dilate_t.time(|| union_sorted(&dn, &dilate(ops.gcn_mean.transpose_cached(), &dc)));
         }
         kernels::spmm_rows_into(&ops.gcn_mean, &la.hc, &dn, la.msg_n.as_mut_slice());
         kernels::concat_rows_into(&la.msg_n, v_n1, &dn, la.cat_n.as_mut_slice());
@@ -302,7 +380,7 @@ fn refresh(
         );
         block.res_n_in.forward_rows_into(store, &la.v_n, &dn, sc_n, sy_n, &mut la.hn);
         if grow {
-            dc = union_sorted(&dc, &dilate(ops.gnc_mean.transpose_cached(), &dn));
+            dc = dilate_t.time(|| union_sorted(&dc, &dilate(ops.gnc_mean.transpose_cached(), &dn)));
         }
         kernels::spmm_rows_into(&ops.gnc_mean, &la.hn, &dc, la.msg_c.as_mut_slice());
         kernels::concat_rows_into(&la.msg_c, v_c1, &dc, la.cat_c.as_mut_slice());
@@ -329,7 +407,8 @@ fn refresh(
         let pc: &Matrix = if i == 0 { last_hyper_c } else { &done[i - 1].v_c };
         block.res.forward_rows_into(store, pc, &dc, sc_c, sy_c, &mut la.h);
         if grow {
-            dc = union_sorted(&dc, &dilate(ops.lattice_mean.transpose_cached(), &dc));
+            dc = dilate_t
+                .time(|| union_sorted(&dc, &dilate(ops.lattice_mean.transpose_cached(), &dc)));
         }
         kernels::spmm_rows_into(&ops.lattice_mean, &la.h, &dc, la.msg.as_mut_slice());
         block.lin.forward_rows_into(store, &la.msg, &dc, &mut la.lin_out);
@@ -371,6 +450,7 @@ struct Notes {
 pub struct IncrementalForward {
     notes: Mutex<Notes>,
     act: Mutex<Option<Box<ActivationState>>>,
+    obs: Option<IncrObs>,
 }
 
 impl std::fmt::Debug for IncrementalForward {
@@ -393,7 +473,18 @@ impl Default for IncrementalForward {
 impl IncrementalForward {
     /// An empty cache: the first forward is always full.
     pub fn new() -> Self {
-        Self { notes: Mutex::new(Notes::default()), act: Mutex::new(None) }
+        Self { notes: Mutex::new(Notes::default()), act: Mutex::new(None), obs: None }
+    }
+
+    /// Like [`IncrementalForward::new`], with forwards additionally
+    /// reported to `registry`: `dilate`/`forward`/`splice` stage spans,
+    /// halo-size histograms, and path counters (globally and per
+    /// `design`). Recording is timing-only — predictions stay bitwise
+    /// identical to the uninstrumented constructor.
+    pub fn with_metrics(registry: &Registry, design: &str) -> Self {
+        let mut inc = Self::new();
+        inc.obs = Some(IncrObs::new(registry, design));
+        inc
     }
 
     fn notes(&self) -> std::sync::MutexGuard<'_, Notes> {
@@ -422,6 +513,10 @@ impl IncrementalForward {
             n.seq += 1;
             n.pending = None;
             n.stats.invalidations += 1;
+        }
+        if let Some(o) = &self.obs {
+            o.invalidations.inc();
+            o.design_invalidations.inc();
         }
         // Drop the cached activations now if no forward holds them; an
         // in-flight forward is handled by the pending=None protocol (its
@@ -486,9 +581,13 @@ impl IncrementalForward {
         });
         if reusable {
             let st = taken.expect("checked above");
+            let t_splice = self.obs.as_ref().and_then(|o| o.splice.start());
             let pred = Prediction { cls_prob: st.cls_prob.clone(), reg: st.reg.clone() };
             *act = Some(st);
             drop(act);
+            if let Some(o) = &self.obs {
+                o.splice.stop_us(t_splice);
+            }
             self.finish(dirt, seq_at_take, seq_snapshot, SpliceOutcome::Reused);
             return (pred, SpliceOutcome::Reused);
         }
@@ -505,11 +604,21 @@ impl IncrementalForward {
             }
             _ => false,
         };
+        let t_refresh = self.obs.as_ref().and_then(|o| o.forward.start());
+        let mut dilate_t = DilateTimer::new(t_refresh.is_some());
         let (mut st, outcome) = if splice_ok {
             let mut st = taken.take().expect("checked above");
             let d = dirt.as_ref().expect("checked above");
-            let (dc, dn) =
-                refresh(&mut st, model, ops, features, d.gcells.clone(), d.gnets.clone(), true);
+            let (dc, dn) = refresh(
+                &mut st,
+                model,
+                ops,
+                features,
+                d.gcells.clone(),
+                d.gnets.clone(),
+                true,
+                &mut dilate_t,
+            );
             let outcome = SpliceOutcome::Spliced { gcell_rows: dc.len(), gnet_rows: dn.len() };
             (st, outcome)
         } else {
@@ -524,16 +633,32 @@ impl IncrementalForward {
             };
             let dc = std::mem::take(&mut st.all_c);
             let dn = std::mem::take(&mut st.all_n);
-            let (dc, dn) = refresh(&mut st, model, ops, features, dc, dn, false);
+            let (dc, dn) = refresh(&mut st, model, ops, features, dc, dn, false, &mut dilate_t);
             st.all_c = dc;
             st.all_n = dn;
             (st, SpliceOutcome::Full)
         };
+        if let (Some(o), Some(t0)) = (&self.obs, t_refresh) {
+            // The refresh span splits into halo dilation (accumulated at
+            // the dilation sites) and the masked row-subset forward.
+            let total_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let dilate_us = dilate_t.us();
+            o.dilate.observe(dilate_us);
+            o.forward.observe(total_us.saturating_sub(dilate_us));
+            if let SpliceOutcome::Spliced { gcell_rows, gnet_rows } = outcome {
+                o.halo_gcells.observe(gcell_rows as u64);
+                o.halo_gnets.observe(gnet_rows as u64);
+            }
+        }
         st.ops_fp = ops_fp;
         st.features_fp = features_fp;
+        let t_splice = self.obs.as_ref().and_then(|o| o.splice.start());
         let pred = Prediction { cls_prob: st.cls_prob.clone(), reg: st.reg.clone() };
         *act = Some(st);
         drop(act);
+        if let Some(o) = &self.obs {
+            o.splice.stop_us(t_splice);
+        }
         self.finish(dirt, seq_at_take, seq_snapshot, outcome);
         (pred, outcome)
     }
@@ -563,6 +688,23 @@ impl IncrementalForward {
             SpliceOutcome::Reused => n.stats.reused += 1,
             SpliceOutcome::Spliced { .. } => n.stats.spliced_forwards += 1,
             SpliceOutcome::Full => n.stats.full_forwards += 1,
+        }
+        drop(n);
+        if let Some(o) = &self.obs {
+            match outcome {
+                SpliceOutcome::Reused => {
+                    o.reused.inc();
+                    o.design_reused.inc();
+                }
+                SpliceOutcome::Spliced { .. } => {
+                    o.spliced.inc();
+                    o.design_spliced.inc();
+                }
+                SpliceOutcome::Full => {
+                    o.full.inc();
+                    o.design_full.inc();
+                }
+            }
         }
     }
 }
@@ -642,6 +784,28 @@ mod tests {
         assert_eq!(outcome, SpliceOutcome::Full, "new weights must not reuse old activations");
         let direct = b.predict(&ops, &feats);
         assert!(direct.cls_prob.approx_eq(&pred.cls_prob, 0.0));
+    }
+
+    #[test]
+    fn metrics_recording_is_bitwise_invisible() {
+        let (ops, feats) = sample();
+        let model = Lhnn::new(LhnnConfig::default(), 6);
+        let version = model.weights_fingerprint();
+        let registry = Registry::new();
+        let plain = IncrementalForward::new();
+        let observed = IncrementalForward::with_metrics(&registry, "d0");
+        let (a, _) = plain.predict(&model, version, &ops, &feats, plain.seq());
+        let (b, _) = observed.predict(&model, version, &ops, &feats, observed.seq());
+        assert!(a.cls_prob.approx_eq(&b.cls_prob, 0.0), "metrics changed the prediction");
+        assert!(a.reg.approx_eq(&b.reg, 0.0));
+        observed.predict(&model, version, &ops, &feats, observed.seq());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("lhnn_full_forwards_total"), 1);
+        assert_eq!(snap.counter("lhnn_reused_predictions_total"), 1);
+        assert_eq!(snap.counter("lhnn_design_full_forwards_total{design=\"d0\"}"), 1);
+        assert_eq!(snap.histogram("lhnn_stage_us{stage=\"forward\"}").unwrap().count, 1);
+        assert_eq!(snap.histogram("lhnn_stage_us{stage=\"dilate\"}").unwrap().count, 1);
+        assert_eq!(snap.histogram("lhnn_stage_us{stage=\"splice\"}").unwrap().count, 2);
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub use ops::GraphOps;
 pub use pipeline::{LatticePipeline, PipelineStats, PipelineUpdate, StalePipeline};
 pub use serialize::ModelIoError;
 pub use trainer::{
-    evaluate, evaluate_regression, predict_map, train, DesignEval, EvalResult, RegEval, Sample,
-    TrainHistory,
+    evaluate, evaluate_regression, predict_map, train, train_observed, DesignEval, EvalResult,
+    RegEval, Sample, TrainHistory,
 };

@@ -19,6 +19,7 @@
 use std::sync::Arc;
 
 use lh_graph::{DeltaOutcome, FeatureSet, LhGraph, LhGraphConfig};
+use lhnn_obs::{Counter, Histogram, Registry};
 use vlsi_netlist::{rebin_delta_in_place, Circuit, GcellGrid, NetId, Placement, PlacementDelta};
 
 use crate::config::AblationSpec;
@@ -87,6 +88,44 @@ impl std::fmt::Display for StalePipeline {
 
 impl std::error::Error for StalePipeline {}
 
+/// Metric handles for one pipeline (resolved once in
+/// [`LatticePipeline::set_metrics`]; absent by default). The update span
+/// hierarchy mirrors [`LatticePipeline::apply`]: rebin → graph patch →
+/// feature patch, with `rebuild` covering the structural fallback.
+#[derive(Debug)]
+struct PipelineObs {
+    rebin: Histogram,
+    graph_patch: Histogram,
+    feature_patch: Histogram,
+    rebuild: Histogram,
+    dirty_gcells: Histogram,
+    dirty_gnets: Histogram,
+    fallbacks: Counter,
+    design_updates: Counter,
+    design_noops: Counter,
+    design_incremental: Counter,
+    design_fallbacks: Counter,
+}
+
+impl PipelineObs {
+    fn new(registry: &Registry, design: &str) -> Self {
+        let d = &[("design", design)][..];
+        Self {
+            rebin: registry.stage("rebin"),
+            graph_patch: registry.stage("graph_patch"),
+            feature_patch: registry.stage("feature_patch"),
+            rebuild: registry.stage("rebuild"),
+            dirty_gcells: registry.histogram("lhnn_dirty_gcells"),
+            dirty_gnets: registry.histogram("lhnn_dirty_gnets"),
+            fallbacks: registry.counter("lhnn_fallbacks_total"),
+            design_updates: registry.counter_with("lhnn_design_updates_total", d),
+            design_noops: registry.counter_with("lhnn_design_noops_total", d),
+            design_incremental: registry.counter_with("lhnn_design_incremental_total", d),
+            design_fallbacks: registry.counter_with("lhnn_design_fallbacks_total", d),
+        }
+    }
+}
+
 /// The stateful construction pipeline for one design on one grid.
 ///
 /// Owns its [`Placement`] copy; callers mutate it exclusively through
@@ -105,6 +144,7 @@ pub struct LatticePipeline {
     features: Arc<FeatureSet>,
     ops: Arc<GraphOps>,
     stats: PipelineStats,
+    obs: Option<PipelineObs>,
     /// Set when a fallback rebuild failed: the placement has advanced but
     /// graph/features/ops still describe an older one. Every later
     /// `apply` forces a rebuild until one succeeds, so the stale state
@@ -142,8 +182,18 @@ impl LatticePipeline {
             features: Arc::new(features),
             ops: Arc::new(ops),
             stats: PipelineStats::default(),
+            obs: None,
             poisoned: false,
         })
+    }
+
+    /// Reports later updates to `registry`: `rebin`/`graph_patch`/
+    /// `feature_patch`/`rebuild` stage spans, dirty-set size histograms,
+    /// the workspace-wide `lhnn_fallbacks_total` counter and per-`design`
+    /// update counters. Timing-only — graph/feature/fingerprint state is
+    /// untouched by recording.
+    pub fn set_metrics(&mut self, registry: &Registry, design: &str) {
+        self.obs = Some(PipelineObs::new(registry, design));
     }
 
     /// Convenience constructor with the default graph config and the full
@@ -173,6 +223,10 @@ impl LatticePipeline {
     /// Panics if the delta references a cell outside the circuit.
     pub fn apply(&mut self, delta: &PlacementDelta) -> lh_graph::Result<PipelineUpdate> {
         self.stats.updates += 1;
+        if let Some(o) = &self.obs {
+            o.design_updates.inc();
+        }
+        let t_rebin = self.obs.as_ref().and_then(|o| o.rebin.start());
         let report = rebin_delta_in_place(
             &self.circuit,
             &self.grid,
@@ -180,7 +234,14 @@ impl LatticePipeline {
             delta,
             &self.cell_to_nets,
         );
+        if let Some(o) = &self.obs {
+            o.rebin.stop_us(t_rebin);
+        }
         if self.poisoned {
+            if let Some(o) = &self.obs {
+                o.fallbacks.inc();
+                o.design_fallbacks.inc();
+            }
             self.rebuild()?;
             self.stats.full_rebuilds += 1;
             return Ok(PipelineUpdate::FullRebuild {
@@ -189,10 +250,19 @@ impl LatticePipeline {
         }
         if report.is_clean() {
             self.stats.noops += 1;
+            if let Some(o) = &self.obs {
+                o.design_noops.inc();
+            }
             return Ok(PipelineUpdate::Noop);
         }
-        match self.graph.apply_delta(&self.grid, &self.graph_cfg, &report)? {
+        let t_graph = self.obs.as_ref().and_then(|o| o.graph_patch.start());
+        let outcome = self.graph.apply_delta(&self.grid, &self.graph_cfg, &report);
+        if let Some(o) = &self.obs {
+            o.graph_patch.stop_us(t_graph);
+        }
+        match outcome? {
             DeltaOutcome::Patched(patch) => {
+                let t_feat = self.obs.as_ref().and_then(|o| o.feature_patch.start());
                 let features = self.features.apply_delta(
                     &patch,
                     &report,
@@ -224,9 +294,21 @@ impl LatticePipeline {
                 self.stats.incremental += 1;
                 self.stats.dirty_nets += dirty_nets.len();
                 self.stats.dirty_gcells += dirty_gcells.len();
+                if let Some(o) = &self.obs {
+                    o.feature_patch.stop_us(t_feat);
+                    o.dirty_gcells.observe(dirty_gcells.len() as u64);
+                    o.dirty_gnets.observe(dirty_nets.len() as u64);
+                    o.design_incremental.inc();
+                }
                 Ok(PipelineUpdate::Incremental { dirty_nets, dirty_gcells })
             }
             DeltaOutcome::Structural(reason) => {
+                // Counted before the attempt: a failed fallback rebuild is
+                // still a structural crossing worth alerting on.
+                if let Some(o) = &self.obs {
+                    o.fallbacks.inc();
+                    o.design_fallbacks.inc();
+                }
                 self.rebuild()?;
                 self.stats.full_rebuilds += 1;
                 Ok(PipelineUpdate::FullRebuild { reason })
@@ -243,6 +325,7 @@ impl LatticePipeline {
     /// Propagates [`lh_graph`] build failures; until a rebuild succeeds,
     /// the pipeline stays poisoned and refuses the incremental path.
     pub fn rebuild(&mut self) -> lh_graph::Result<()> {
+        let t_rebuild = self.obs.as_ref().and_then(|o| o.rebuild.start());
         self.poisoned = true;
         let graph = LhGraph::build(&self.circuit, &self.placement, &self.grid, &self.graph_cfg)?;
         let features = FeatureSet::build(&graph, &self.circuit, &self.placement, &self.grid)?;
@@ -250,6 +333,9 @@ impl LatticePipeline {
         self.graph = graph;
         self.features = Arc::new(features);
         self.poisoned = false;
+        if let Some(o) = &self.obs {
+            o.rebuild.stop_us(t_rebuild);
+        }
         Ok(())
     }
 
@@ -431,6 +517,34 @@ mod tests {
         // incremental
         let follow = p.apply(&PlacementDelta::single(b, Point::new(1.4, 1.4))).unwrap();
         assert!(matches!(follow, PipelineUpdate::Noop | PipelineUpdate::Incremental { .. }));
+    }
+
+    #[test]
+    fn metrics_recording_keeps_fingerprint_parity() {
+        let mut plain = pipeline(7, 120, 8);
+        let mut observed = pipeline(7, 120, 8);
+        let registry = Registry::new();
+        observed.set_metrics(&registry, "d0");
+        let die = observed.circuit().die;
+        for step in 0..4 {
+            let id = CellId(step as u32);
+            let pos = plain.placement().position(id);
+            let np = die.clamp(Point::new(pos.x + plain.grid().gcell_width() * 1.25, pos.y));
+            let delta = PlacementDelta::single(id, np);
+            plain.apply(&delta).unwrap();
+            observed.apply(&delta).unwrap();
+            assert_eq!(
+                plain.fingerprints().unwrap(),
+                observed.fingerprints().unwrap(),
+                "metrics changed pipeline state at step {step}"
+            );
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("lhnn_design_updates_total{design=\"d0\"}"), 4);
+        assert_eq!(snap.histogram("lhnn_stage_us{stage=\"rebin\"}").unwrap().count, 4);
+        // registered even when never hit, so dumps carry the full catalog
+        assert_eq!(snap.counter("lhnn_fallbacks_total"), 0);
+        assert!(snap.get("lhnn_fallbacks_total").is_some());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! serial [`TrainHistory`] exactly (see `parallel_matches_serial_exactly`).
 
 use lh_graph::{ChannelMode, FeatureSet, LhGraph, Targets};
+use lhnn_obs::Registry;
 use neurograd::tape::ParamId;
 use neurograd::{Adam, Confusion, Matrix, Optimizer, Tape};
 use serde::{Deserialize, Serialize};
@@ -111,6 +112,23 @@ pub fn train(
     ablation: &AblationSpec,
     cfg: &TrainConfig,
 ) -> TrainHistory {
+    train_observed(model, samples, ablation, cfg, None)
+}
+
+/// [`train`] with optional per-epoch span recording: each epoch's wall
+/// time lands in the `lhnn_train_epoch_us` histogram of `registry` and
+/// `lhnn_train_epochs_total` counts completed epochs. Recording is
+/// timing-only, so the training trajectory is bitwise identical to
+/// [`train`] for the same config.
+pub fn train_observed(
+    model: &mut Lhnn,
+    samples: &[Sample],
+    ablation: &AblationSpec,
+    cfg: &TrainConfig,
+    registry: Option<&Registry>,
+) -> TrainHistory {
+    let epoch_span = registry.map(|r| r.histogram("lhnn_train_epoch_us"));
+    let epochs_total = registry.map(|r| r.counter("lhnn_train_epochs_total"));
     let mode = model.config().channel_mode;
     // Pre-extract per-sample tensors (feature ablation applied once) and
     // warm the operators' transpose caches so no backward step rebuilds
@@ -142,6 +160,7 @@ pub fn train(
     let mut opt = Adam::new(cfg.lr);
     let mut history = TrainHistory::default();
     for epoch in 0..cfg.epochs {
+        let t_epoch = epoch_span.as_ref().and_then(|h| h.start());
         if cfg.epochs > 1 && epoch == cfg.epochs / 2 {
             opt.set_lr(cfg.lr_final);
         }
@@ -198,6 +217,12 @@ pub fn train(
             store.zero_grad();
         }
         history.epoch_loss.push(epoch_loss / prepared.len().max(1) as f32);
+        if let Some(h) = &epoch_span {
+            h.stop_us(t_epoch);
+        }
+        if let Some(c) = &epochs_total {
+            c.inc();
+        }
     }
     history
 }

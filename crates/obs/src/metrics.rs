@@ -1,0 +1,641 @@
+//! Lock-light metrics registry: counters, gauges, log-scale histograms.
+//!
+//! Design constraints (carried from the serving engine's determinism
+//! guarantees):
+//!
+//! * **Recording never blocks.** A handle ([`Counter`], [`Gauge`],
+//!   [`Histogram`]) resolved once from the [`Registry`] records with
+//!   relaxed atomic ops only; the registry mutex guards registration and
+//!   snapshotting, never the hot path — so snapshotting mid-load cannot
+//!   deadlock a worker.
+//! * **Disabled means (almost) free.** Every record starts with one
+//!   relaxed load of the shared enable flag and returns immediately when
+//!   it is off; the [`Histogram::start`]/[`Histogram::stop_us`] timer
+//!   pair additionally skips the `Instant::now()` clock read.
+//! * **Bounded memory.** Histograms use a fixed array of power-of-two
+//!   ("log-scale") buckets — no sample retention, no allocation after
+//!   registration.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of log-scale histogram buckets. Bucket 0 holds zero-valued
+/// observations; bucket `i >= 1` covers `[2^(i-1), 2^i - 1]`; the last
+/// bucket additionally absorbs everything larger. With 40 buckets the
+/// cover reaches `2^39 - 1` microseconds (~6 days) before saturating.
+pub const BUCKETS: usize = 40;
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (the value a quantile lookup
+/// reports for ranks landing in that bucket).
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A monotone counter handle. Cloning shares the underlying cell.
+#[derive(Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter").field("value", &self.get()).finish_non_exhaustive()
+    }
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. One relaxed load + one relaxed fetch-add when enabled;
+    /// one relaxed load when disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (reads work even when recording is disabled).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value / high-water gauge handle.
+#[derive(Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge").field("value", &self.get()).finish_non_exhaustive()
+    }
+}
+
+impl Gauge {
+    /// Stores `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if above the current value; returns
+    /// `true` when `v` set a new high-water mark (always `false` when
+    /// recording is disabled).
+    #[inline]
+    pub fn record_max(&self, v: u64) -> bool {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_max(v, Ordering::Relaxed) < v
+        } else {
+            false
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+pub(crate) struct HistogramCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A fixed-bucket log-scale histogram handle. Observations are `u64`
+/// values — microseconds for the `*_us` series, plain counts (dirty
+/// rows, halo rows) for the others.
+#[derive(Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<HistogramCell>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count()).finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// Records one observation: three relaxed fetch-adds when enabled,
+    /// one relaxed load when disabled.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.count.fetch_add(1, Ordering::Relaxed);
+            self.cell.sum.fetch_add(v, Ordering::Relaxed);
+            self.cell.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts a span timer, or returns `None` without reading the clock
+    /// when recording is disabled. Pair with [`Histogram::stop_us`].
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.enabled.load(Ordering::Relaxed) {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Ends a span started with [`Histogram::start`], recording the
+    /// elapsed microseconds. A `None` token (disabled at start) is a
+    /// no-op.
+    #[inline]
+    pub fn stop_us(&self, started: Option<Instant>) {
+        if let Some(t0) = started {
+            self.observe(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Number of observations so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+}
+
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCell>),
+}
+
+impl Cell {
+    fn kind(&self) -> &'static str {
+        match self {
+            Cell::Counter(_) => "counter",
+            Cell::Gauge(_) => "gauge",
+            Cell::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    cell: Cell,
+}
+
+/// Renders the canonical series key: `name` or `name{k="v",...}`.
+fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut key = String::with_capacity(name.len() + 16 * labels.len());
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        let _ = write!(key, "{k}=\"{v}\"");
+    }
+    key.push('}');
+    key
+}
+
+/// The metrics registry: a named collection of atomic cells plus the
+/// shared enable flag every handle consults.
+///
+/// One registry per engine (or per bench run). Handles stay valid for
+/// the life of the process even if the registry is dropped — they own
+/// `Arc`s to their cells.
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    series: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.series.lock().map(|m| m.len()).unwrap_or(0);
+        f.debug_struct("Registry")
+            .field("enabled", &self.is_enabled())
+            .field("series", &n)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An enabled registry.
+    pub fn new() -> Self {
+        Self { enabled: Arc::new(AtomicBool::new(true)), series: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// A disabled registry: handles register as usual but every record
+    /// is a single relaxed load (the `EngineConfig::metrics` off-switch
+    /// builds one of these).
+    pub fn disabled() -> Self {
+        let r = Self::new();
+        r.enabled.store(false, Ordering::Relaxed);
+        r
+    }
+
+    /// Whether handles currently record.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flips recording on or off for every handle of this registry.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    fn resolve(&self, name: &str, labels: &[(&str, &str)], make: fn() -> Cell) -> Cell {
+        let key = series_key(name, labels);
+        let mut map = self.series.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let entry = map.entry(key).or_insert_with(|| Entry {
+            name: name.to_string(),
+            labels: labels.iter().map(|(k, v)| ((*k).to_string(), (*v).to_string())).collect(),
+            cell: make(),
+        });
+        match &entry.cell {
+            Cell::Counter(c) => Cell::Counter(Arc::clone(c)),
+            Cell::Gauge(g) => Cell::Gauge(Arc::clone(g)),
+            Cell::Histogram(h) => Cell::Histogram(Arc::clone(h)),
+        }
+    }
+
+    /// Resolves (registering on first use) an unlabeled counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Resolves a labeled counter, e.g.
+    /// `counter_with("lhnn_design_updates_total", &[("design", "d0")])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same series was previously registered with a
+    /// different metric kind (a programming error).
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.resolve(name, labels, || Cell::Counter(Arc::new(AtomicU64::new(0)))) {
+            Cell::Counter(cell) => Counter { enabled: Arc::clone(&self.enabled), cell },
+            other => {
+                panic!("series {} already registered as {}", series_key(name, labels), other.kind())
+            }
+        }
+    }
+
+    /// Resolves (registering on first use) an unlabeled gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind collision, like [`Registry::counter_with`].
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.resolve(name, &[], || Cell::Gauge(Arc::new(AtomicU64::new(0)))) {
+            Cell::Gauge(cell) => Gauge { enabled: Arc::clone(&self.enabled), cell },
+            other => panic!("series {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Resolves (registering on first use) an unlabeled histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Resolves a labeled histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind collision, like [`Registry::counter_with`].
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.resolve(name, labels, || Cell::Histogram(Arc::new(HistogramCell::new()))) {
+            Cell::Histogram(cell) => Histogram { enabled: Arc::clone(&self.enabled), cell },
+            other => {
+                panic!("series {} already registered as {}", series_key(name, labels), other.kind())
+            }
+        }
+    }
+
+    /// The span histogram for one named stage:
+    /// `lhnn_stage_us{stage="<stage>"}`.
+    pub fn stage(&self, stage: &str) -> Histogram {
+        self.histogram_with("lhnn_stage_us", &[("stage", stage)])
+    }
+
+    /// A point-in-time copy of every registered series.
+    ///
+    /// Takes only the registration mutex (never contended by recording),
+    /// so it is safe to call from any thread at any rate. Histogram
+    /// count/sum/buckets are read without a global ordering, so a
+    /// snapshot racing live traffic may be internally off by the few
+    /// in-flight observations; each individual cell is monotone.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.series.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let series = map
+            .values()
+            .map(|e| SeriesSnapshot {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                value: match &e.cell {
+                    Cell::Counter(c) => SeriesValue::Counter(c.load(Ordering::Relaxed)),
+                    Cell::Gauge(g) => SeriesValue::Gauge(g.load(Ordering::Relaxed)),
+                    Cell::Histogram(h) => SeriesValue::Histogram(HistogramSnapshot {
+                        count: h.count.load(Ordering::Relaxed),
+                        sum: h.sum.load(Ordering::Relaxed),
+                        buckets: h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                    }),
+                },
+            })
+            .collect();
+        Snapshot { series }
+    }
+}
+
+/// A frozen copy of one series.
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    /// Base metric name (no labels).
+    pub name: String,
+    /// Label pairs in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The recorded value(s).
+    pub value: SeriesValue,
+}
+
+impl SeriesSnapshot {
+    /// The canonical `name{k="v"}` key.
+    pub fn key(&self) -> String {
+        let labels: Vec<(&str, &str)> =
+            self.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        series_key(&self.name, &labels)
+    }
+}
+
+/// The value of one frozen series.
+#[derive(Debug, Clone)]
+pub enum SeriesValue {
+    /// Monotone counter value.
+    Counter(u64),
+    /// Last/high-water gauge value.
+    Gauge(u64),
+    /// Histogram counts.
+    Histogram(HistogramSnapshot),
+}
+
+/// Frozen histogram contents.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (exact; the mean is `sum / count`).
+    pub sum: u64,
+    /// Per-bucket observation counts, `buckets[i]` covering
+    /// `[2^(i-1), 2^i - 1]` (bucket 0 holds zeros).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Exact mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: nearest-rank over the bucket counts,
+    /// reported as the landing bucket's inclusive upper bound (so the
+    /// estimate errs high by at most 2x — the bucket width).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil()).max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(self.buckets.len().saturating_sub(1))
+    }
+}
+
+/// A point-in-time copy of a whole registry, ordered by series key.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Every registered series.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl Snapshot {
+    /// Looks a series up by its canonical key (`name` or
+    /// `name{k="v",...}` with labels in registration order).
+    pub fn get(&self, key: &str) -> Option<&SeriesSnapshot> {
+        self.series.iter().find(|s| s.key() == key)
+    }
+
+    /// Counter value by canonical key, 0 when absent or not a counter.
+    pub fn counter(&self, key: &str) -> u64 {
+        match self.get(key).map(|s| &s.value) {
+            Some(SeriesValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram by canonical key, `None` when absent or another kind.
+    pub fn histogram(&self, key: &str) -> Option<&HistogramSnapshot> {
+        match self.get(key).map(|s| &s.value) {
+            Some(SeriesValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_records_and_reads() {
+        let r = Registry::new();
+        let c = r.counter("lhnn_requests_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // same name resolves to the same cell
+        assert_eq!(r.counter("lhnn_requests_total").get(), 5);
+        assert_eq!(r.snapshot().counter("lhnn_requests_total"), 5);
+    }
+
+    #[test]
+    fn labels_separate_series() {
+        let r = Registry::new();
+        r.counter_with("c", &[("design", "a")]).add(1);
+        r.counter_with("c", &[("design", "b")]).add(2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("c{design=\"a\"}"), 1);
+        assert_eq!(snap.counter("c{design=\"b\"}"), 2);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::disabled();
+        let c = r.counter("c");
+        let h = r.histogram("h");
+        let g = r.gauge("g");
+        c.inc();
+        h.observe(7);
+        assert!(!g.record_max(9));
+        // the span timer must not even read the clock
+        assert!(h.start().is_none());
+        h.stop_us(None);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(g.get(), 0);
+        // flipping the switch re-arms existing handles
+        r.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(2), 3);
+
+        let r = Registry::new();
+        let h = r.histogram("h");
+        // 90 fast observations (bucket [8,15]) + 10 slow ([1024,2047])
+        for _ in 0..90 {
+            h.observe(10);
+        }
+        for _ in 0..10 {
+            h.observe(1500);
+        }
+        let snap = r.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        assert_eq!(hs.count, 100);
+        assert_eq!(hs.sum, 90 * 10 + 10 * 1500);
+        assert_eq!(hs.quantile(0.50), 15); // upper bound of [8,15]
+        assert_eq!(hs.quantile(0.90), 15);
+        assert_eq!(hs.quantile(0.99), 2047); // upper bound of [1024,2047]
+        assert!((hs.mean() - 159.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauge_high_water() {
+        let r = Registry::new();
+        let g = r.gauge("depth");
+        assert!(g.record_max(3));
+        assert!(!g.record_max(2));
+        assert!(g.record_max(5));
+        assert_eq!(g.get(), 5);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn span_timer_records_elapsed() {
+        let r = Registry::new();
+        let h = r.stage("splice");
+        let t = h.start();
+        assert!(t.is_some());
+        h.stop_us(t);
+        assert_eq!(h.count(), 1);
+        assert_eq!(r.snapshot().histogram("lhnn_stage_us{stage=\"splice\"}").unwrap().count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_collision_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.histogram("x");
+    }
+
+    #[test]
+    fn snapshot_is_ordered_by_key() {
+        let r = Registry::new();
+        r.counter("b");
+        r.counter("a");
+        let keys: Vec<String> = r.snapshot().series.iter().map(SeriesSnapshot::key).collect();
+        assert_eq!(keys, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact_when_quiesced() {
+        let r = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = r.counter("n");
+            let h = r.histogram("lat");
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    c.inc();
+                    h.observe(i % 97);
+                }
+            }));
+        }
+        // snapshot concurrently with the writers: must not deadlock, and
+        // every counter read is monotone
+        let mut last = 0;
+        for _ in 0..50 {
+            let v = r.snapshot().counter("n");
+            assert!(v >= last);
+            last = v;
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("n"), 4000);
+        assert_eq!(snap.histogram("lat").unwrap().count, 4000);
+    }
+}

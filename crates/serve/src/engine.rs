@@ -46,6 +46,7 @@
 //! engine keeps serving.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::AtomicU64;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -53,14 +54,21 @@ use std::time::{Duration, Instant};
 
 use lh_graph::FeatureSet;
 use lhnn::{GraphOps, IncrementalForward, InferenceScratch, Lhnn, Prediction};
+use lhnn_obs::{FlightEvent, FlightEventKind, Registry, Snapshot};
 use neurograd::Fnv64;
 
 use crate::cache::{CacheKey, PredictionCache};
 use crate::error::{Result, ServeError};
 use crate::lock;
+use crate::observability::EngineObs;
 use crate::registry::{ModelEntry, ModelRegistry};
 use crate::session::SessionCore;
 use crate::stats::{self, ServeStats, StatsInner};
+
+/// Saturating microseconds of a [`Duration`].
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -92,6 +100,15 @@ pub struct EngineConfig {
     /// thread-count-invariant this never changes a prediction (the
     /// `served_prediction_is_bitwise_identical` proptest covers it).
     pub compute_threads: usize,
+    /// Metrics, stage tracing and the flight recorder (default on).
+    ///
+    /// Off builds the disabled registry/recorder pair: hot-path recording
+    /// collapses to one relaxed load per site, span timers skip their
+    /// clock reads entirely, and flight events are dropped before
+    /// formatting. Instrumentation never touches model arithmetic either
+    /// way — predictions are bitwise identical with it on or off (the
+    /// `metrics_do_not_change_predictions` proptest covers it).
+    pub metrics: bool,
 }
 
 impl Default for EngineConfig {
@@ -103,6 +120,7 @@ impl Default for EngineConfig {
             max_batch: 8,
             cache_capacity: 128,
             compute_threads: 0,
+            metrics: true,
         }
     }
 }
@@ -194,6 +212,9 @@ struct PredictJob {
     key: CacheKey,
     threshold: f32,
     submitted: Instant,
+    /// Queue-stage span token: set at admission when metrics are on,
+    /// closed when a worker drains the job (`None` skips both clock reads).
+    enqueued: Option<Instant>,
     reply: mpsc::Sender<ServeReply>,
     incremental: Option<(Arc<IncrementalForward>, u64)>,
 }
@@ -242,14 +263,17 @@ struct Shard {
 }
 
 impl Shard {
-    fn new(cache_capacity: usize) -> Self {
+    fn new(cache_capacity: usize, clock: Arc<AtomicU64>) -> Self {
         Self {
             queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             cache: Mutex::new(PredictionCache::new(cache_capacity)),
             in_flight: Mutex::new(HashMap::new()),
-            stats: Mutex::new(StatsInner::new()),
+            // All shards share one logical clock, so ring entries carry
+            // engine-wide recency stamps and the aggregate percentile
+            // merge can prefer the newest samples across shards.
+            stats: Mutex::new(StatsInner::with_clock(clock)),
         }
     }
 }
@@ -260,6 +284,7 @@ pub(crate) struct Shared {
     shards: Vec<Shard>,
     workers_per_shard: Vec<usize>,
     started: Instant,
+    obs: EngineObs,
 }
 
 /// The engine: owns the sharded worker pool; hand out [`ServeHandle`]s to
@@ -307,10 +332,20 @@ impl ServeEngine {
             neurograd::pool::configure_threads(cfg.compute_threads);
         }
         let workers_per_shard = partition_workers(cfg.workers.max(1), cfg.shards.max(1));
-        let shards: Vec<Shard> =
-            workers_per_shard.iter().map(|_| Shard::new(cfg.cache_capacity)).collect();
-        let shared =
-            Arc::new(Shared { registry, shards, workers_per_shard, started: Instant::now(), cfg });
+        let clock = Arc::new(AtomicU64::new(0));
+        let shards: Vec<Shard> = workers_per_shard
+            .iter()
+            .map(|_| Shard::new(cfg.cache_capacity, Arc::clone(&clock)))
+            .collect();
+        let obs = EngineObs::new(cfg.metrics);
+        let shared = Arc::new(Shared {
+            registry,
+            shards,
+            workers_per_shard,
+            started: Instant::now(),
+            obs,
+            cfg,
+        });
         let mut workers = Vec::new();
         for (shard_idx, &n) in shared.workers_per_shard.iter().enumerate() {
             for lane in 0..n {
@@ -424,17 +459,21 @@ impl ServeHandle {
     ) -> Result<ServeReply> {
         let submitted = Instant::now();
         let (entry, key) = self.admit(request)?;
-        let shard = &self.shared.shards[shard_idx.min(self.shared.shards.len() - 1)];
+        let shard_idx = shard_idx.min(self.shared.shards.len() - 1);
+        let shard = &self.shared.shards[shard_idx];
         // Fast path: answer from the shard's cache without touching the
         // queue. (The guard is scoped to the lookup — never held across
         // other locks.)
+        let t_cache = self.shared.obs.stage_cache.start();
         let hit = lock::recover(&shard.cache).get(&key);
+        self.shared.obs.stage_cache.stop_us(t_cache);
         if let Some(hit) = hit {
             let latency = submitted.elapsed();
             lock::recover(&shard.stats).record_request(latency, true);
+            record_request_obs(&self.shared.obs, latency, true);
             return Ok(reply_from(hit, true, request.threshold, latency));
         }
-        let rx = self.enqueue(shard, entry, request, key, submitted)?;
+        let rx = self.enqueue(shard_idx, entry, request, key, submitted)?;
         rx.recv().map_err(|_| ServeError::WorkerLost)
     }
 
@@ -452,10 +491,13 @@ impl ServeHandle {
                 let (entry, key) = self.admit(request)?;
                 let shard_idx = self.shard_of_request(request);
                 let shard = &self.shared.shards[shard_idx];
+                let t_cache = self.shared.obs.stage_cache.start();
                 let hit = lock::recover(&shard.cache).get(&key);
+                self.shared.obs.stage_cache.stop_us(t_cache);
                 if let Some(hit) = hit {
                     let latency = submitted.elapsed();
                     lock::recover(&shard.stats).record_request(latency, true);
+                    record_request_obs(&self.shared.obs, latency, true);
                     return Ok(PendingReply::Ready(reply_from(
                         hit,
                         true,
@@ -463,7 +505,7 @@ impl ServeHandle {
                         latency,
                     )));
                 }
-                let rx = self.enqueue(shard, Arc::clone(&entry), request, key, submitted)?;
+                let rx = self.enqueue(shard_idx, Arc::clone(&entry), request, key, submitted)?;
                 Ok(PendingReply::InFlight(rx))
             })
             .collect();
@@ -570,22 +612,59 @@ impl ServeHandle {
                 for s in &self.shared.shards {
                     lock::recover(&s.cache).evict_model(old);
                 }
+                self.shared.obs.flight.record(
+                    FlightEventKind::HotSwap,
+                    name,
+                    format!("v{old} -> v{}", entry.version),
+                );
             }
         }
         Ok(entry)
     }
 
+    /// The engine's metrics registry: counters, gauges and stage/latency
+    /// histograms for everything the engine and its sessions record.
+    /// Shared — handles cloned from one engine all see the same registry.
+    pub fn metrics(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.obs.registry)
+    }
+
+    /// A point-in-time snapshot of every registered series (render it with
+    /// [`lhnn_obs::to_prometheus`] / [`lhnn_obs::to_json`]).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.shared.obs.registry.snapshot()
+    }
+
+    /// The flight recorder's retained events, oldest first: fallbacks,
+    /// poisonings, wedges, hot-swaps, queue-depth high-water marks and
+    /// worker losses (bounded ring — newest win).
+    pub fn flight_events(&self) -> Vec<FlightEvent> {
+        self.shared.obs.flight.snapshot()
+    }
+
+    /// Whether this engine records metrics ([`EngineConfig::metrics`]).
+    pub fn metrics_enabled(&self) -> bool {
+        self.shared.obs.registry.is_enabled()
+    }
+
+    /// The engine's observability plane, for sessions to wire their
+    /// per-design instrumentation into.
+    pub(crate) fn obs(&self) -> &EngineObs {
+        &self.shared.obs
+    }
+
     /// Enqueues a session-drain nudge on `shard_idx`, blocking on the
     /// shard's backpressure bound.
     pub(crate) fn enqueue_session(&self, shard_idx: usize, core: Arc<SessionCore>) -> Result<()> {
-        let shard = &self.shared.shards[shard_idx.min(self.shared.shards.len() - 1)];
-        self.push_job(shard, Job::Session(core))
+        self.push_job(shard_idx.min(self.shared.shards.len() - 1), Job::Session(core))
     }
 
     /// The one queue-admission path every job kind goes through: wait out
     /// the shard's backpressure bound, refuse on shutdown, push, wake a
-    /// worker.
-    fn push_job(&self, shard: &Shard, job: Job) -> Result<()> {
+    /// worker. Tracks the engine-wide queue-depth high-water mark and logs
+    /// a flight event the first time a new high reaches a full micro-batch.
+    fn push_job(&self, shard_idx: usize, job: Job) -> Result<()> {
+        let shard = &self.shared.shards[shard_idx];
         let mut q = lock::recover(&shard.queue);
         while q.jobs.len() >= self.shared.cfg.queue_depth.max(1) {
             if q.shutdown {
@@ -597,7 +676,17 @@ impl ServeHandle {
             return Err(ServeError::ShuttingDown);
         }
         q.jobs.push_back(job);
+        let depth = q.jobs.len() as u64;
         drop(q);
+        if self.shared.obs.queue_depth_high.record_max(depth)
+            && depth >= self.shared.cfg.max_batch.max(1) as u64
+        {
+            self.shared.obs.flight.record(
+                FlightEventKind::QueueHigh,
+                &format!("shard {shard_idx}"),
+                format!("depth {depth}"),
+            );
+        }
         shard.not_empty.notify_one();
         Ok(())
     }
@@ -647,7 +736,7 @@ impl ServeHandle {
 
     fn enqueue(
         &self,
-        shard: &Shard,
+        shard_idx: usize,
         entry: Arc<ModelEntry>,
         request: &PredictRequest,
         key: CacheKey,
@@ -661,10 +750,11 @@ impl ServeHandle {
             key,
             threshold: request.threshold,
             submitted,
+            enqueued: self.shared.obs.stage_queue.start(),
             reply: tx,
             incremental: request.incremental.as_ref().map(|(i, s)| (Arc::clone(i), *s)),
         };
-        self.push_job(shard, Job::Predict(job))?;
+        self.push_job(shard_idx, Job::Predict(job))?;
         Ok(rx)
     }
 }
@@ -709,10 +799,19 @@ fn worker_loop(shared: &Shared, shard_idx: usize) {
             batch
         };
         // Batch-size stats count only inference jobs — session nudges are
-        // control messages, not batched forwards.
+        // control messages, not batched forwards. Queue-wait spans close
+        // here, at pickup, for the whole batch at once — closing them as
+        // each job is processed would bill earlier jobs' forwards to later
+        // jobs' queue time.
         let predict_jobs = batch.iter().filter(|j| matches!(j, Job::Predict(_))).count();
         if predict_jobs > 0 {
             lock::recover(&shard.stats).record_batch(predict_jobs);
+            shared.obs.batches.inc();
+            for job in &batch {
+                if let Job::Predict(j) = job {
+                    shared.obs.stage_queue.stop_us(j.enqueued);
+                }
+            }
         }
         // Same-key predict jobs in the batch share one forward pass. Lock
         // scopes are kept explicit: the cache guard must be released
@@ -733,6 +832,7 @@ fn worker_loop(shared: &Shared, shard_idx: usize) {
                         Some(applied) => {
                             if applied > 0 {
                                 lock::recover(&shard.stats).record_session_updates(applied);
+                                shared.obs.session_updates.add(applied as u64);
                             }
                         }
                         None => {
@@ -759,7 +859,9 @@ fn worker_loop(shared: &Shared, shard_idx: usize) {
             } else {
                 // Another worker (or an earlier batch) may have filled the
                 // cache since the submitter's fast-path miss.
+                let t_cache = shared.obs.stage_cache.start();
                 let from_cache = lock::recover(&shard.cache).get(&job.key);
+                shared.obs.stage_cache.stop_us(t_cache);
                 if let Some(p) = from_cache {
                     local.insert(job.key, Arc::clone(&p));
                     (p, true)
@@ -768,16 +870,18 @@ fn worker_loop(shared: &Shared, shard_idx: usize) {
                     // concurrent claimants wait for its result (after
                     // finishing the rest of their own batch).
                     match claim_key(shard, job.key) {
-                        Ok(marker) => match compute_owned(shard, &job, &marker, &mut scratch) {
-                            Some((p, cached)) => {
-                                local.insert(job.key, Arc::clone(&p));
-                                (p, cached)
+                        Ok(marker) => {
+                            match compute_owned(shared, shard, &job, &marker, &mut scratch) {
+                                Some((p, cached)) => {
+                                    local.insert(job.key, Arc::clone(&p));
+                                    (p, cached)
+                                }
+                                // Forward panicked: marker cleaned up, reply
+                                // dropped (requester sees WorkerLost), worker
+                                // keeps serving.
+                                None => continue,
                             }
-                            // Forward panicked: marker cleaned up, reply
-                            // dropped (requester sees WorkerLost), worker
-                            // keeps serving.
-                            None => continue,
-                        },
+                        }
                         Err(marker) => {
                             deferred.push((job, marker));
                             continue;
@@ -785,7 +889,7 @@ fn worker_loop(shared: &Shared, shard_idx: usize) {
                     }
                 }
             };
-            send_reply(shard, &job, prediction, cached);
+            send_reply(shared, shard, &job, prediction, cached);
         }
         // Second pass: resolve waits on keys owned by other workers.
         for (job, first_marker) in deferred {
@@ -801,7 +905,7 @@ fn worker_loop(shared: &Shared, shard_idx: usize) {
                 };
                 match state {
                     InFlightState::Done(p) => {
-                        send_reply(shard, &job, p, true);
+                        send_reply(shared, shard, &job, p, true);
                         break;
                     }
                     InFlightState::Abandoned => {
@@ -811,9 +915,9 @@ fn worker_loop(shared: &Shared, shard_idx: usize) {
                         match claim_key(shard, job.key) {
                             Ok(m) => {
                                 if let Some((p, cached)) =
-                                    compute_owned(shard, &job, &m, &mut scratch)
+                                    compute_owned(shared, shard, &job, &m, &mut scratch)
                                 {
-                                    send_reply(shard, &job, p, cached);
+                                    send_reply(shared, shard, &job, p, cached);
                                 }
                                 break;
                             }
@@ -851,6 +955,7 @@ fn claim_key(shard: &Shard, key: CacheKey) -> std::result::Result<Arc<InFlight>,
 /// the key and waking waiters) if the forward panics, so one malformed
 /// request cannot wedge the pool — see `ServeError::WorkerLost`.
 fn compute_owned(
+    shared: &Shared,
     shard: &Shard,
     job: &PredictJob,
     marker: &Arc<InFlight>,
@@ -877,13 +982,21 @@ fn compute_owned(
         Ok((p, cached)) => {
             if !cached {
                 lock::recover(&shard.stats).record_computed();
+                shared.obs.computed.inc();
                 // cache before unmarking, so latecomers that miss the
                 // marker hit the cache
                 lock::recover(&shard.cache).insert(job.key, Arc::clone(&p));
             }
             (Some((Arc::clone(&p), cached)), InFlightState::Done(p))
         }
-        Err(_) => (None, InFlightState::Abandoned),
+        Err(_) => {
+            shared.obs.flight.record(
+                FlightEventKind::WorkerLost,
+                &job.entry.name,
+                format!("forward panicked (model v{})", job.entry.version),
+            );
+            (None, InFlightState::Abandoned)
+        }
     };
     lock::recover(&shard.in_flight).remove(&job.key);
     *lock::recover(&marker.done) = state;
@@ -891,11 +1004,28 @@ fn compute_owned(
     result
 }
 
-fn send_reply(shard: &Shard, job: &PredictJob, prediction: Arc<Prediction>, cached: bool) {
+fn send_reply(
+    shared: &Shared,
+    shard: &Shard,
+    job: &PredictJob,
+    prediction: Arc<Prediction>,
+    cached: bool,
+) {
     let latency = job.submitted.elapsed();
     lock::recover(&shard.stats).record_request(latency, cached);
+    record_request_obs(&shared.obs, latency, cached);
     // A requester that gave up (dropped the receiver) is fine.
     let _ = job.reply.send(reply_from(prediction, cached, job.threshold, latency));
+}
+
+/// Mirrors one answered request into the metrics registry (the exact
+/// counts live in `StatsInner`; these are the exported view).
+fn record_request_obs(obs: &EngineObs, latency: Duration, cached: bool) {
+    obs.requests.inc();
+    if cached {
+        obs.cache_hits.inc();
+    }
+    obs.request_us.observe(duration_us(latency));
 }
 
 #[cfg(test)]

@@ -92,6 +92,7 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub(crate) mod lock;
+pub(crate) mod observability;
 pub mod registry;
 pub mod session;
 pub mod stats;
@@ -100,5 +101,9 @@ pub use cache::{CacheKey, PredictionCache};
 pub use engine::{EngineConfig, PredictRequest, ServeEngine, ServeHandle, ServeReply};
 pub use error::{Result, ServeError};
 pub use registry::{ModelEntry, ModelRegistry};
-pub use session::{Session, SessionConfig, UpdateTicket};
+pub use session::{Session, SessionConfig, SessionObservability, UpdateTicket};
 pub use stats::{ServeStats, ShardStats};
+
+/// The observability vocabulary (registry, snapshots, exposition, flight
+/// events), re-exported so engine clients need no separate dependency.
+pub use lhnn_obs as obs;

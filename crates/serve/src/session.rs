@@ -55,6 +55,7 @@ use lhnn::{
     AblationSpec, ForwardDirty, GraphOps, IncrementalForward, IncrementalStats, LatticePipeline,
     PipelineStats, PipelineUpdate,
 };
+use lhnn_obs::{FlightEventKind, FlightRecorder, Histogram};
 use vlsi_netlist::{Circuit, GcellGrid, Placement, PlacementDelta};
 
 use crate::engine::{PredictRequest, ServeHandle, ServeReply};
@@ -190,6 +191,19 @@ pub(crate) struct SessionCore {
     /// apply order); `predict` hands it to the engine so a worker can
     /// splice instead of recomputing every G-cell.
     incr: Arc<IncrementalForward>,
+    /// The design id the session routes (and labels its metrics) by.
+    design: String,
+    /// Per-design trace handles; `None` when the engine runs without
+    /// metrics ([`crate::EngineConfig::metrics`] off).
+    obs: Option<SessionObs>,
+}
+
+/// The session's slice of the engine's observability plane: the flight
+/// recorder (fallback/poison/wedge events carry the design as scope) and
+/// the predict-side drain-stage span.
+struct SessionObs {
+    flight: Arc<FlightRecorder>,
+    drain: Histogram,
 }
 
 impl std::fmt::Debug for SessionCore {
@@ -285,7 +299,16 @@ impl SessionCore {
                             dirty_nets.clone(),
                         ));
                     }
-                    PipelineUpdate::FullRebuild { .. } => self.incr.note_structural(),
+                    PipelineUpdate::FullRebuild { .. } => {
+                        self.incr.note_structural();
+                        if let Some(o) = &self.obs {
+                            o.flight.record(
+                                FlightEventKind::Fallback,
+                                &self.design,
+                                "structural crossing: full rebuild".to_string(),
+                            );
+                        }
+                    }
                 }
                 if !matches!(update, PipelineUpdate::Noop) {
                     state.snapshot = None;
@@ -298,6 +321,13 @@ impl SessionCore {
                 // pipeline retries on each subsequent apply).
                 state.snapshot = None;
                 self.incr.note_structural();
+                if let Some(o) = &self.obs {
+                    o.flight.record(
+                        FlightEventKind::Poisoned,
+                        &self.design,
+                        format!("fallback rebuild failed: {e}"),
+                    );
+                }
                 Err(ServeError::Session(e.to_string()))
             }
             Err(panic) => {
@@ -309,10 +339,28 @@ impl SessionCore {
                 state.snapshot = None;
                 state.wedged = Some(why.clone());
                 self.incr.note_structural();
+                if let Some(o) = &self.obs {
+                    o.flight.record(FlightEventKind::Wedged, &self.design, why.clone());
+                }
                 Err(ServeError::Poisoned(format!("session wedged: {why}")))
             }
         }
     }
+}
+
+/// One session's merged observability view ([`Session::observability`]):
+/// the pipeline and incremental-forward counters side by side, tagged
+/// with the design id and shard they describe.
+#[derive(Debug, Clone)]
+pub struct SessionObservability {
+    /// The design id the session routes (and labels its metrics) by.
+    pub design: String,
+    /// The shard the session is pinned to.
+    pub shard: usize,
+    /// Update-path counters: noops, incremental patches, fallbacks.
+    pub pipeline: PipelineStats,
+    /// Forward-path counters: reused, spliced, full, invalidations.
+    pub incremental: IncrementalStats,
 }
 
 /// A hot placement-loop session over one design, pinned to one shard.
@@ -349,14 +397,32 @@ impl ServeHandle {
         }
         let design_id = cfg.design.clone().unwrap_or_else(|| circuit.name.clone());
         let shard = self.shard_of_design(&design_id);
-        let pipeline =
+        let mut pipeline =
             LatticePipeline::new(circuit, placement, grid, cfg.graph.clone(), AblationSpec::full())
                 .map_err(|e| ServeError::Session(e.to_string()))?;
+        // Wire the design's instrumentation into the engine's registry
+        // and flight recorder. With metrics off both collapse to `None` /
+        // disabled handles, so the hot path stays untouched.
+        let engine_obs = self.obs();
+        let (incr, obs) = if engine_obs.registry.is_enabled() {
+            pipeline.set_metrics(&engine_obs.registry, &design_id);
+            (
+                IncrementalForward::with_metrics(&engine_obs.registry, &design_id),
+                Some(SessionObs {
+                    flight: Arc::clone(&engine_obs.flight),
+                    drain: engine_obs.registry.stage("drain"),
+                }),
+            )
+        } else {
+            (IncrementalForward::new(), None)
+        };
         let core = Arc::new(SessionCore {
             state: Mutex::new(SessionState { pipeline, snapshot: None, wedged: None }),
             pending: Mutex::new(VecDeque::new()),
             divisors: (cfg.gcell_divisors.clone(), cfg.gnet_divisors.clone()),
-            incr: Arc::new(IncrementalForward::new()),
+            incr: Arc::new(incr),
+            design: design_id,
+            obs,
         });
         Ok(Session { handle: self.clone(), cfg, core, shard })
     }
@@ -463,7 +529,11 @@ impl Session {
         let mut state = self.core.lock_state();
         // In-order drain of anything still pending: predictions always
         // describe every update submitted before them.
+        let t_drain = self.core.obs.as_ref().and_then(|o| o.drain.start());
         self.core.drain_locked(&mut state);
+        if let Some(o) = &self.core.obs {
+            o.drain.stop_us(t_drain);
+        }
         if let Some(why) = &state.wedged {
             return Err(ServeError::Poisoned(format!("session wedged: {why}")));
         }
@@ -522,6 +592,21 @@ impl Session {
     pub fn fingerprints(&self) -> Result<(u64, u64)> {
         self.with_pipeline(LatticePipeline::fingerprints)
             .map_err(|e| ServeError::Session(e.to_string()))
+    }
+
+    /// One merged observability view of the session: the pipeline's
+    /// lifetime counters and the incremental-forward counters, captured
+    /// together with the design id and shard (pending updates drained
+    /// first, so both halves describe the same state). The same numbers
+    /// are exported as `lhnn_design_*` series in the engine's registry
+    /// snapshot ([`crate::ServeHandle::metrics_snapshot`]).
+    pub fn observability(&self) -> SessionObservability {
+        SessionObservability {
+            design: self.core.design.clone(),
+            shard: self.shard,
+            pipeline: self.stats(),
+            incremental: self.incremental_stats(),
+        }
     }
 
     /// The shard this session's updates and predictions are pinned to.

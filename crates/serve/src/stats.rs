@@ -10,10 +10,27 @@
 //! long the engine runs; percentiles are nearest-rank over the rings'
 //! current contents. Counters (requests, cache hits, computed forwards,
 //! batches, session updates) are exact over the whole lifetime.
+//!
+//! Ring entries carry an **engine-wide admission stamp** (a logical clock
+//! shared by every shard of one engine). Merging rings for the aggregate
+//! percentiles keeps only the most recent [`RING`] entries by stamp, so a
+//! shard that went idle an hour ago cannot skew today's p99 with its
+//! stale ring — the aggregate describes the last `RING` requests the
+//! *engine* served, whatever their shard mix.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 const RING: usize = 4096;
+
+/// One ring slot: when the request was admitted (engine-wide logical
+/// order) and how long it took.
+#[derive(Debug, Clone, Copy)]
+struct RingEntry {
+    stamp: u64,
+    us: u64,
+}
 
 /// Mutable accumulator, one per shard, behind that shard's stats mutex.
 #[derive(Debug, Clone)]
@@ -25,12 +42,23 @@ pub(crate) struct StatsInner {
     batched_jobs: u64,
     session_updates: u64,
     total_latency_us: u128,
-    ring: Vec<u64>,
+    /// Engine-wide logical clock, shared by every shard's accumulator.
+    clock: Arc<AtomicU64>,
+    ring: Vec<RingEntry>,
     next: usize,
 }
 
 impl StatsInner {
+    /// A standalone accumulator with its own clock (single-shard tests).
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
+        Self::with_clock(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// An accumulator stamping its ring from `clock`. Every shard of one
+    /// engine shares the same clock so merged rings have a total recency
+    /// order.
+    pub(crate) fn with_clock(clock: Arc<AtomicU64>) -> Self {
         Self {
             requests: 0,
             cache_hits: 0,
@@ -39,6 +67,7 @@ impl StatsInner {
             batched_jobs: 0,
             session_updates: 0,
             total_latency_us: 0,
+            clock,
             ring: Vec::with_capacity(RING),
             next: 0,
         }
@@ -51,10 +80,11 @@ impl StatsInner {
         }
         let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
         self.total_latency_us += u128::from(us);
+        let entry = RingEntry { stamp: self.clock.fetch_add(1, Ordering::Relaxed), us };
         if self.ring.len() < RING {
-            self.ring.push(us);
+            self.ring.push(entry);
         } else {
-            self.ring[self.next] = us;
+            self.ring[self.next] = entry;
         }
         self.next = (self.next + 1) % RING;
     }
@@ -86,29 +116,40 @@ impl StatsInner {
     }
 }
 
+/// Nearest-rank percentile over an ascending-sorted latency list:
+/// `ceil(p/100 * n)`, 1-indexed; 0 when empty.
+fn pct_of(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil().max(1.0) as usize;
+    sorted_us[rank.min(sorted_us.len()) - 1]
+}
+
 /// Builds an aggregate [`ServeStats`] over every shard's accumulator.
 ///
 /// Counters sum; latency percentiles are nearest-rank over the merged
-/// rings (so a one-shard engine reports exactly what it did before
-/// sharding existed); `per_shard[i]` carries shard `i`'s own counters.
+/// rings, **recency-weighted**: when the shards together hold more than
+/// one ring's worth of samples, only the newest [`RING`] by engine-wide
+/// stamp survive the merge (so a one-shard engine reports exactly what
+/// it did before sharding existed, and an idle shard's stale ring cannot
+/// bias the aggregate). `per_shard[i]` carries shard `i`'s own counters
+/// and its own-ring p50/p99.
 pub(crate) fn aggregate(
     shards: &[StatsInner],
     workers_per_shard: &[usize],
     uptime: Duration,
 ) -> ServeStats {
-    let mut merged: Vec<u64> = Vec::with_capacity(shards.iter().map(|s| s.ring.len()).sum());
+    let mut merged: Vec<RingEntry> = Vec::with_capacity(shards.iter().map(|s| s.ring.len()).sum());
     for s in shards {
         merged.extend_from_slice(&s.ring);
     }
-    merged.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if merged.is_empty() {
-            return 0;
-        }
-        // nearest-rank: ceil(p/100 * n), 1-indexed
-        let rank = ((p / 100.0) * merged.len() as f64).ceil().max(1.0) as usize;
-        merged[rank.min(merged.len()) - 1]
-    };
+    if merged.len() > RING {
+        merged.sort_unstable_by(|x, y| y.stamp.cmp(&x.stamp));
+        merged.truncate(RING);
+    }
+    let mut lat: Vec<u64> = merged.iter().map(|e| e.us).collect();
+    lat.sort_unstable();
     let requests: u64 = shards.iter().map(|s| s.requests).sum();
     let cache_hits: u64 = shards.iter().map(|s| s.cache_hits).sum();
     let computed: u64 = shards.iter().map(|s| s.computed).sum();
@@ -125,22 +166,28 @@ pub(crate) fn aggregate(
         batches,
         mean_batch_size: if batches == 0 { 0.0 } else { batched_jobs as f64 / batches as f64 },
         session_updates,
-        p50_us: pct(50.0),
-        p95_us: pct(95.0),
-        p99_us: pct(99.0),
+        p50_us: pct_of(&lat, 50.0),
+        p95_us: pct_of(&lat, 95.0),
+        p99_us: pct_of(&lat, 99.0),
         mean_us: if requests == 0 { 0.0 } else { total_latency_us as f64 / requests as f64 },
         throughput_rps: if secs > 0.0 { requests as f64 / secs } else { 0.0 },
         uptime,
         per_shard: shards
             .iter()
             .enumerate()
-            .map(|(i, s)| ShardStats {
-                shard: i,
-                workers: workers_per_shard.get(i).copied().unwrap_or(0),
-                requests: s.requests,
-                cache_hits: s.cache_hits,
-                computed: s.computed,
-                session_updates: s.session_updates,
+            .map(|(i, s)| {
+                let mut own: Vec<u64> = s.ring.iter().map(|e| e.us).collect();
+                own.sort_unstable();
+                ShardStats {
+                    shard: i,
+                    workers: workers_per_shard.get(i).copied().unwrap_or(0),
+                    requests: s.requests,
+                    cache_hits: s.cache_hits,
+                    computed: s.computed,
+                    session_updates: s.session_updates,
+                    p50_us: pct_of(&own, 50.0),
+                    p99_us: pct_of(&own, 99.0),
+                }
             })
             .collect(),
     }
@@ -163,6 +210,11 @@ pub struct ShardStats {
     /// Pipelined session updates this shard's workers applied
     /// (inline drains on caller threads are not counted here).
     pub session_updates: u64,
+    /// Median latency over this shard's own ring, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency over this shard's own ring, microseconds
+    /// (tail latency under work stealing is a per-shard property).
+    pub p99_us: u64,
 }
 
 /// An immutable snapshot of engine counters and latency percentiles,
@@ -184,8 +236,8 @@ pub struct ServeStats {
     pub mean_batch_size: f64,
     /// Pipelined session updates applied by engine workers.
     pub session_updates: u64,
-    /// Median request latency, microseconds (over the last 4096 requests
-    /// per shard).
+    /// Median request latency, microseconds (over the engine's last 4096
+    /// requests, whatever their shard mix).
     pub p50_us: u64,
     /// 95th-percentile latency, microseconds.
     pub p95_us: u64,
@@ -220,8 +272,12 @@ impl std::fmt::Display for ServeStats {
             for s in &self.per_shard {
                 write!(
                     f,
-                    " [{}: {} req, {} fwd, {} upd]",
-                    s.shard, s.requests, s.computed, s.session_updates
+                    " [{}: {} req, {} fwd, {} upd, p99 {:.2} ms]",
+                    s.shard,
+                    s.requests,
+                    s.computed,
+                    s.session_updates,
+                    s.p99_us as f64 / 1000.0
                 )?;
             }
         }
@@ -318,7 +374,36 @@ mod tests {
         assert_eq!(snap.per_shard[0].workers, 2);
         assert_eq!(snap.per_shard[1].computed, 50);
         assert_eq!(snap.per_shard[1].session_updates, 3);
+        // per-shard tails come from each shard's own ring
+        assert_eq!(snap.per_shard[0].p99_us, 10);
+        assert_eq!(snap.per_shard[1].p99_us, 1000);
         assert!((snap.cache_hit_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_shard_does_not_skew_aggregate_percentiles() {
+        // One engine-wide clock, as the engine wires it.
+        let clock = Arc::new(AtomicU64::new(0));
+        let mut idle = StatsInner::with_clock(Arc::clone(&clock));
+        let mut hot = StatsInner::with_clock(Arc::clone(&clock));
+        // The idle shard served 100 slow requests long ago...
+        for _ in 0..100 {
+            idle.record_request(Duration::from_micros(10_000), false);
+        }
+        // ...then the hot shard served a full ring of fast traffic.
+        for _ in 0..RING {
+            hot.record_request(Duration::from_micros(100), false);
+        }
+        let shards = [idle, hot];
+        let snap = aggregate(&shards, &[1, 1], Duration::from_secs(1));
+        // Recency-weighted merge: only the newest RING samples count, so
+        // the stale 10 ms requests fall out of the aggregate tail (a
+        // plain concatenation would report p99 = 10_000 here).
+        assert_eq!(snap.p99_us, 100);
+        assert_eq!(snap.p50_us, 100);
+        // The idle shard's own history stays visible in the breakdown.
+        assert_eq!(snap.per_shard[0].p99_us, 10_000);
+        assert_eq!(snap.per_shard[1].p99_us, 100);
     }
 
     #[test]
@@ -332,5 +417,6 @@ mod tests {
         let text = format!("{two}");
         assert!(text.contains("2 shards:"), "got {text}");
         assert!(text.contains("[0: 1 req"), "got {text}");
+        assert!(text.contains("p99"), "got {text}");
     }
 }

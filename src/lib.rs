@@ -13,7 +13,9 @@
 //! * [`baselines`] — MLP / U-Net / Pix2Pix comparators (paper §5),
 //! * [`data`] — dataset assembly and the experiment harness,
 //! * [`serve`] — the batched, multi-threaded inference engine (model
-//!   registry, worker pool, LRU prediction cache).
+//!   registry, worker pool, LRU prediction cache),
+//! * [`obs`] — the zero-dependency metrics registry, stage tracing and
+//!   flight recorder threaded through the serving stack.
 //!
 //! # Quickstart
 //!
@@ -42,6 +44,7 @@ pub use lh_graph as graph;
 pub use lhnn as model;
 pub use lhnn_baselines as baselines;
 pub use lhnn_data as data;
+pub use lhnn_obs as obs;
 pub use lhnn_serve as serve;
 pub use neurograd as nn;
 pub use vlsi_netlist as netlist;
