@@ -7,8 +7,15 @@
 //! *identical* result — the table isolates pure scheduling speedup.
 //!
 //! ```text
-//! cargo run --release -p lhnn-bench --bin kernels [-- --threads N --out DIR]
+//! cargo run --release -p lhnn-bench --bin kernels [-- --threads N --simd on|off --out DIR]
 //! ```
+//!
+//! `--simd off` routes every kernel through the scalar lane-emulation
+//! path for the main columns (bitwise identical results — the SIMD
+//! contract); each dense/sparse row also carries `simd_on_ms_1t` /
+//! `simd_off_ms_1t` / `simd_speedup` extras measuring both modes, and the
+//! inference row compares the fused tape-free predict against the taped
+//! forward it replaced (`fused_speedup`).
 //!
 //! Writes `kernels.csv` plus the machine-readable perf-trajectory artifact
 //! `BENCH_kernels.json` under the output directory.
@@ -20,7 +27,7 @@ use lh_graph::{FeatureSet, LhGraph, LhGraphConfig, Targets};
 use lhnn::{AblationSpec, Lhnn, LhnnConfig, Sample, TrainConfig};
 use lhnn_bench::HarnessArgs;
 use lhnn_data::{write_bench_json, BenchRecord, TextTable};
-use neurograd::{pool, CsrMatrix, Matrix};
+use neurograd::{pool, simd, CsrMatrix, Matrix, Tape};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vlsi_netlist::synth::{generate, SynthConfig};
@@ -46,6 +53,28 @@ fn scale_ms(threads: usize, mut f: impl FnMut()) -> (f64, f64) {
     pool::configure_threads(threads);
     let ms_nt = time_ms(&mut f);
     (ms_1t, ms_nt)
+}
+
+/// Times `f` with the SIMD lane path on and off (1 compute thread), then
+/// restores the run's configured mode. Both runs compute identical bits;
+/// the pair isolates the pure lane-kernel speedup.
+fn simd_onoff_ms(restore_on: bool, mut f: impl FnMut()) -> (f64, f64) {
+    pool::configure_threads(1);
+    simd::set_enabled(true);
+    let on = time_ms(&mut f);
+    simd::set_enabled(false);
+    let off = time_ms(&mut f);
+    simd::set_enabled(restore_on);
+    (on, off)
+}
+
+/// Tags a thread-scaling record with the SIMD on/off pair for the same
+/// workload.
+fn with_simd_extras(record: BenchRecord, on_ms: f64, off_ms: f64) -> BenchRecord {
+    record
+        .with_extra("simd_on_ms_1t", on_ms)
+        .with_extra("simd_off_ms_1t", off_ms)
+        .with_extra("simd_speedup", off_ms / on_ms.max(1e-9))
 }
 
 fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
@@ -101,11 +130,15 @@ fn main() {
         })
         .max(2);
 
+    let simd_on = raw.windows(2).find(|w| w[0] == "--simd").map_or(true, |w| w[1] != "off");
+    simd::set_enabled(simd_on);
+
     let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     println!(
         "host parallelism: {host} (expect ~min(threads, host)x scaling; \
          on a 1-core host the columns measure pure dispatch overhead)"
     );
+    println!("{}", simd::isa_report());
 
     let mut rng = StdRng::seed_from_u64(0);
     let mut records: Vec<BenchRecord> = Vec::new();
@@ -117,11 +150,13 @@ fn main() {
         let (ms_1t, ms_nt) = scale_ms(threads, || {
             std::hint::black_box(a.matmul(&b));
         });
-        records.push(BenchRecord::thread_scaling(
-            format!("matmul_{rows}x64x64"),
-            ms_1t,
-            threads,
-            ms_nt,
+        let (on_ms, off_ms) = simd_onoff_ms(simd_on, || {
+            std::hint::black_box(a.matmul(&b));
+        });
+        records.push(with_simd_extras(
+            BenchRecord::thread_scaling(format!("matmul_{rows}x64x64"), ms_1t, threads, ms_nt),
+            on_ms,
+            off_ms,
         ));
     }
 
@@ -132,11 +167,13 @@ fn main() {
         let (ms_1t, ms_nt) = scale_ms(threads, || {
             std::hint::black_box(s.spmm(&x));
         });
-        records.push(BenchRecord::thread_scaling(
-            format!("spmm_{rows}x{rows}x32"),
-            ms_1t,
-            threads,
-            ms_nt,
+        let (on_ms, off_ms) = simd_onoff_ms(simd_on, || {
+            std::hint::black_box(s.spmm(&x));
+        });
+        records.push(with_simd_extras(
+            BenchRecord::thread_scaling(format!("spmm_{rows}x{rows}x32"), ms_1t, threads, ms_nt),
+            on_ms,
+            off_ms,
         ));
         let _ = s.transpose_cached(); // warm: measure the product, not the build
         let (ms_1t, ms_nt) = scale_ms(threads, || {
@@ -185,12 +222,41 @@ fn main() {
         ms_nt,
     ));
 
-    let mut table = TextTable::new(&["kernel", "1T (ms)", &format!("{threads}T (ms)"), "speedup"]);
+    // fused tape-free inference vs the taped forward it replaced (both
+    // bitwise identical; the fused path skips tape allocation, node
+    // bookkeeping and the value round-trips)
+    let (ops, feats) = lhnn_data::serving_inputs(7, 6000, 48).expect("serving design");
+    let model = Lhnn::new(LhnnConfig::default(), 0);
+    let mut scratch = lhnn::InferenceScratch::new();
+    pool::configure_threads(threads);
+    let taped_ms = time_ms(|| {
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &ops, &feats);
+        let prob = tape.sigmoid(out.cls_logits);
+        std::hint::black_box((tape.value(prob).clone(), tape.value(out.reg).clone()));
+    });
+    let fused_ms = time_ms(|| {
+        std::hint::black_box(model.predict_into(&ops, &feats, &mut scratch));
+    });
+    records.push(
+        BenchRecord::labeled(
+            format!("predict_{}gcells", ops.num_gcells),
+            "taped forward",
+            taped_ms,
+            "fused tape-free",
+            fused_ms,
+        )
+        .with_extra("fused_speedup", taped_ms / fused_ms.max(1e-9)),
+    );
+
+    let mut table = TextTable::new(&["kernel", "baseline (ms)", "candidate (ms)", "speedup"]);
     for r in &records {
         println!(
-            "{}: {:.2} ms -> {:.2} ms at {threads} threads ({:.2}x)",
+            "{}: {} {:.2} ms -> {} {:.2} ms ({:.2}x)",
             r.name,
+            r.baseline_label,
             r.baseline_ms,
+            r.candidate_label,
             r.candidate_ms,
             r.speedup()
         );

@@ -1055,6 +1055,95 @@ fn loop_bench_concurrent(args: &Args, designs_n: usize) -> CmdResult {
     }
     engine.shutdown();
 
+    // --- cross-design stateless burst: same-shape placement snapshots
+    // submitted together, so shard micro-batches fuse them into
+    // block-diagonal forwards ---
+    let snaps_per_design = 3usize;
+    let mut snapshots: Vec<(Arc<lhnn::GraphOps>, Arc<FeatureSet>)> = Vec::new();
+    for design in &designs {
+        let mut pipe = LatticePipeline::for_serving(
+            Arc::clone(&design.circuit),
+            design.initial.clone(),
+            design.grid.clone(),
+        )?;
+        let step = (design.deltas.len() / snaps_per_design).max(1);
+        let mut taken = 0;
+        for (i, delta) in design.deltas.iter().enumerate() {
+            pipe.apply(delta)?;
+            if (i + 1) % step == 0 && taken < snaps_per_design {
+                snapshots.push((pipe.ops(), pipe.features()));
+                taken += 1;
+            }
+        }
+    }
+    let burst_reqs: Vec<PredictRequest> = snapshots
+        .iter()
+        .map(|(ops, feats)| PredictRequest::new("default", Arc::clone(ops), Arc::clone(feats)))
+        .collect();
+    let burst_engine = |workers: usize| {
+        ServeEngine::new(
+            Arc::clone(&registry),
+            EngineConfig {
+                workers,
+                shards,
+                compute_threads: threads,
+                metrics: metrics_enabled(args),
+                ..EngineConfig::default()
+            },
+        )
+    };
+    // baseline: one request at a time — every snapshot is its own dispatch
+    let serial_burst = burst_engine(workers);
+    let sb_handle = serial_burst.handle();
+    let t2 = std::time::Instant::now();
+    let serial_replies: Vec<_> =
+        burst_reqs.iter().map(|r| sb_handle.predict(r)).collect::<Result<_, _>>()?;
+    let burst_serial_s = t2.elapsed().as_secs_f64();
+    serial_burst.shutdown();
+    // candidate: the whole burst enqueued before collection — same-shape
+    // misses sharing a micro-batch run as one block-diagonal forward
+    let batched_burst = burst_engine(workers);
+    let bb_handle = batched_burst.handle();
+    let t3 = std::time::Instant::now();
+    let batched_replies: Vec<_> =
+        bb_handle.predict_batch(&burst_reqs).into_iter().collect::<Result<_, _>>()?;
+    let burst_batched_s = t3.elapsed().as_secs_f64();
+    let burst_stats = bb_handle.stats();
+    batched_burst.shutdown();
+    // parity: batched replies == serial replies == direct model forwards
+    let direct_model = Lhnn::new(LhnnConfig::default(), 0);
+    for (i, ((ops, feats), (serial, batched))) in
+        snapshots.iter().zip(serial_replies.iter().zip(&batched_replies)).enumerate()
+    {
+        let direct = direct_model.predict(ops, feats);
+        for (label, reply) in [("serial", serial), ("batched", batched)] {
+            if !direct.cls_prob.approx_eq(&reply.prediction.cls_prob, 0.0)
+                || !direct.reg.approx_eq(&reply.prediction.reg, 0.0)
+            {
+                return Err(format!(
+                    "cross-design batching parity FAILED: {label} snapshot {i} diverged from \
+                     the direct forward"
+                )
+                .into());
+            }
+        }
+    }
+    println!(
+        "cross-design batching parity: OK ({} snapshots, batched == serial == direct bitwise; \
+         {} block-diagonal forwards covered {} requests)",
+        snapshots.len(),
+        burst_stats.batched_forwards,
+        burst_stats.batched_forward_jobs,
+    );
+    println!(
+        "  stateless burst: one-at-a-time {:.2}ms -> batched {:.2}ms ({} dispatches for {} \
+         forwards)",
+        burst_serial_s * 1e3,
+        burst_batched_s * 1e3,
+        burst_stats.computed - burst_stats.batched_forward_jobs + burst_stats.batched_forwards,
+        burst_stats.computed,
+    );
+
     // Tail latency rides along in the bench record: the aggregate
     // percentiles (recency-weighted across shards) plus each shard's own
     // p99, so a regression on one hot shard is visible even when the
@@ -1068,7 +1157,11 @@ fn loop_bench_concurrent(args: &Args, designs_n: usize) -> CmdResult {
     )
     .with_extra("p50_us", stats.p50_us as f64)
     .with_extra("p95_us", stats.p95_us as f64)
-    .with_extra("p99_us", stats.p99_us as f64);
+    .with_extra("p99_us", stats.p99_us as f64)
+    .with_extra("burst_serial_ms", burst_serial_s * 1e3)
+    .with_extra("burst_batched_ms", burst_batched_s * 1e3)
+    .with_extra("batched_forwards", burst_stats.batched_forwards as f64)
+    .with_extra("batched_forward_jobs", burst_stats.batched_forward_jobs as f64);
     for s in &stats.per_shard {
         record = record.with_extra(format!("shard{}_p99_us", s.shard), s.p99_us as f64);
     }
@@ -1109,6 +1202,7 @@ pub fn serve_bench(args: &Args) -> CmdResult {
         neurograd::pool::current_threads(),
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     );
+    println!("{}", neurograd::simd::isa_report());
     let mut baseline_rps = 0.0;
     for (label, w, cache_cap) in [
         ("1 worker, cold cache", 1, 0),

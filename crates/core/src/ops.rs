@@ -88,6 +88,33 @@ impl GraphOps {
         h.finish()
     }
 
+    /// Block-diagonal stack of several designs' operators, for one
+    /// cross-design batched forward over vertically stacked features.
+    ///
+    /// Each operator becomes [`CsrMatrix::block_diag`] of the blocks'
+    /// operators, so design `i`'s G-cell rows only ever aggregate design
+    /// `i`'s G-net/G-cell rows — with entries in the same per-row order —
+    /// and every row-partitioned kernel produces per-design output rows
+    /// bitwise identical to forwarding each design alone. Dense layers
+    /// are row-local, so stacking features changes nothing there either.
+    ///
+    /// Transpose/fingerprint caches start cold; batched operators are
+    /// throwaway (the per-design caches key the serving layer's state).
+    pub fn block_diag(blocks: &[&GraphOps]) -> Self {
+        fn stack(blocks: &[&GraphOps], pick: impl Fn(&GraphOps) -> &CsrMatrix) -> Arc<CsrMatrix> {
+            let mats: Vec<&CsrMatrix> = blocks.iter().map(|b| pick(b)).collect();
+            Arc::new(CsrMatrix::block_diag(&mats))
+        }
+        Self {
+            gnc_sum: stack(blocks, |b| &b.gnc_sum),
+            gnc_mean: stack(blocks, |b| &b.gnc_mean),
+            gcn_mean: stack(blocks, |b| &b.gcn_mean),
+            lattice_mean: stack(blocks, |b| &b.lattice_mean),
+            num_gcells: blocks.iter().map(|b| b.num_gcells).sum(),
+            num_gnets: blocks.iter().map(|b| b.num_gnets).sum(),
+        }
+    }
+
     /// Re-snapshots the operators from an incrementally patched graph.
     /// Matrices the patch left untouched are the very allocations this
     /// snapshot already shares, so warm transpose and fingerprint caches

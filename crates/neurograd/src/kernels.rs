@@ -17,6 +17,26 @@
 //! per-output-row accumulation order matches the scatter formulation
 //! exactly, so this too is bitwise-stable (and row-partitionable).
 //!
+//! The inner loops run on [`crate::simd`]'s lane engine. Accumulating
+//! kernels (`matmul`, `matmul_tn`, `spmm` and their row-subset variants)
+//! build each output row with element-wise `axpy` steps in `k`/entry
+//! order — vectorizing across the *row*, never across the reduction — so
+//! their float sequences are unchanged from the scalar seed kernels and
+//! unchanged by SIMD on/off. `matmul_nt` reduces along `k` and therefore
+//! uses the fixed lane schedule (eight independent accumulators, a fixed
+//! pairwise tree, in-order remainder); its [`reference`] twin emulates
+//! that exact schedule, so SIMD on/off is bitwise invisible there too.
+//! The historical `av == 0.0` zero-skips were dropped from the dense
+//! kernels: for finite data a skipped `+= 0.0 * bv` step is bitwise
+//! unobservable (a `+0.0` accumulator never becomes `-0.0` under
+//! round-to-nearest), and the data-dependent branch blocked
+//! vectorization. Sparse kernels still skip structurally — absent CSR
+//! entries are never touched.
+//!
+//! Output buffers are **overwritten**: every kernel zero-fills or
+//! directly writes each row it owns, so callers can hand over recycled
+//! buffers holding stale data without a pre-zeroing pass.
+//!
 //! Small operands run serially: chunking only engages when a chunk gets at
 //! least [`MIN_CHUNK_FLOPS`] worth of work, so tiny matrices skip the
 //! dispatch overhead entirely (with, by the contract above, no observable
@@ -24,6 +44,7 @@
 
 use crate::matrix::Matrix;
 use crate::pool;
+use crate::simd;
 use crate::sparse::CsrMatrix;
 
 /// Minimum per-chunk work (≈ multiply-adds) before a kernel parallelises.
@@ -114,7 +135,8 @@ fn for_each_range(out: &mut [f32], per_range: impl Fn(usize, &mut [f32]) + Sync)
 
 // ---- dense kernels ----
 
-/// `out = a · b`, row-partitioned. `out` must be zeroed.
+/// `out = a · b`, row-partitioned. Rows of `out` are overwritten (stale
+/// data is fine).
 ///
 /// # Panics
 ///
@@ -125,20 +147,14 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut [f32]) {
     assert_eq!(k, b.rows(), "matmul shape mismatch: {}x{} * {}x{}", m, k, b.rows(), b.cols());
     assert_eq!(out.len(), m * n, "matmul output buffer mismatch");
     let (a_data, b_data) = (a.as_slice(), b.as_slice());
+    let eng = simd::active();
     for_each_row(out, m, n, k * n, |i, out_row| {
-        for (kk, &av) in a_data[i * k..(i + 1) * k].iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            for (o, &bv) in out_row.iter_mut().zip(&b_data[kk * n..(kk + 1) * n]) {
-                *o += av * bv;
-            }
-        }
+        eng.gemm_row(out_row, &a_data[i * k..(i + 1) * k], b_data);
     });
 }
 
 /// `out = aᵀ · b` without materialising the transpose, row-partitioned
-/// over the `a.cols` output rows. `out` must be zeroed.
+/// over the `a.cols` output rows. Rows of `out` are overwritten.
 ///
 /// # Panics
 ///
@@ -157,16 +173,9 @@ pub fn matmul_tn_into(a: &Matrix, b: &Matrix, out: &mut [f32]) {
     );
     assert_eq!(out.len(), m * n, "matmul_tn output buffer mismatch");
     let (a_data, b_data) = (a.as_slice(), b.as_slice());
+    let eng = simd::active();
     for_each_row(out, m, n, rows * n, |i, out_row| {
-        for k in 0..rows {
-            let av = a_data[k * m + i];
-            if av == 0.0 {
-                continue;
-            }
-            for (o, &bv) in out_row.iter_mut().zip(&b_data[k * n..(k + 1) * n]) {
-                *o += av * bv;
-            }
-        }
+        eng.gemm_row_strided(out_row, &a_data[i..], m, b_data);
     });
 }
 
@@ -190,22 +199,35 @@ pub fn matmul_nt_into(a: &Matrix, b: &Matrix, out: &mut [f32]) {
     );
     assert_eq!(out.len(), m * n, "matmul_nt output buffer mismatch");
     let (a_data, b_data) = (a.as_slice(), b.as_slice());
+    let eng = simd::active();
     for_each_row(out, m, n, k * n, |i, out_row| {
-        let a_row = &a_data[i * k..(i + 1) * k];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b_data[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            *o = acc;
-        }
+        eng.dot_row(out_row, &a_data[i * k..(i + 1) * k], b_data);
+    });
+}
+
+/// Column concatenation `out[r] = [a[r] | b[r]]` over all rows — the
+/// whole-matrix form of [`concat_rows_into`]. Rows of `out` are
+/// overwritten.
+///
+/// # Panics
+///
+/// Panics if row counts differ or `out` is missized.
+pub fn concat_into(a: &Matrix, b: &Matrix, out: &mut [f32]) {
+    assert_eq!(a.rows(), b.rows(), "concat row mismatch");
+    let (an, bn) = (a.cols(), b.cols());
+    let n = an + bn;
+    assert_eq!(out.len(), a.rows() * n, "concat output buffer mismatch");
+    let (a_data, b_data) = (a.as_slice(), b.as_slice());
+    for_each_row(out, a.rows(), n, n.max(1), |r, out_row| {
+        out_row[..an].copy_from_slice(&a_data[r * an..(r + 1) * an]);
+        out_row[an..].copy_from_slice(&b_data[r * bn..(r + 1) * bn]);
     });
 }
 
 // ---- sparse kernels ----
 
-/// `out = s · x`, partitioned over the sparse rows. `out` must be zeroed.
+/// `out = s · x`, partitioned over the sparse rows. Rows of `out` are
+/// overwritten.
 ///
 /// # Panics
 ///
@@ -225,12 +247,10 @@ pub fn spmm_into(s: &CsrMatrix, x: &Matrix, out: &mut [f32]) {
     assert_eq!(out.len(), rows * n, "spmm output buffer mismatch");
     let x_data = x.as_slice();
     let cost = (s.nnz() / rows.max(1)).max(1) * n;
+    let eng = simd::active();
     for_each_row(out, rows, n, cost, |r, out_row| {
-        for (c, v) in s.row_entries(r) {
-            for (o, &xv) in out_row.iter_mut().zip(&x_data[c * n..(c + 1) * n]) {
-                *o += v * xv;
-            }
-        }
+        let (cols, vals) = s.row_slices(r);
+        eng.spmm_row(out_row, cols, vals, x_data);
     });
 }
 
@@ -302,16 +322,9 @@ pub fn matmul_rows_into(a: &Matrix, b: &Matrix, rows: &[usize], out: &mut [f32])
     assert_eq!(k, b.rows(), "matmul shape mismatch: {}x{} * {}x{}", m, k, b.rows(), b.cols());
     assert_eq!(out.len(), m * n, "matmul output buffer mismatch");
     let (a_data, b_data) = (a.as_slice(), b.as_slice());
+    let eng = simd::active();
     for_each_listed_row(out, rows, n, k * n, |i, out_row| {
-        out_row.fill(0.0);
-        for (kk, &av) in a_data[i * k..(i + 1) * k].iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            for (o, &bv) in out_row.iter_mut().zip(&b_data[kk * n..(kk + 1) * n]) {
-                *o += av * bv;
-            }
-        }
+        eng.gemm_row(out_row, &a_data[i * k..(i + 1) * k], b_data);
     });
 }
 
@@ -338,16 +351,40 @@ pub fn linear_act_rows_into(
     assert_eq!(bias.len(), n, "linear bias length mismatch");
     assert_eq!(out.len(), m * n, "linear output buffer mismatch");
     let (a_data, w_data) = (a.as_slice(), w.as_slice());
+    let eng = simd::active();
     for_each_listed_row(out, rows, n, k * n, |i, out_row| {
-        out_row.fill(0.0);
-        for (kk, &av) in a_data[i * k..(i + 1) * k].iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            for (o, &wv) in out_row.iter_mut().zip(&w_data[kk * n..(kk + 1) * n]) {
-                *o += av * wv;
-            }
+        eng.gemm_row(out_row, &a_data[i * k..(i + 1) * k], w_data);
+        for (o, &bv) in out_row.iter_mut().zip(bias) {
+            *o = act(*o + bv);
         }
+    });
+}
+
+/// Fused `out = act(a · w + bias)` over the full matrix — the whole-matrix
+/// form of [`linear_act_rows_into`], and the workhorse of the tape-free
+/// inference path. Bitwise identical to matmul → add-bias → map because
+/// each element sees the same operation sequence (accumulate in `k`
+/// order, add bias, apply `act`). Rows of `out` are overwritten.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or `out` is missized.
+pub fn linear_act_into(
+    a: &Matrix,
+    w: &Matrix,
+    bias: &[f32],
+    out: &mut [f32],
+    act: impl Fn(f32) -> f32 + Sync,
+) {
+    let (m, k) = a.shape();
+    let n = w.cols();
+    assert_eq!(k, w.rows(), "linear shape mismatch: {}x{} * {}x{}", m, k, w.rows(), w.cols());
+    assert_eq!(bias.len(), n, "linear bias length mismatch");
+    assert_eq!(out.len(), m * n, "linear output buffer mismatch");
+    let (a_data, w_data) = (a.as_slice(), w.as_slice());
+    let eng = simd::active();
+    for_each_row(out, m, n, k * n, |i, out_row| {
+        eng.gemm_row(out_row, &a_data[i * k..(i + 1) * k], w_data);
         for (o, &bv) in out_row.iter_mut().zip(bias) {
             *o = act(*o + bv);
         }
@@ -377,13 +414,10 @@ pub fn spmm_rows_into(s: &CsrMatrix, x: &Matrix, rows: &[usize], out: &mut [f32]
     assert_eq!(out.len(), m * n, "spmm output buffer mismatch");
     let x_data = x.as_slice();
     let cost = (s.nnz() / m.max(1)).max(1) * n;
+    let eng = simd::active();
     for_each_listed_row(out, rows, n, cost, |r, out_row| {
-        out_row.fill(0.0);
-        for (c, v) in s.row_entries(r) {
-            for (o, &xv) in out_row.iter_mut().zip(&x_data[c * n..(c + 1) * n]) {
-                *o += v * xv;
-            }
-        }
+        let (cols, vals) = s.row_slices(r);
+        eng.spmm_row(out_row, cols, vals, x_data);
     });
 }
 
@@ -512,11 +546,34 @@ pub fn zip_into(a: &[f32], b: &[f32], out: &mut [f32], f: impl Fn(f32, f32) -> f
     });
 }
 
+/// `out[i] = f(a[i], out[i])` in place, chunk-partitioned — the
+/// whole-buffer form of [`zip_rows_inplace`], for chains where one
+/// operand is also the destination (residual skips in the fused
+/// inference path). Lengths must match.
+pub fn zip_inplace(a: &[f32], out: &mut [f32], f: impl Fn(f32, f32) -> f32 + Sync) {
+    assert_eq!(a.len(), out.len(), "zip length mismatch");
+    for_each_range(out, |start, chunk| {
+        let end = start + chunk.len();
+        for (o, &x) in chunk.iter_mut().zip(&a[start..end]) {
+            *o = f(x, *o);
+        }
+    });
+}
+
 /// Serial reference implementations, kept loop-for-loop identical to the
 /// pre-parallel seed kernels.
 ///
 /// The `parallel_kernels` property tests pin the pooled kernels to these
 /// bitwise; they are not meant for production use.
+///
+/// The accumulating references deliberately **keep** the historical
+/// `av == 0.0` zero-skip the hot kernels dropped: for finite data the
+/// skip is bitwise unobservable (see the module docs), so the unchanged
+/// references double as proof that the SIMD rewrite preserved the seed
+/// kernels' numerics exactly. `matmul_nt` is the exception — it reduces
+/// along `k`, so its reference is the scalar emulation of the fixed lane
+/// schedule (independently spelled out here, not calling into
+/// [`crate::simd`]).
 pub mod reference {
     use super::{CsrMatrix, Matrix};
 
@@ -557,16 +614,34 @@ pub mod reference {
         out
     }
 
-    /// Serial `a · bᵀ` (dot products).
+    /// Serial `a · bᵀ` (dot products) emulating the fixed lane schedule:
+    /// eight independent accumulators walking 8-wide chunks, combined by
+    /// the fixed pairwise tree `((a0+a4)+(a2+a6)) + ((a1+a5)+(a3+a7))`,
+    /// then the `k % 8` remainder added in index order. This is the
+    /// scalar twin the SIMD `dot` is pinned against.
     pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+        const LANES: usize = 8;
         let mut out = Matrix::zeros(a.rows(), b.rows());
+        let k = a.cols();
+        let chunks = k / LANES;
         for i in 0..a.rows() {
+            let a_row = a.row(i);
             for j in 0..b.rows() {
-                let mut acc = 0.0;
-                for (&av, &bv) in a.row(i).iter().zip(b.row(j)) {
-                    acc += av * bv;
+                let b_row = b.row(j);
+                let mut acc = [0.0f32; LANES];
+                for c in 0..chunks {
+                    let base = c * LANES;
+                    for l in 0..LANES {
+                        acc[l] += a_row[base + l] * b_row[base + l];
+                    }
                 }
-                out[(i, j)] = acc;
+                let s = [acc[0] + acc[4], acc[1] + acc[5], acc[2] + acc[6], acc[3] + acc[7]];
+                let t = [s[0] + s[2], s[1] + s[3]];
+                let mut total = t[0] + t[1];
+                for idx in chunks * LANES..k {
+                    total += a_row[idx] * b_row[idx];
+                }
+                out[(i, j)] = total;
             }
         }
         out

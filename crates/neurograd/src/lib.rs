@@ -6,9 +6,10 @@
 //! * [`Matrix`] — dense row-major `f32` matrices,
 //! * [`CsrMatrix`] — sparse aggregation operators for graph message passing
 //!   (with a cached explicit transpose for backward passes),
-//! * [`kernels`] + [`pool`] — the parallel compute backend every dense and
-//!   sparse op dispatches through: chunked over a shared thread pool with
-//!   bitwise thread-count-invariant results,
+//! * [`kernels`] + [`pool`] + [`simd`] — the parallel compute backend every
+//!   dense and sparse op dispatches through: chunked over a shared thread
+//!   pool, inner loops on explicit f32 lanes, with bitwise results invariant
+//!   to thread count and to SIMD on/off,
 //! * [`Tape`] — tape-based reverse-mode autodiff with fused losses
 //!   (MSE, γ-weighted BCE-with-logits — Eq. 4/5 of the paper) and a
 //!   recycled buffer pool for allocation-free steady-state forwards,
@@ -55,6 +56,7 @@ pub mod matrix;
 pub mod metrics;
 pub mod optim;
 pub mod pool;
+pub mod simd;
 pub mod sparse;
 pub mod tape;
 

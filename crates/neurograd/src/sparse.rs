@@ -174,6 +174,45 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// Block-diagonal stack of the given matrices: block `i` occupies the
+    /// row range `Σ_{j<i} rows_j ..` and column range `Σ_{j<i} cols_j ..`,
+    /// with each block's entries kept in their original per-row order.
+    ///
+    /// Row `r` of block `i` therefore sees *exactly* the entries of that
+    /// block's row `r` (at shifted column indices, in the same order), so
+    /// the row-partitioned spmm kernels produce per-block output rows
+    /// bitwise identical to running each block alone — the foundation of
+    /// the serving engine's cross-design batched forwards.
+    pub fn block_diag(blocks: &[&CsrMatrix]) -> Self {
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let cols: usize = blocks.iter().map(|b| b.cols).sum();
+        let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+        let mut indptr = Vec::with_capacity(rows + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        let mut col_off = 0;
+        let mut nnz_off = 0;
+        for b in blocks {
+            for r in 0..b.rows {
+                indptr.push(nnz_off + b.indptr[r + 1]);
+            }
+            indices.extend(b.indices.iter().map(|&c| c + col_off));
+            values.extend_from_slice(&b.values);
+            col_off += b.cols;
+            nnz_off += b.nnz();
+        }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+            transpose_cache: OnceLock::new(),
+            fingerprint_cache: OnceLock::new(),
+        }
+    }
+
     /// Iterator over `(row, col, value)` of stored entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
         (0..self.rows).flat_map(move |r| {
@@ -189,6 +228,15 @@ impl CsrMatrix {
     /// # Panics
     ///
     /// Panics if `r >= rows`.
+    /// Raw `(column indices, values)` slices of row `r`, in stored
+    /// order — the zero-overhead form of [`Self::row_entries`] for the
+    /// SIMD row kernels.
+    pub fn row_slices(&self, r: usize) -> (&[usize], &[f32]) {
+        let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// `(column, value)` pairs of row `r`, in stored order.
     pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
         self.indices[self.indptr[r]..self.indptr[r + 1]]
             .iter()
@@ -530,6 +578,32 @@ mod tests {
             CsrMatrix::from_triplets(2, 2, &[(1, 1, 4.0), (0, 1, 2.0), (1, 0, 3.0), (0, 0, 1.0)]);
         let d = s.to_dense();
         assert_eq!((d[(0, 0)], d[(0, 1)], d[(1, 0)], d[(1, 1)]), (1.0, 2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn block_diag_stacks_rows_cols_and_entries() {
+        let a = example();
+        let b = CsrMatrix::from_triplets(2, 4, &[(0, 3, 5.0), (1, 0, 6.0)]);
+        let d = CsrMatrix::block_diag(&[&a, &b]);
+        assert_eq!(d.shape(), (5, 7));
+        assert_eq!(d.nnz(), a.nnz() + b.nnz());
+        // Block rows see the original entries at shifted columns, same order.
+        for r in 0..3 {
+            let want: Vec<(usize, f32)> = a.row_entries(r).collect();
+            let got: Vec<(usize, f32)> = d.row_entries(r).collect();
+            assert_eq!(want, got);
+        }
+        for r in 0..2 {
+            let want: Vec<(usize, f32)> = b.row_entries(r).map(|(c, v)| (c + 3, v)).collect();
+            let got: Vec<(usize, f32)> = d.row_entries(3 + r).collect();
+            assert_eq!(want, got);
+        }
+        // A block with an all-empty matrix stays well-formed.
+        let empty = CsrMatrix::empty(2, 2);
+        let e = CsrMatrix::block_diag(&[&empty, &a]);
+        assert_eq!(e.shape(), (5, 5));
+        assert_eq!(e.row_entries(0).count(), 0);
+        assert_eq!(e.row_entries(2).map(|(c, _)| c).collect::<Vec<_>>(), vec![2, 4]);
     }
 
     #[test]

@@ -102,14 +102,21 @@ pub struct Tape {
 /// Upper bound on recycled buffers kept across [`Tape::clear`] calls.
 const FREE_LIST_CAP: usize = 4096;
 
-/// Pops a recycled buffer (or allocates) and zeroes it to `len` elements.
+/// Pops a recycled buffer (or allocates) sized to `len` elements.
+///
+/// **Contract: every consumer fully overwrites the buffer** — all kernels
+/// write every row they own and the copy/zip/map builders write every
+/// element — so a recycled same-size buffer is handed back as-is, with
+/// stale contents, skipping the memset the old zeroing pass paid on every
+/// steady-state op. Only the growth tail (when the recycled buffer is
+/// shorter than `len`) and the cold fresh-allocation path are zeroed.
 ///
 /// Free function rather than a method so op builders can hold `&self.nodes`
 /// borrows alongside the `&mut free` borrow.
-fn alloc_zeroed(free: &mut Vec<Vec<f32>>, len: usize) -> Vec<f32> {
+fn alloc_pooled(free: &mut Vec<Vec<f32>>, len: usize) -> Vec<f32> {
     match free.pop() {
         Some(mut buf) => {
-            buf.clear();
+            buf.truncate(len);
             buf.resize(len, 0.0);
             buf
         }
@@ -117,14 +124,15 @@ fn alloc_zeroed(free: &mut Vec<Vec<f32>>, len: usize) -> Vec<f32> {
     }
 }
 
-/// Pooled `rows × cols` matrix from a zeroed buffer filled by `fill`.
+/// Pooled `rows × cols` matrix from a recycled buffer filled by `fill`
+/// (which must write every element — see [`alloc_pooled`]).
 fn pooled_with(
     free: &mut Vec<Vec<f32>>,
     rows: usize,
     cols: usize,
     fill: impl FnOnce(&mut [f32]),
 ) -> Matrix {
-    let mut buf = alloc_zeroed(free, rows * cols);
+    let mut buf = alloc_pooled(free, rows * cols);
     fill(&mut buf);
     Matrix::from_vec(rows, cols, buf).expect("pooled buffer sized by construction")
 }
@@ -252,15 +260,16 @@ impl Tape {
     // through the `kernels` backend, so forwards parallelise across the
     // process pool and a cleared tape re-serves its own buffers.
 
-    /// Builds a pooled `rows × cols` matrix by running `fill` on its
-    /// zeroed element buffer.
+    /// Builds a pooled `rows × cols` matrix by running `fill` on a
+    /// recycled element buffer. `fill` must write every element (all
+    /// kernels overwrite the rows they own — see [`alloc_pooled`]).
     fn pooled_value(
         &mut self,
         rows: usize,
         cols: usize,
         fill: impl FnOnce(&Self, &mut [f32]),
     ) -> Matrix {
-        let mut buf = alloc_zeroed(&mut self.free, rows * cols);
+        let mut buf = alloc_pooled(&mut self.free, rows * cols);
         fill(self, &mut buf);
         Matrix::from_vec(rows, cols, buf).expect("pooled buffer sized by construction")
     }

@@ -55,7 +55,7 @@ use std::time::{Duration, Instant};
 use lh_graph::FeatureSet;
 use lhnn::{GraphOps, IncrementalForward, InferenceScratch, Lhnn, Prediction};
 use lhnn_obs::{FlightEvent, FlightEventKind, Registry, Snapshot};
-use neurograd::Fnv64;
+use neurograd::{Fnv64, Matrix};
 
 use crate::cache::{CacheKey, PredictionCache};
 use crate::error::{Result, ServeError};
@@ -818,9 +818,13 @@ fn worker_loop(shared: &Shared, shard_idx: usize) {
         // before the (long) forward pass and before any other lock is
         // taken. Jobs whose key is owned by ANOTHER worker are deferred to
         // the end of the batch so a slow peer never head-of-line-blocks
-        // work this worker could run immediately. Session jobs drain their
-        // session's pending deltas in submission order, in place.
+        // work this worker could run immediately. Stateless jobs this
+        // worker owns are deferred too — to the grouping pass, where
+        // same-shape requests for one model fuse into a single
+        // block-diagonal forward. Session jobs drain their session's
+        // pending deltas in submission order, in place.
         let mut local: HashMap<CacheKey, Arc<Prediction>> = HashMap::new();
+        let mut owned: Vec<(PredictJob, Arc<InFlight>)> = Vec::new();
         let mut deferred: Vec<(PredictJob, Arc<InFlight>)> = Vec::new();
         for job in batch {
             let job = match job {
@@ -871,6 +875,21 @@ fn worker_loop(shared: &Shared, shard_idx: usize) {
                     // finishing the rest of their own batch).
                     match claim_key(shard, job.key) {
                         Ok(marker) => {
+                            if job.incremental.is_none() {
+                                // Stateless and owned: hold it for the
+                                // grouping pass below, which may fuse it
+                                // with other designs' requests into one
+                                // block-diagonal forward. (A later
+                                // same-key job in this batch claims Err
+                                // on OUR marker and waits in the final
+                                // pass, which runs after every group
+                                // marker is published.)
+                                owned.push((job, marker));
+                                continue;
+                            }
+                            // Incremental forwards splice against one
+                            // session's cached activations — they cannot
+                            // share a dispatch, so compute in place.
                             match compute_owned(shared, shard, &job, &marker, &mut scratch) {
                                 Some((p, cached)) => {
                                     local.insert(job.key, Arc::clone(&p));
@@ -891,7 +910,32 @@ fn worker_loop(shared: &Shared, shard_idx: usize) {
             };
             send_reply(shared, shard, &job, prediction, cached);
         }
-        // Second pass: resolve waits on keys owned by other workers.
+        // Second pass: cross-design batching. Owned stateless jobs group
+        // by model identity and graph shape (first-seen order); each
+        // group of two or more runs as ONE block-diagonal forward,
+        // singletons fall back to the plain single-design path. Every
+        // marker is published (Done or Abandoned) here, BEFORE the
+        // deferred-waits pass — a deferred job waiting on one of OUR
+        // markers must not deadlock.
+        let mut groups: Vec<((usize, usize, usize), Vec<(PredictJob, Arc<InFlight>)>)> = Vec::new();
+        for (job, marker) in owned {
+            // Same entry Arc ⇒ same model + version; rows key the block
+            // shapes (gnet is already padded to `num_gnets.max(1)` rows,
+            // consistently with the operator shapes).
+            let key = (
+                Arc::as_ptr(&job.entry) as usize,
+                job.features.gcell.rows(),
+                job.features.gnet.rows(),
+            );
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, g)) => g.push((job, marker)),
+                None => groups.push((key, vec![(job, marker)])),
+            }
+        }
+        for (_, group) in groups {
+            compute_batched(shared, shard, group, &mut scratch);
+        }
+        // Final pass: resolve waits on keys owned by other workers.
         for (job, first_marker) in deferred {
             let mut marker = first_marker;
             loop {
@@ -1002,6 +1046,124 @@ fn compute_owned(
     *lock::recover(&marker.done) = state;
     marker.cv.notify_all();
     result
+}
+
+/// Unclaims a key and publishes its single-flight outcome to waiters.
+fn publish(shard: &Shard, key: CacheKey, marker: &Arc<InFlight>, state: InFlightState) {
+    lock::recover(&shard.in_flight).remove(&key);
+    *lock::recover(&marker.done) = state;
+    marker.cv.notify_all();
+}
+
+/// Runs one group of owned, stateless, shape-compatible predict jobs as a
+/// single block-diagonal forward: operators stack via
+/// [`GraphOps::block_diag`], features stack by rows, and the batched
+/// output rows split back per design. Dense layers are row-local and the
+/// stacked sparse operators give each block's rows exactly that block's
+/// entries (shifted columns, same order), so every per-request result is
+/// **bitwise identical** to its individual forward — caches stay coherent
+/// across batched and unbatched executions of the same state.
+///
+/// Accounting is per request: each member still records `computed` (its
+/// forward really ran, fused into the dispatch), publishes its own
+/// single-flight marker and caches under its own key; the group adds one
+/// `batched_forwards` tick. A panic abandons every member's marker
+/// (requesters see `WorkerLost`), mirroring `compute_owned`.
+fn compute_batched(
+    shared: &Shared,
+    shard: &Shard,
+    group: Vec<(PredictJob, Arc<InFlight>)>,
+    scratch: &mut InferenceScratch,
+) {
+    // Per-job cache recheck (same race as `compute_owned`: another worker
+    // may have computed and unclaimed a key between our miss and our
+    // claim): publish hits immediately, batch only the remainder.
+    let mut pending: Vec<(PredictJob, Arc<InFlight>)> = Vec::with_capacity(group.len());
+    for (job, marker) in group {
+        match lock::recover(&shard.cache).get(&job.key) {
+            Some(p) => {
+                publish(shard, job.key, &marker, InFlightState::Done(Arc::clone(&p)));
+                send_reply(shared, shard, &job, p, true);
+            }
+            None => pending.push((job, marker)),
+        }
+    }
+    if pending.len() < 2 {
+        // Nothing to fuse: the plain single-design path.
+        if let Some((job, marker)) = pending.pop() {
+            if let Some((p, cached)) = compute_owned(shared, shard, &job, &marker, scratch) {
+                send_reply(shared, shard, &job, p, cached);
+            }
+        }
+        return;
+    }
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let ops: Vec<&GraphOps> = pending.iter().map(|(j, _)| j.ops.as_ref()).collect();
+        let block_ops = GraphOps::block_diag(&ops);
+        let feats = FeatureSet {
+            gcell: vstack(pending.iter().map(|(j, _)| &j.features.gcell)),
+            gnet: vstack(pending.iter().map(|(j, _)| &j.features.gnet)),
+        };
+        let batched = pending[0].0.entry.model.predict_into(&block_ops, &feats, scratch);
+        split_rows(&batched, pending.iter().map(|(j, _)| j.features.gcell.rows()))
+    }));
+    match outcome {
+        Ok(parts) => {
+            lock::recover(&shard.stats).record_batched_forward(pending.len());
+            shared.obs.batched_forwards.inc();
+            for ((job, marker), p) in pending.into_iter().zip(parts) {
+                let p = Arc::new(p);
+                lock::recover(&shard.stats).record_computed();
+                shared.obs.computed.inc();
+                // cache before unmarking, so latecomers that miss the
+                // marker hit the cache
+                lock::recover(&shard.cache).insert(job.key, Arc::clone(&p));
+                publish(shard, job.key, &marker, InFlightState::Done(Arc::clone(&p)));
+                send_reply(shared, shard, &job, p, false);
+            }
+        }
+        Err(_) => {
+            for (job, marker) in pending {
+                shared.obs.flight.record(
+                    FlightEventKind::WorkerLost,
+                    &job.entry.name,
+                    format!("batched forward panicked (model v{})", job.entry.version),
+                );
+                publish(shard, job.key, &marker, InFlightState::Abandoned);
+            }
+        }
+    }
+}
+
+/// Stacks equal-width matrices by rows.
+fn vstack<'a>(blocks: impl Iterator<Item = &'a Matrix>) -> Matrix {
+    let blocks: Vec<&Matrix> = blocks.collect();
+    let cols = blocks[0].cols();
+    let rows: usize = blocks.iter().map(|b| b.rows()).sum();
+    let mut data = Vec::with_capacity(rows * cols);
+    for b in &blocks {
+        assert_eq!(b.cols(), cols, "vstack requires equal column counts");
+        data.extend_from_slice(b.as_slice());
+    }
+    Matrix::from_vec(rows, cols, data).expect("vstack shape")
+}
+
+/// Splits a batched prediction back into per-design predictions by
+/// consecutive G-cell row counts.
+fn split_rows(batched: &Prediction, row_counts: impl Iterator<Item = usize>) -> Vec<Prediction> {
+    let ch = batched.cls_prob.cols();
+    let mut offset = 0;
+    row_counts
+        .map(|n| {
+            let cls = batched.cls_prob.as_slice()[offset * ch..(offset + n) * ch].to_vec();
+            let reg = batched.reg.as_slice()[offset * ch..(offset + n) * ch].to_vec();
+            offset += n;
+            Prediction {
+                cls_prob: Matrix::from_vec(n, ch, cls).expect("split shape"),
+                reg: Matrix::from_vec(n, ch, reg).expect("split shape"),
+            }
+        })
+        .collect()
 }
 
 fn send_reply(

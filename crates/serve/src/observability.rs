@@ -33,6 +33,8 @@ pub(crate) struct EngineObs {
     pub(crate) computed: Counter,
     /// Worker wake-ups that processed at least one predict job.
     pub(crate) batches: Counter,
+    /// Cross-design block-diagonal forwards (one dispatch, many requests).
+    pub(crate) batched_forwards: Counter,
     /// Pipelined session updates applied by workers.
     pub(crate) session_updates: Counter,
     /// End-to-end request latency (submission to reply).
@@ -68,6 +70,7 @@ impl EngineObs {
             cache_hits: registry.counter("lhnn_cache_hits_total"),
             computed: registry.counter("lhnn_computed_total"),
             batches: registry.counter("lhnn_batches_total"),
+            batched_forwards: registry.counter("lhnn_batched_forwards_total"),
             session_updates: registry.counter("lhnn_session_updates_total"),
             request_us: registry.histogram("lhnn_request_us"),
             stage_queue: registry.stage("queue"),
@@ -93,6 +96,7 @@ mod tests {
             "lhnn_cache_hits_total",
             "lhnn_computed_total",
             "lhnn_batches_total",
+            "lhnn_batched_forwards_total",
             "lhnn_session_updates_total",
             "lhnn_fallbacks_total",
         ] {

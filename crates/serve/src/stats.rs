@@ -40,6 +40,8 @@ pub(crate) struct StatsInner {
     computed: u64,
     batches: u64,
     batched_jobs: u64,
+    batched_forwards: u64,
+    batched_forward_jobs: u64,
     session_updates: u64,
     total_latency_us: u128,
     /// Engine-wide logical clock, shared by every shard's accumulator.
@@ -65,6 +67,8 @@ impl StatsInner {
             computed: 0,
             batches: 0,
             batched_jobs: 0,
+            batched_forwards: 0,
+            batched_forward_jobs: 0,
             session_updates: 0,
             total_latency_us: 0,
             clock,
@@ -96,6 +100,13 @@ impl StatsInner {
     pub(crate) fn record_batch(&mut self, jobs: usize) {
         self.batches += 1;
         self.batched_jobs += jobs as u64;
+    }
+
+    /// One cross-design block-diagonal forward that served `jobs`
+    /// requests in a single model dispatch.
+    pub(crate) fn record_batched_forward(&mut self, jobs: usize) {
+        self.batched_forwards += 1;
+        self.batched_forward_jobs += jobs as u64;
     }
 
     pub(crate) fn record_session_updates(&mut self, applied: usize) {
@@ -155,6 +166,8 @@ pub(crate) fn aggregate(
     let computed: u64 = shards.iter().map(|s| s.computed).sum();
     let batches: u64 = shards.iter().map(|s| s.batches).sum();
     let batched_jobs: u64 = shards.iter().map(|s| s.batched_jobs).sum();
+    let batched_forwards: u64 = shards.iter().map(|s| s.batched_forwards).sum();
+    let batched_forward_jobs: u64 = shards.iter().map(|s| s.batched_forward_jobs).sum();
     let session_updates: u64 = shards.iter().map(|s| s.session_updates).sum();
     let total_latency_us: u128 = shards.iter().map(|s| s.total_latency_us).sum();
     let secs = uptime.as_secs_f64();
@@ -165,6 +178,8 @@ pub(crate) fn aggregate(
         cache_hit_rate: if requests == 0 { 0.0 } else { cache_hits as f64 / requests as f64 },
         batches,
         mean_batch_size: if batches == 0 { 0.0 } else { batched_jobs as f64 / batches as f64 },
+        batched_forwards,
+        batched_forward_jobs,
         session_updates,
         p50_us: pct_of(&lat, 50.0),
         p95_us: pct_of(&lat, 95.0),
@@ -234,6 +249,14 @@ pub struct ServeStats {
     pub batches: u64,
     /// Mean jobs drained per worker wake-up (micro-batching factor).
     pub mean_batch_size: f64,
+    /// Cross-design block-diagonal forwards: distinct same-shape stateless
+    /// requests coalesced into one model dispatch. Each member request
+    /// still counts in `computed` (its forward really ran, fused into the
+    /// batch), so `computed - batched_forward_jobs + batched_forwards` is
+    /// the number of model dispatches actually issued.
+    pub batched_forwards: u64,
+    /// Requests served by those block-diagonal forwards.
+    pub batched_forward_jobs: u64,
     /// Pipelined session updates applied by engine workers.
     pub session_updates: u64,
     /// Median request latency, microseconds (over the engine's last 4096
@@ -267,6 +290,13 @@ impl std::fmt::Display for ServeStats {
             self.throughput_rps,
             self.mean_batch_size,
         )?;
+        if self.batched_forwards > 0 {
+            write!(
+                f,
+                " | {} cross-design forwards ({} reqs)",
+                self.batched_forwards, self.batched_forward_jobs
+            )?;
+        }
         if self.per_shard.len() > 1 {
             write!(f, " | {} shards:", self.per_shard.len())?;
             for s in &self.per_shard {

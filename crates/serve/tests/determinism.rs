@@ -63,3 +63,138 @@ proptest! {
         engine.shutdown();
     }
 }
+
+/// Bitwise equality, not `approx_eq`: `-0.0 == 0.0` must not mask a
+/// changed float sequence.
+fn bitwise_eq(a: &neurograd::Matrix, b: &neurograd::Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The cross-design batching primitive: a block-diagonal stack of K
+    /// designs' operators with row-stacked features forwards to outputs
+    /// whose per-design row slices are bitwise identical to K individual
+    /// forwards. Dense layers are row-local and each block's sparse rows
+    /// see exactly that block's entries (shifted columns, same order), so
+    /// this holds even for designs of different sizes — the engine only
+    /// fuses same-shape groups, a scheduling choice, not a correctness
+    /// requirement.
+    #[test]
+    fn block_diagonal_batched_forward_matches_individual_forwards(
+        model_seed in 0u64..1000,
+        seeds in proptest::collection::vec(0u64..1000, 2..5),
+        n_cells in 60usize..120,
+        grid in 6u32..9,
+    ) {
+        let model = Lhnn::new(LhnnConfig::default(), model_seed);
+        let designs: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            // vary n_cells per block so block sizes genuinely differ
+            .map(|(i, &s)| design(s, n_cells + 7 * i, grid))
+            .collect();
+
+        let individual: Vec<_> =
+            designs.iter().map(|(ops, feats)| model.predict(ops, feats)).collect();
+
+        let ops_refs: Vec<&GraphOps> = designs.iter().map(|(o, _)| o.as_ref()).collect();
+        let block_ops = GraphOps::block_diag(&ops_refs);
+        let vstack = |pick: &dyn Fn(&FeatureSet) -> &neurograd::Matrix| {
+            let cols = pick(&designs[0].1).cols();
+            let mut data = Vec::new();
+            for (_, feats) in &designs {
+                data.extend_from_slice(pick(feats).as_slice());
+            }
+            let rows = data.len() / cols;
+            neurograd::Matrix::from_vec(rows, cols, data).expect("vstack")
+        };
+        let batched_feats =
+            FeatureSet { gcell: vstack(&|f| &f.gcell), gnet: vstack(&|f| &f.gnet) };
+        let batched = model.predict(&block_ops, &batched_feats);
+
+        let mut offset = 0;
+        for ((_, feats), single) in designs.iter().zip(&individual) {
+            let n = feats.gcell.rows();
+            let ch = single.cls_prob.cols();
+            let slice = |m: &neurograd::Matrix| {
+                neurograd::Matrix::from_vec(
+                    n,
+                    ch,
+                    m.as_slice()[offset * ch..(offset + n) * ch].to_vec(),
+                )
+                .expect("row slice")
+            };
+            prop_assert!(bitwise_eq(&slice(&batched.cls_prob), &single.cls_prob));
+            prop_assert!(bitwise_eq(&slice(&batched.reg), &single.reg));
+            offset += n;
+        }
+    }
+}
+
+/// End-to-end: distinct same-shape stateless requests landing in one
+/// worker micro-batch fuse into a block-diagonal forward, every reply is
+/// bitwise identical to a direct forward, and per-design accounting
+/// (`computed`, cache entries) is preserved alongside the new
+/// `batched_forwards` counters.
+#[test]
+fn engine_fuses_same_shape_requests_and_replies_bitwise() {
+    // same config + seed builds bitwise-identical weights, so the local
+    // copy is a faithful reference for the registered model
+    let model = Lhnn::new(LhnnConfig::default(), 7);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("m", Lhnn::new(LhnnConfig::default(), 7)).expect("register");
+    let engine = ServeEngine::new(
+        registry,
+        EngineConfig { workers: 1, shards: 1, cache_capacity: 64, ..Default::default() },
+    );
+    let handle = engine.handle();
+
+    // A large design occupies the single worker while the small
+    // same-shape requests pile up in the queue behind it, so they drain
+    // as one micro-batch.
+    let (big_ops, big_feats) = design(99, 1500, 16);
+    let blocker = {
+        let handle = handle.clone();
+        let req = PredictRequest::new("m", big_ops, big_feats);
+        std::thread::spawn(move || handle.predict(&req).expect("blocker"))
+    };
+    std::thread::sleep(std::time::Duration::from_millis(30));
+
+    // Same ops, perturbed features: identical shapes, distinct
+    // fingerprints — different "designs" as far as keys are concerned.
+    let (ops, base) = design(5, 90, 6);
+    let variants: Vec<Arc<FeatureSet>> = (0..3)
+        .map(|k| {
+            let mut g = base.gcell.as_slice().to_vec();
+            g[0] += 0.25 * (k + 1) as f32;
+            let gcell =
+                neurograd::Matrix::from_vec(base.gcell.rows(), base.gcell.cols(), g).unwrap();
+            Arc::new(FeatureSet { gcell, gnet: base.gnet.clone() })
+        })
+        .collect();
+    let clients: Vec<_> = variants
+        .iter()
+        .map(|feats| {
+            let handle = handle.clone();
+            let req = PredictRequest::new("m", Arc::clone(&ops), Arc::clone(feats));
+            std::thread::spawn(move || handle.predict(&req).expect("variant"))
+        })
+        .collect();
+
+    blocker.join().expect("blocker thread");
+    let replies: Vec<_> = clients.into_iter().map(|c| c.join().expect("client")).collect();
+    for (feats, reply) in variants.iter().zip(&replies) {
+        let direct = model.predict(&ops, feats);
+        assert!(bitwise_eq(&direct.cls_prob, &reply.prediction.cls_prob));
+        assert!(bitwise_eq(&direct.reg, &reply.prediction.reg));
+    }
+
+    let stats = handle.stats();
+    assert_eq!(stats.computed, 4, "blocker + every fused member counts as computed");
+    assert!(stats.batched_forwards >= 1, "the piled-up batch fused: {stats}");
+    assert!(stats.batched_forward_jobs >= 2, "fused dispatch covered multiple designs");
+    engine.shutdown();
+}
