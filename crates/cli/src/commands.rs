@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use lh_graph::{ChannelMode, FeatureSet, LhGraph, LhGraphConfig, Targets};
 use lhnn::{
-    evaluate, train as train_model, AblationSpec, ForwardDirty, IncrementalForward,
+    evaluate, train as train_model, AblationSpec, ForwardDirty, GraphOps, IncrementalForward,
     InferenceScratch, LatticePipeline, Lhnn, LhnnConfig, Sample, SpliceOutcome, TrainConfig,
 };
 use lhnn_data::{
@@ -479,10 +479,12 @@ pub fn loop_bench(args: &Args) -> CmdResult {
             cache_hits += 1;
         }
     }
-    // --- optional structural-crossing trace (the CI smoke passes
-    // --structural-moves 1): yank a cell pinning a kept g-net across the
+    // --- optional forced-crossing trace (the CI smoke passes
+    // --structural-moves 2): yank a cell pinning a kept g-net across the
     // die and back, forcing the size filter in both directions, with a
-    // prediction served across every crossing ---
+    // prediction served across every crossing. Since stable G-net
+    // columns, a crossing tombstones/revives columns *in place* — the CI
+    // gate below asserts zero filter-crossing full rebuilds.
     let structural_moves = args.num("structural-moves", 0usize);
     if structural_moves > 0 {
         let cell_to_nets = circuit.cell_to_nets();
@@ -503,20 +505,18 @@ pub fn loop_bench(args: &Args) -> CmdResult {
             if home.x < (die.lx + die.ux) * 0.5 { die.ux - 0.01 } else { die.lx + 0.01 },
             if home.y < (die.ly + die.uy) * 0.5 { die.uy - 0.01 } else { die.ly + 0.01 },
         ));
-        let mut crossings = 0usize;
+        let crossings_before = session.stats().crossings_patched;
         for _ in 0..structural_moves {
             // out and back: the second leg restores the placement, so the
             // replay parity check below still compares equal states
             for target in [far, home] {
-                let update = session.update(&PlacementDelta::single(yanked, target))?;
-                if matches!(update, lhnn::PipelineUpdate::FullRebuild { .. }) {
-                    crossings += 1;
-                }
+                session.update(&PlacementDelta::single(yanked, target))?;
                 if session.predict()?.cached {
                     cache_hits += 1;
                 }
             }
         }
+        let crossings = session.stats().crossings_patched - crossings_before;
         if crossings == 0 {
             return Err(format!(
                 "structural trace forced no crossing: cell {} never crossed the g-net \
@@ -526,8 +526,8 @@ pub fn loop_bench(args: &Args) -> CmdResult {
             .into());
         }
         println!(
-            "structural trace: {crossings} size-filter crossings over {} yanks, a \
-             prediction served across each",
+            "structural trace: {crossings} size-filter crossings patched in place over \
+             {} yanks, a prediction served across each",
             structural_moves * 2
         );
     }
@@ -554,12 +554,50 @@ pub fn loop_bench(args: &Args) -> CmdResult {
         inc_stats.reused,
         inc_stats.invalidations,
     );
+    // CI greps these cause-breakdown lines: filter crossings must patch
+    // in place (tombstone/append), never trigger a full rebuild.
+    println!(
+        "  rebuild causes: {} filter_crossing, {} compaction, {} poisoned; \
+         {} crossings patched in place",
+        stats.rebuilds_filter_crossing,
+        stats.rebuilds_compaction,
+        stats.rebuilds_poisoned,
+        stats.crossings_patched,
+    );
+    println!(
+        "  cache invalidation causes: {} filter_crossing, {} compaction, {} dim_change, \
+         {} poisoned",
+        inc_stats.invalidations_filter_crossing,
+        inc_stats.invalidations_compaction,
+        inc_stats.invalidations_dim_change,
+        inc_stats.invalidations_poisoned,
+    );
+    if stats.rebuilds_filter_crossing > 0 {
+        return Err(format!(
+            "{} size-filter crossings fell back to a full rebuild; the stable column \
+             space should have tombstone/append-patched them",
+            stats.rebuilds_filter_crossing
+        )
+        .into());
+    }
 
     // --- bitwise parity: the replayed session vs a from-scratch build ---
+    // The session's column layout is order-dependent (tombstoned columns
+    // keep their slot, appended columns land at the end), so the reference
+    // build must be prescribed the session's own layout; a canonical
+    // `LhGraph::build` only matches right after a compaction.
     let session_fps = session.fingerprints()?;
-    let fresh =
-        LatticePipeline::for_serving(Arc::clone(&circuit), placed.placement.clone(), grid.clone())?;
-    let fresh_fps = fresh.fingerprints()?;
+    let columns = session.with_pipeline(|p| p.graph().kept_nets().to_vec());
+    let fresh_graph = LhGraph::build_with_columns(
+        &circuit,
+        &placed.placement,
+        &grid,
+        &LhGraphConfig::default(),
+        &columns,
+    )?;
+    let fresh_features = FeatureSet::build(&fresh_graph, &circuit, &placed.placement, &grid)?;
+    let fresh_ops = GraphOps::from_graph(&fresh_graph, &AblationSpec::full());
+    let fresh_fps = (fresh_ops.fingerprint(), fresh_features.fingerprint());
     if session_fps != fresh_fps {
         return Err(format!(
             "bitwise parity FAILED: session {session_fps:?} vs full rebuild {fresh_fps:?}"
@@ -621,6 +659,10 @@ pub fn loop_bench(args: &Args) -> CmdResult {
         .with_extra("updates", stats.updates as f64)
         .with_extra("full_rebuilds", stats.full_rebuilds as f64)
         .with_extra("fallback_fraction", fallback_fraction)
+        .with_extra("rebuilds_filter_crossing", stats.rebuilds_filter_crossing as f64)
+        .with_extra("rebuilds_compaction", stats.rebuilds_compaction as f64)
+        .with_extra("rebuilds_poisoned", stats.rebuilds_poisoned as f64)
+        .with_extra("crossings_patched", stats.crossings_patched as f64)
         .with_extra("full_forwards", inc_stats.full_forwards as f64)
         .with_extra("spliced_forwards", inc_stats.spliced_forwards as f64)
         .with_extra("reused_predictions", inc_stats.reused as f64),
@@ -810,6 +852,108 @@ pub fn loop_bench(args: &Args) -> CmdResult {
              (avg of {rounds} rounds, bitwise-verified)",
             record.candidate_ms,
             grid.num_gcells(),
+            record.baseline_ms,
+            record.speedup()
+        );
+        records.push(record);
+    }
+
+    // --- micro-bench: size-filter crossing, tombstone patch vs full rebuild ---
+    // A cell pinning a kept g-net is yanked to the far die corner and back;
+    // each leg crosses the size filter. The candidate is the tombstone /
+    // append patch the stable column space applies now; the baseline is
+    // the from-scratch build the same crossing forced before. The baseline
+    // must be non-mutating (`build_with_columns` at the pipeline's own
+    // layout) — `pipeline.rebuild()` would compact, renumber columns, and
+    // break the out-and-back bitwise revival the rounds rely on.
+    {
+        pipeline = LatticePipeline::for_serving(
+            Arc::clone(&circuit),
+            placed.placement.clone(),
+            grid.clone(),
+        )?;
+        let cell_to_nets = circuit.cell_to_nets();
+        let pinned = (0..circuit.num_cells() as u32).map(CellId).find(|&id| {
+            !circuit.cell(id).is_terminal()
+                && cell_to_nets[id.index()]
+                    .iter()
+                    .any(|&n| pipeline.graph().net_column(n).is_some())
+        });
+        let Some(yanked) = pinned else {
+            return Err("no movable cell pins a kept g-net; cannot bench a filter \
+                        crossing"
+                .into());
+        };
+        let home = pipeline.placement().position(yanked);
+        let far = die.clamp(Point::new(
+            if home.x < (die.lx + die.ux) * 0.5 { die.ux - 0.01 } else { die.lx + 0.01 },
+            if home.y < (die.ly + die.uy) * 0.5 { die.uy - 0.01 } else { die.ly + 0.01 },
+        ));
+        let mut patch_s = 0.0f64;
+        let mut rebuild_s = 0.0f64;
+        let crossings_before = pipeline.stats().crossings_patched;
+        for round in 0..=rounds {
+            let timed = round > 0;
+            // out and back: each leg crosses the filter, and the return leg
+            // restores the pre-yank state bitwise (tombstone revival)
+            for target in [far, home] {
+                let t0 = std::time::Instant::now();
+                let update = pipeline.apply(&PlacementDelta::single(yanked, target))?;
+                let incr_fps = pipeline.fingerprints()?;
+                if timed {
+                    patch_s += t0.elapsed().as_secs_f64();
+                }
+                if !matches!(update, lhnn::PipelineUpdate::Incremental { .. }) {
+                    return Err(format!(
+                        "crossing micro-bench round {round} fell back to a full rebuild \
+                         ({update:?}); the tombstone patch should have absorbed it"
+                    )
+                    .into());
+                }
+                let t1 = std::time::Instant::now();
+                let g = LhGraph::build_with_columns(
+                    &circuit,
+                    pipeline.placement(),
+                    &grid,
+                    &LhGraphConfig::default(),
+                    pipeline.graph().kept_nets(),
+                )?;
+                let f = FeatureSet::build(&g, &circuit, pipeline.placement(), &grid)?;
+                let o = GraphOps::from_graph(&g, &AblationSpec::full());
+                let full_fps = (o.fingerprint(), f.fingerprint());
+                if timed {
+                    rebuild_s += t1.elapsed().as_secs_f64();
+                }
+                if incr_fps != full_fps {
+                    return Err(format!(
+                        "bitwise parity FAILED in crossing micro-bench round {round}: \
+                         incremental {incr_fps:?} vs full {full_fps:?}"
+                    )
+                    .into());
+                }
+            }
+        }
+        let crossings = pipeline.stats().crossings_patched - crossings_before;
+        if crossings == 0 {
+            return Err("crossing micro-bench never crossed the size filter; the yank \
+                        target did not change the pinned net's span class"
+                .into());
+        }
+        let legs = (rounds * 2) as f64;
+        let record = BenchRecord::labeled(
+            format!("crossing_update_{cells}c_{grid_n}x{grid_n}"),
+            "full rebuild",
+            rebuild_s / legs * 1e3,
+            "tombstone patch",
+            patch_s / legs * 1e3,
+        )
+        .with_extra("crossings", crossings as f64)
+        .with_extra("full_rebuilds", pipeline.stats().full_rebuilds as f64);
+        println!(
+            "crossing micro-bench: tombstone patch {:.3} ms vs full rebuild {:.3} ms \
+             -> {:.1}x speedup across {crossings} size-filter crossings \
+             (avg of {rounds} out-and-back rounds, bitwise-verified)",
+            record.candidate_ms,
             record.baseline_ms,
             record.speedup()
         );

@@ -30,10 +30,15 @@
 //! # Invalidation protocol
 //!
 //! * [`IncrementalForward::note_incremental`] accumulates dirty sets from
-//!   `PipelineUpdate::Incremental` outcomes.
+//!   `PipelineUpdate::Incremental` outcomes — since stable G-net columns,
+//!   that includes size-filter crossings (tombstoned/revived/appended
+//!   columns ride the dirty sets; appends grow the cached G-net tensors
+//!   in place instead of dropping them).
 //! * [`IncrementalForward::note_structural`] (full rebuilds, failed
 //!   rebuilds, panics) drops the activation cache completely: columns may
-//!   have renumbered, so no splice can be trusted.
+//!   have renumbered, so no splice can be trusted. Each note carries an
+//!   [`InvalidationCause`] so stats can split cache drops by origin —
+//!   with stable columns, compaction should be the dominant cause.
 //! * Each note bumps a sequence number. Callers snapshot the sequence
 //!   together with their `(ops, features)` inputs; dirt noted *after* the
 //!   snapshot is kept pending across the forward, so a delta applied
@@ -110,6 +115,35 @@ pub enum SpliceOutcome {
     Full,
 }
 
+/// Why a structural note dropped the activation cache. With stable G-net
+/// columns, filter crossings no longer invalidate (they splice), so the
+/// expected steady-state mix is compaction-dominated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidationCause {
+    /// A size-filter crossing the tombstone path could not absorb
+    /// (`RebuildCause::NoLiveColumns` — expected zero on real designs).
+    FilterCrossing,
+    /// Lazy compaction renumbered the G-net column space.
+    Compaction,
+    /// The G-cell or G-net dimension changed outside the append protocol
+    /// (e.g. a different grid or design was swapped in).
+    DimChange,
+    /// The pipeline recovered from a previously failed rebuild, or a
+    /// panic mid-apply left provenance unknown.
+    Poisoned,
+}
+
+impl From<&crate::pipeline::RebuildCause> for InvalidationCause {
+    fn from(cause: &crate::pipeline::RebuildCause) -> Self {
+        use crate::pipeline::RebuildCause;
+        match cause {
+            RebuildCause::Compaction { .. } => InvalidationCause::Compaction,
+            RebuildCause::NoLiveColumns => InvalidationCause::FilterCrossing,
+            RebuildCause::PoisonedRecovery => InvalidationCause::Poisoned,
+        }
+    }
+}
+
 /// Lifetime counters of an [`IncrementalForward`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IncrementalStats {
@@ -119,8 +153,20 @@ pub struct IncrementalStats {
     pub spliced_forwards: u64,
     /// Forwards answered from the cached prediction (fingerprint match).
     pub reused: u64,
-    /// Structural notes that dropped the activation cache.
+    /// Structural notes that dropped the activation cache (all causes).
     pub invalidations: u64,
+    /// Cache drops from unpatchable filter crossings
+    /// ([`InvalidationCause::FilterCrossing`]).
+    pub invalidations_filter_crossing: u64,
+    /// Cache drops from lazy compaction
+    /// ([`InvalidationCause::Compaction`]).
+    pub invalidations_compaction: u64,
+    /// Cache drops from dimension changes
+    /// ([`InvalidationCause::DimChange`]).
+    pub invalidations_dim_change: u64,
+    /// Cache drops from poisoned-pipeline recovery
+    /// ([`InvalidationCause::Poisoned`]).
+    pub invalidations_poisoned: u64,
 }
 
 /// Metric handles for one design's incremental forward (resolved once in
@@ -430,6 +476,32 @@ fn refresh(
     (dc, dn)
 }
 
+/// Grows every G-net-dimensioned tensor of a cached state to `n_n` rows.
+/// Appended columns always land at the *end* of the stable column space,
+/// so existing rows keep their cached values row-for-row and the new
+/// (zeroed) rows are recomputed by the splice that unions them into the
+/// dirty set.
+fn grow_gnet_rows(st: &mut ActivationState, model: &Lhnn, n_n: usize) {
+    let h = model.cfg.hidden;
+    let grow = |m: &mut Matrix, cols: usize| {
+        let mut g = Matrix::zeros(n_n, cols);
+        g.as_mut_slice()[..m.as_slice().len()].copy_from_slice(m.as_slice());
+        *m = g;
+    };
+    grow(&mut st.fn_, h);
+    grow(&mut st.v_n1, h);
+    grow(&mut st.sc_n, h);
+    grow(&mut st.sy_n, h);
+    for la in &mut st.hyper {
+        grow(&mut la.msg_n, h);
+        grow(&mut la.cat_n, 2 * h);
+        grow(&mut la.fused_n, h);
+        grow(&mut la.prev_n, h);
+        grow(&mut la.v_n, h);
+        grow(&mut la.hn, h);
+    }
+}
+
 /// Pending dirt plus the note sequence counter, shared between update
 /// appliers (brief locks) and the forward (brief locks at entry/exit).
 #[derive(Debug, Default)]
@@ -507,12 +579,19 @@ impl IncrementalForward {
     /// Records a structural event (full rebuild, failed rebuild, panic
     /// mid-apply): drops the activation cache completely — G-net columns
     /// may have renumbered, so no splice against it can be trusted.
-    pub fn note_structural(&self) {
+    /// `cause` splits the invalidation stats by origin.
+    pub fn note_structural(&self, cause: InvalidationCause) {
         {
             let mut n = self.notes();
             n.seq += 1;
             n.pending = None;
             n.stats.invalidations += 1;
+            match cause {
+                InvalidationCause::FilterCrossing => n.stats.invalidations_filter_crossing += 1,
+                InvalidationCause::Compaction => n.stats.invalidations_compaction += 1,
+                InvalidationCause::DimChange => n.stats.invalidations_dim_change += 1,
+                InvalidationCause::Poisoned => n.stats.invalidations_poisoned += 1,
+            }
         }
         if let Some(o) = &self.obs {
             o.invalidations.inc();
@@ -593,11 +672,15 @@ impl IncrementalForward {
         }
 
         // Path 2: known dirt over a compatible cached state — splice.
+        // Stable G-net columns only ever *append* at the end between
+        // compactions, so a cached state with fewer G-net rows is still
+        // spliceable: its tensors are grown in place and the appended
+        // rows join the dirty set below.
         let splice_ok = match (&taken, &dirt) {
             (Some(st), Some(d)) => {
                 st.weights_version == model_version
                     && st.n_c == n_c
-                    && st.n_n == n_n
+                    && st.n_n <= n_n
                     && ops.num_gcells == n_c
                     && d.gcells.last().map_or(true, |&r| r < n_c)
                     && d.gnets.last().map_or(true, |&r| r < n_n)
@@ -609,16 +692,16 @@ impl IncrementalForward {
         let (mut st, outcome) = if splice_ok {
             let mut st = taken.take().expect("checked above");
             let d = dirt.as_ref().expect("checked above");
-            let (dc, dn) = refresh(
-                &mut st,
-                model,
-                ops,
-                features,
-                d.gcells.clone(),
-                d.gnets.clone(),
-                true,
-                &mut dilate_t,
-            );
+            let mut dn0 = d.gnets.clone();
+            if st.n_n < n_n {
+                let appended: Vec<usize> = (st.n_n..n_n).collect();
+                grow_gnet_rows(&mut st, model, n_n);
+                st.all_n.extend(appended.iter().copied());
+                st.n_n = n_n;
+                dn0 = union_sorted(&dn0, &appended);
+            }
+            let (dc, dn) =
+                refresh(&mut st, model, ops, features, d.gcells.clone(), dn0, true, &mut dilate_t);
             let outcome = SpliceOutcome::Spliced { gcell_rows: dc.len(), gnet_rows: dn.len() };
             (st, outcome)
         } else {
@@ -764,13 +847,16 @@ mod tests {
         let version = model.weights_fingerprint();
         let inc = IncrementalForward::new();
         inc.predict(&model, version, &ops, &feats, inc.seq());
-        inc.note_structural();
+        inc.note_structural(InvalidationCause::Compaction);
         // Fingerprints still match, but the cache was dropped: no reuse.
         let (pred, outcome) = inc.predict(&model, version, &ops, &feats, inc.seq());
         assert_eq!(outcome, SpliceOutcome::Full);
         let direct = model.predict(&ops, &feats);
         assert!(direct.cls_prob.approx_eq(&pred.cls_prob, 0.0));
-        assert_eq!(inc.stats().invalidations, 1);
+        let stats = inc.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.invalidations_compaction, 1);
+        assert_eq!(stats.invalidations_filter_crossing, 0);
     }
 
     #[test]

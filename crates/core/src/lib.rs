@@ -32,10 +32,12 @@ pub mod serialize;
 pub mod trainer;
 
 pub use config::{AblationSpec, LhnnConfig, TrainConfig};
-pub use incremental::{ForwardDirty, IncrementalForward, IncrementalStats, SpliceOutcome};
+pub use incremental::{
+    ForwardDirty, IncrementalForward, IncrementalStats, InvalidationCause, SpliceOutcome,
+};
 pub use model::{InferenceScratch, Lhnn, LhnnOutput, Prediction};
 pub use ops::GraphOps;
-pub use pipeline::{LatticePipeline, PipelineStats, PipelineUpdate, StalePipeline};
+pub use pipeline::{LatticePipeline, PipelineStats, PipelineUpdate, RebuildCause, StalePipeline};
 pub use serialize::ModelIoError;
 pub use trainer::{
     evaluate, evaluate_regression, predict_map, train, train_observed, DesignEval, EvalResult,

@@ -127,14 +127,21 @@ impl GraphOps {
     ///
     /// # Panics
     ///
-    /// Panics if `graph` has different node counts than this snapshot
-    /// (incremental patches never resize; a structural change must go
+    /// Panics if `graph` has a different G-cell count or fewer G-net
+    /// columns than this snapshot (incremental patches never resize the
+    /// lattice and only ever *append* G-net columns; a compaction must go
     /// through [`GraphOps::from_graph`]).
     pub fn patch_from(&self, graph: &LhGraph, ablation: &AblationSpec) -> Self {
         assert_eq!(
-            (self.num_gcells, self.num_gnets),
-            (graph.num_gcells(), graph.num_gnets()),
-            "patch_from requires unchanged node counts"
+            self.num_gcells,
+            graph.num_gcells(),
+            "patch_from requires an unchanged g-cell count"
+        );
+        assert!(
+            graph.num_gnets() >= self.num_gnets,
+            "patch_from cannot shrink the g-net column space ({} -> {})",
+            self.num_gnets,
+            graph.num_gnets()
         );
         // Kept relations just Arc-clone from the patched graph: matrices
         // the patch left untouched are the *same allocation* this snapshot
@@ -148,7 +155,7 @@ impl GraphOps {
                 Arc::new(CsrMatrix::empty(rows, cols))
             }
         };
-        let (n_c, n_n) = (self.num_gcells, self.num_gnets);
+        let (n_c, n_n) = (self.num_gcells, graph.num_gnets());
         Self {
             gnc_sum: if ablation.featuregen_edges {
                 Arc::clone(graph.gnc_sum())

@@ -6,19 +6,24 @@
 //! the first build is the ordinary batch construction, and every
 //! subsequent [`LatticePipeline::apply`] patches only what a
 //! [`PlacementDelta`] dirtied — re-binned nets, their covered G-cell rows,
-//! crossed pin boundaries — falling back to a full rebuild only when a net
-//! crosses the G-net size filter (columns would renumber).
+//! crossed pin boundaries, and (with stable G-net columns) nets crossing
+//! the size filter, which tombstone/revive/append columns in place. A
+//! full rebuild only happens when tombstones exceed the lazy-compaction
+//! threshold, when a crossing would leave no live column, or when the
+//! pipeline recovers from a failed rebuild — [`RebuildCause`] names which.
 //!
 //! The hard guarantee, mirroring the kernel backend's thread-count
 //! invariance: at any point in any delta sequence, the pipeline's graph,
 //! features and operator fingerprints are **bitwise identical** to a
-//! from-scratch rebuild at the current placement. Serving caches keyed on
+//! from-scratch rebuild at the current placement with the pipeline's own
+//! column layout (`LhGraph::build_with_columns`) — and to the canonical
+//! `LhGraph::build` right after every compaction. Serving caches keyed on
 //! those fingerprints therefore behave identically whether a state was
 //! reached incrementally or batch-built.
 
 use std::sync::Arc;
 
-use lh_graph::{DeltaOutcome, FeatureSet, LhGraph, LhGraphConfig};
+use lh_graph::{DeltaOutcome, FeatureSet, LhGraph, LhGraphConfig, StructuralReason};
 use lhnn_obs::{Counter, Histogram, Registry};
 use vlsi_netlist::{rebin_delta_in_place, Circuit, GcellGrid, NetId, Placement, PlacementDelta};
 
@@ -41,11 +46,62 @@ pub enum PipelineUpdate {
         /// when a terminal moved — the terminal mask repaints globally).
         dirty_gcells: Vec<usize>,
     },
-    /// A net crossed the size filter; the chain was rebuilt from scratch.
+    /// The chain was rebuilt from scratch. Filter crossings no longer end
+    /// up here (they tombstone/revive/append columns on the
+    /// [`PipelineUpdate::Incremental`] path); see [`RebuildCause`].
     FullRebuild {
         /// Why the incremental path refused the delta.
-        reason: String,
+        cause: RebuildCause,
     },
+}
+
+/// Why a [`PipelineUpdate::FullRebuild`] happened. Enum-coded so the
+/// fallback path allocates nothing and stats/tests can split rebuilds by
+/// cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildCause {
+    /// The tombstone fraction crossed
+    /// [`LhGraphConfig::max_tombstone_fraction`]: the rebuild compacts the
+    /// column space (the only event that renumbers G-net columns).
+    Compaction {
+        /// Tombstoned columns the compaction reclaims.
+        tombstones: usize,
+        /// Live columns surviving the compaction.
+        live: usize,
+    },
+    /// A filter crossing would leave no live G-net column — the one
+    /// crossing shape that cannot be tombstone-patched.
+    NoLiveColumns,
+    /// The pipeline was poisoned by a previously failed rebuild and must
+    /// rebuild before trusting any incremental state again.
+    PoisonedRecovery,
+}
+
+impl std::fmt::Display for RebuildCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebuildCause::Compaction { tombstones, live } => {
+                write!(f, "compacting {tombstones} tombstoned g-net columns ({live} live)")
+            }
+            RebuildCause::NoLiveColumns => {
+                f.write_str("no g-net column would survive the size filter")
+            }
+            RebuildCause::PoisonedRecovery => {
+                f.write_str("recovering from a previously failed rebuild")
+            }
+        }
+    }
+}
+
+impl From<StructuralReason> for RebuildCause {
+    fn from(reason: StructuralReason) -> Self {
+        match reason {
+            StructuralReason::Compaction { tombstones, live } => {
+                RebuildCause::Compaction { tombstones, live }
+            }
+            StructuralReason::NoLiveColumns => RebuildCause::NoLiveColumns,
+        }
+    }
 }
 
 /// Counters over a pipeline's lifetime (diagnostics and bench reporting).
@@ -59,6 +115,20 @@ pub struct PipelineStats {
     pub incremental: usize,
     /// Deltas that forced a full rebuild.
     pub full_rebuilds: usize,
+    /// Rebuilds caused by a filter crossing the tombstone path could not
+    /// absorb ([`RebuildCause::NoLiveColumns`]). Stable columns should
+    /// keep this at zero on realistic designs.
+    pub rebuilds_filter_crossing: usize,
+    /// Rebuilds caused by lazy compaction
+    /// ([`RebuildCause::Compaction`]) — the only event that renumbers
+    /// G-net columns.
+    pub rebuilds_compaction: usize,
+    /// Rebuilds forced while recovering from a previously failed rebuild
+    /// ([`RebuildCause::PoisonedRecovery`]).
+    pub rebuilds_poisoned: usize,
+    /// Size-filter crossings absorbed by the incremental path
+    /// (tombstoned + revived/appended columns, summed over updates).
+    pub crossings_patched: usize,
     /// Total G-net columns dirtied by incremental updates.
     pub dirty_nets: usize,
     /// Total G-cell rows recomputed by incremental updates.
@@ -101,10 +171,14 @@ struct PipelineObs {
     dirty_gcells: Histogram,
     dirty_gnets: Histogram,
     fallbacks: Counter,
+    compactions: Counter,
     design_updates: Counter,
     design_noops: Counter,
     design_incremental: Counter,
     design_fallbacks: Counter,
+    design_compactions: Counter,
+    design_crossings_patched: Counter,
+    design_poisoned_rebuilds: Counter,
 }
 
 impl PipelineObs {
@@ -118,10 +192,16 @@ impl PipelineObs {
             dirty_gcells: registry.histogram("lhnn_dirty_gcells"),
             dirty_gnets: registry.histogram("lhnn_dirty_gnets"),
             fallbacks: registry.counter("lhnn_fallbacks_total"),
+            compactions: registry.counter("lhnn_compactions_total"),
             design_updates: registry.counter_with("lhnn_design_updates_total", d),
             design_noops: registry.counter_with("lhnn_design_noops_total", d),
             design_incremental: registry.counter_with("lhnn_design_incremental_total", d),
             design_fallbacks: registry.counter_with("lhnn_design_fallbacks_total", d),
+            design_compactions: registry.counter_with("lhnn_design_compactions_total", d),
+            design_crossings_patched: registry
+                .counter_with("lhnn_design_crossings_patched_total", d),
+            design_poisoned_rebuilds: registry
+                .counter_with("lhnn_design_poisoned_rebuilds_total", d),
         }
     }
 }
@@ -241,12 +321,12 @@ impl LatticePipeline {
             if let Some(o) = &self.obs {
                 o.fallbacks.inc();
                 o.design_fallbacks.inc();
+                o.design_poisoned_rebuilds.inc();
             }
             self.rebuild()?;
             self.stats.full_rebuilds += 1;
-            return Ok(PipelineUpdate::FullRebuild {
-                reason: "recovering from a previously failed rebuild".into(),
-            });
+            self.stats.rebuilds_poisoned += 1;
+            return Ok(PipelineUpdate::FullRebuild { cause: RebuildCause::PoisonedRecovery });
         }
         if report.is_clean() {
             self.stats.noops += 1;
@@ -287,11 +367,18 @@ impl LatticePipeline {
                     }
                 }
                 let dirty_gcells = lh_graph::halo::canonicalize(dirty_gcells);
-                let dirty_nets = lh_graph::halo::canonicalize(patch.dirty_cols.clone());
+                // Tombstoned columns count as dirty too: their feature
+                // rows were zeroed, which changes downstream activations
+                // just as a span move does.
+                let mut dirty_nets = patch.dirty_cols.clone();
+                dirty_nets.extend_from_slice(&patch.tombstoned_cols);
+                let dirty_nets = lh_graph::halo::canonicalize(dirty_nets);
+                let crossings = patch.crossed_out.len() + patch.crossed_in.len();
                 self.ops = Arc::new(self.ops.patch_from(&patch.graph, &self.ablation));
                 self.graph = patch.graph;
                 self.features = Arc::new(features);
                 self.stats.incremental += 1;
+                self.stats.crossings_patched += crossings;
                 self.stats.dirty_nets += dirty_nets.len();
                 self.stats.dirty_gcells += dirty_gcells.len();
                 if let Some(o) = &self.obs {
@@ -299,19 +386,33 @@ impl LatticePipeline {
                     o.dirty_gcells.observe(dirty_gcells.len() as u64);
                     o.dirty_gnets.observe(dirty_nets.len() as u64);
                     o.design_incremental.inc();
+                    o.design_crossings_patched.add(crossings as u64);
                 }
                 Ok(PipelineUpdate::Incremental { dirty_nets, dirty_gcells })
             }
             DeltaOutcome::Structural(reason) => {
+                let cause = RebuildCause::from(reason);
                 // Counted before the attempt: a failed fallback rebuild is
-                // still a structural crossing worth alerting on.
+                // still a structural event worth alerting on.
                 if let Some(o) = &self.obs {
                     o.fallbacks.inc();
                     o.design_fallbacks.inc();
+                    if matches!(cause, RebuildCause::Compaction { .. }) {
+                        o.compactions.inc();
+                        o.design_compactions.inc();
+                    }
+                }
+                match cause {
+                    RebuildCause::Compaction { .. } => self.stats.rebuilds_compaction += 1,
+                    // NoLiveColumns is the one crossing shape the tombstone
+                    // path cannot absorb, so it books under filter
+                    // crossings — honest accounting for the bench grep.
+                    RebuildCause::NoLiveColumns => self.stats.rebuilds_filter_crossing += 1,
+                    RebuildCause::PoisonedRecovery => unreachable!("not a structural reason"),
                 }
                 self.rebuild()?;
                 self.stats.full_rebuilds += 1;
-                Ok(PipelineUpdate::FullRebuild { reason })
+                Ok(PipelineUpdate::FullRebuild { cause })
             }
         }
     }
@@ -417,9 +518,18 @@ mod tests {
         LatticePipeline::for_serving(Arc::new(synth.circuit), placed.placement, grid).unwrap()
     }
 
+    /// From-scratch fingerprints with the pipeline's own column layout
+    /// (a plain `build` right after a compaction, as the layout is
+    /// canonical then).
     fn rebuilt_fingerprints(p: &LatticePipeline) -> (u64, u64) {
-        let graph = LhGraph::build(p.circuit(), p.placement(), p.grid(), &LhGraphConfig::default())
-            .unwrap();
+        let graph = LhGraph::build_with_columns(
+            p.circuit(),
+            p.placement(),
+            p.grid(),
+            &LhGraphConfig::default(),
+            p.graph().kept_nets(),
+        )
+        .unwrap();
         let features = FeatureSet::build(&graph, p.circuit(), p.placement(), p.grid()).unwrap();
         (GraphOps::from_graph(&graph, &AblationSpec::full()).fingerprint(), features.fingerprint())
     }
@@ -455,21 +565,30 @@ mod tests {
     }
 
     #[test]
-    fn structural_fallback_rebuilds_and_matches() {
+    fn filter_crossings_patch_in_place_and_match() {
         let mut p = pipeline(3, 100, 8);
         let die = p.circuit().die;
-        // Stretch one net across the whole die: with the default 5%
-        // filter it must cross the size threshold → full rebuild.
+        // Stretch one net across the whole die and back: with the default
+        // 5% filter it crosses the size threshold both ways, which the
+        // stable column space absorbs as tombstone/revive patches instead
+        // of full rebuilds.
         let net0 = p.circuit().nets()[0].clone();
         let cell = net0.pins[0].cell;
-        let mut update = None;
-        for corner in [Point::new(die.lx, die.ly), Point::new(die.ux, die.uy)] {
-            update = Some(p.apply(&PlacementDelta::single(cell, corner)).unwrap());
+        let home = p.placement().position(cell);
+        for (step, target) in
+            [Point::new(die.lx, die.ly), Point::new(die.ux, die.uy), home].iter().enumerate()
+        {
+            p.apply(&PlacementDelta::single(cell, *target)).unwrap();
+            assert_eq!(
+                p.fingerprints().unwrap(),
+                rebuilt_fingerprints(&p),
+                "crossing state diverged at step {step}"
+            );
         }
-        // whichever path it took, parity must hold
-        assert_eq!(p.fingerprints().unwrap(), rebuilt_fingerprints(&p));
-        assert!(update.is_some());
-        assert!(p.stats().updates == 2);
+        let stats = p.stats();
+        assert!(stats.crossings_patched >= 2, "out-and-back must count crossings: {stats:?}");
+        assert_eq!(stats.full_rebuilds, 0, "crossings must not rebuild: {stats:?}");
+        assert_eq!(stats.rebuilds_filter_crossing, 0);
     }
 
     #[test]
@@ -487,7 +606,8 @@ mod tests {
         let mut placement = Placement::zeroed(2);
         placement.set_position(a, Point::new(1.0, 1.0));
         placement.set_position(b, Point::new(1.2, 1.2));
-        let cfg = LhGraphConfig { max_gnet_fraction: 1e-9 }; // max area = 1 g-cell
+        // max area = 1 g-cell
+        let cfg = LhGraphConfig { max_gnet_fraction: 1e-9, ..LhGraphConfig::default() };
         let mut p =
             LatticePipeline::new(Arc::new(c), placement, grid, cfg.clone(), AblationSpec::full())
                 .unwrap();

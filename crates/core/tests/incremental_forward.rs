@@ -15,8 +15,8 @@ use std::sync::Arc;
 
 use lh_graph::halo::{canonicalize, dilate, union_sorted};
 use lhnn::{
-    ForwardDirty, IncrementalForward, LatticePipeline, Lhnn, LhnnConfig, PipelineUpdate,
-    SpliceOutcome,
+    ForwardDirty, IncrementalForward, InvalidationCause, LatticePipeline, Lhnn, LhnnConfig,
+    PipelineUpdate, RebuildCause, SpliceOutcome,
 };
 use neurograd::{pool, Matrix};
 use proptest::prelude::*;
@@ -85,7 +85,9 @@ proptest! {
                 Ok(PipelineUpdate::Incremental { dirty_nets, dirty_gcells }) => {
                     incr.note_incremental(&ForwardDirty::new(dirty_gcells, dirty_nets));
                 }
-                Ok(PipelineUpdate::FullRebuild { .. }) => incr.note_structural(),
+                Ok(PipelineUpdate::FullRebuild { cause }) => {
+                    incr.note_structural(InvalidationCause::from(&cause));
+                }
                 Ok(PipelineUpdate::Noop) => {}
                 // every net dropped by the filter: nothing to forward
                 Err(_) => return,
@@ -102,6 +104,65 @@ proptest! {
                 threads
             );
         }
+    }
+
+    /// Forced out-and-back size-filter crossings must splice, not
+    /// rebuild: stable G-net columns turn a crossing into tombstone/
+    /// revive/append patches riding the ordinary dirty sets, so the
+    /// activation cache survives and every spliced prediction stays
+    /// bitwise identical to a full forward at 1..4 threads. The only
+    /// full rebuilds allowed between crossings are lazy compactions.
+    #[test]
+    fn forced_crossings_splice_without_rebuilds(
+        seed in 0u64..3,
+        yanks in proptest::collection::vec(0usize..4096, 1..5),
+        threads in 1usize..4,
+    ) {
+        let mut p = pipeline(seed, 110, 8);
+        let die = p.circuit().die;
+        let model = Lhnn::new(LhnnConfig::default(), seed);
+        let version = model.weights_fingerprint();
+        let incr = IncrementalForward::new();
+        let n_cells = p.circuit().num_cells();
+        for &cell in &yanks {
+            let id = CellId((cell % n_cells) as u32);
+            let home = p.placement().position(id);
+            // Yank the cell to the far corner (stretching its nets past
+            // the 5% size filter), then put it back home: two crossings.
+            for target in [Point::new(die.ux, die.uy), home] {
+                match p.apply(&PlacementDelta::single(id, target)) {
+                    Ok(PipelineUpdate::Incremental { dirty_nets, dirty_gcells }) => {
+                        incr.note_incremental(&ForwardDirty::new(dirty_gcells, dirty_nets));
+                    }
+                    Ok(PipelineUpdate::Noop) => {}
+                    Ok(PipelineUpdate::FullRebuild { cause }) => {
+                        prop_assert!(
+                            matches!(cause, RebuildCause::Compaction { .. }),
+                            "only compaction may rebuild on a crossing loop, got {:?}", cause
+                        );
+                        incr.note_structural(InvalidationCause::from(&cause));
+                    }
+                    Err(e) => panic!("apply failed: {e}"),
+                }
+                let (ops, features) = (p.ops(), p.features());
+                pool::configure_threads(threads);
+                let (spliced, _path) = incr.predict(&model, version, &ops, &features, incr.seq());
+                pool::configure_threads(1);
+                let full = model.predict(&ops, &features);
+                prop_assert!(
+                    bitwise_eq(&spliced.cls_prob, &full.cls_prob)
+                        && bitwise_eq(&spliced.reg, &full.reg),
+                    "crossing prediction diverged from the full forward (threads {})",
+                    threads
+                );
+            }
+        }
+        let stats = p.stats();
+        prop_assert_eq!(
+            stats.full_rebuilds, stats.rebuilds_compaction,
+            "only compactions may rebuild between crossings: {:?}", stats
+        );
+        prop_assert_eq!(stats.rebuilds_filter_crossing, 0);
     }
 
     /// Re-derives the receptive-field halo of an incremental update's

@@ -233,7 +233,8 @@ pub fn build_design(synth_cfg: &SynthConfig, cfg: &DatasetConfig) -> Result<Desi
     };
     let routed = route(&synth.circuit, &placed.placement, &grid, &synth.macro_rects, &router_cfg)
         .map_err(|e| DataError::pipeline("route", &e))?;
-    let graph_cfg = LhGraphConfig { max_gnet_fraction: cfg.max_gnet_fraction };
+    let graph_cfg =
+        LhGraphConfig { max_gnet_fraction: cfg.max_gnet_fraction, ..LhGraphConfig::default() };
     let graph = LhGraph::build(&synth.circuit, &placed.placement, &grid, &graph_cfg)
         .map_err(|e| DataError::pipeline("lh-graph", &e))?;
     let (gcell_div, gnet_div) = FeatureSet::default_divisors();

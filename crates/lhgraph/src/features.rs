@@ -77,12 +77,15 @@ impl FeatureSet {
         let n_n = graph.num_gnets();
         let n_c = graph.num_gcells();
 
-        // --- G-net features ---
+        // --- G-net features (tombstoned columns keep all-zero rows) ---
         let mut gnet = Matrix::zeros(n_n.max(1), gnet_channel::COUNT);
         for (j, net_id) in graph.kept_nets().iter().enumerate() {
+            if graph.is_tombstone(j) {
+                continue;
+            }
             let net = circuit.net(*net_id);
             let bbox = placement.net_bbox(net);
-            let (lo, hi) = grid.span(&bbox).expect("kept g-net has a span");
+            let (lo, hi) = grid.span(&bbox).expect("live g-net has a span");
             let span_h = (hi.gx - lo.gx + 1) as f32;
             let span_v = (hi.gy - lo.gy + 1) as f32;
             gnet[(j, gnet_channel::SPAN_V)] = span_v;
@@ -93,11 +96,14 @@ impl FeatureSet {
 
         // --- G-cell features ---
         let mut gcell = Matrix::zeros(n_c, gcell_channel::COUNT);
-        // net density: iterate kept g-nets, add 1/span to covered cells
+        // net density: iterate live g-nets, add 1/span to covered cells
         for (j, net_id) in graph.kept_nets().iter().enumerate() {
+            if graph.is_tombstone(j) {
+                continue;
+            }
             let net = circuit.net(*net_id);
             let bbox = placement.net_bbox(net);
-            let (lo, hi) = grid.span(&bbox).expect("kept g-net has a span");
+            let (lo, hi) = grid.span(&bbox).expect("live g-net has a span");
             let span_v = gnet[(j, gnet_channel::SPAN_V)];
             let span_h = gnet[(j, gnet_channel::SPAN_H)];
             for c in grid.iter_span(lo, hi) {
@@ -106,9 +112,13 @@ impl FeatureSet {
                 gcell[(idx, gcell_channel::NET_DENSITY_V)] += 1.0 / span_h;
             }
         }
-        // pin density: actual pin positions (over kept nets, so that the
-        // one-step recovery statement of §3.2 holds exactly in total mass)
-        for net_id in graph.kept_nets() {
+        // pin density: actual pin positions (over live kept nets, so that
+        // the one-step recovery statement of §3.2 holds exactly in total
+        // mass)
+        for (j, net_id) in graph.kept_nets().iter().enumerate() {
+            if graph.is_tombstone(j) {
+                continue;
+            }
             for pin in &circuit.net(*net_id).pins {
                 let idx = grid.index(grid.locate(placement.pin_position(pin)));
                 gcell[(idx, gcell_channel::PIN_DENSITY)] += 1.0;
@@ -125,10 +135,12 @@ impl FeatureSet {
     /// patch was computed from.
     ///
     /// Only dirty G-net rows and dirty G-cell rows are recomputed; pin
-    /// density is adjusted by exact ±1 counts per crossed G-cell boundary;
-    /// the terminal mask is repainted only when a terminal moved. The
-    /// result is **bitwise identical** to `FeatureSet::build` at the new
-    /// placement.
+    /// density is adjusted by exact ±1 counts per crossed G-cell boundary,
+    /// with nets crossing the size filter bulk-removed/added at their
+    /// pins' positions; tombstoned G-net rows are zeroed and appended
+    /// columns grow the G-net block. The terminal mask is repainted only
+    /// when a terminal moved. The result is **bitwise identical** to
+    /// `FeatureSet::build` on the patched graph at the new placement.
     ///
     /// # Errors
     ///
@@ -150,17 +162,31 @@ impl FeatureSet {
                 (grid.nx() as usize, grid.ny() as usize),
             ));
         }
-        if self.gcell.rows() != graph.num_gcells() || self.gnet.rows() != graph.num_gnets().max(1) {
+        if self.gcell.rows() != graph.num_gcells() || self.gnet.rows() != patch.old_gnets.max(1) {
             return Err(LhGraphError::DimensionMismatch(format!(
                 "feature set describes {} g-cells / {} g-nets, patch {} / {}",
                 self.gcell.rows(),
                 self.gnet.rows(),
                 graph.num_gcells(),
-                graph.num_gnets()
+                patch.old_gnets
             )));
         }
-        let mut gnet = self.gnet.clone();
+        // Appended columns grow the G-net block (new rows start zeroed,
+        // exactly like the full build before its per-column fill).
+        let mut gnet = if graph.num_gnets() > patch.old_gnets {
+            let mut grown = Matrix::zeros(graph.num_gnets(), gnet_channel::COUNT);
+            let old = self.gnet.as_slice();
+            grown.as_mut_slice()[..old.len()].copy_from_slice(old);
+            grown
+        } else {
+            self.gnet.clone()
+        };
         let mut gcell = self.gcell.clone();
+
+        // Tombstoned G-net rows zero out (the full build skips them).
+        for &j in &patch.tombstoned_cols {
+            gnet.row_mut(j).fill(0.0);
+        }
 
         // Dirty G-net rows: span features from the patched spans.
         for &j in &patch.dirty_cols {
@@ -177,7 +203,9 @@ impl FeatureSet {
         // Dirty G-cell rows: re-accumulate net density from the patched
         // incidence row. Entries are in ascending column order — the same
         // accumulation order as the full build's outer loop over kept
-        // nets, so the float sums are bitwise identical.
+        // nets, so the float sums are bitwise identical. (Tombstoned
+        // columns have no incidence entries, so their zeroed feature rows
+        // are never read here.)
         for &r in &patch.dirty_rows {
             let mut h = 0.0f32;
             let mut v = 0.0f32;
@@ -190,8 +218,34 @@ impl FeatureSet {
         }
 
         // Pin density holds exact integer counts, so ±1 adjustments are
-        // exact and order-independent. Only pins of kept nets count.
+        // exact and order-independent. Nets crossing the size filter are
+        // bulk-adjusted at their pins' *new* positions: a crossed-out
+        // net's pins all leave the count, a crossed-in net's pins all
+        // enter it.
+        for &net_id in &patch.crossed_out {
+            for pin in &circuit.net(net_id).pins {
+                let idx = grid.index(grid.locate(placement.pin_position(pin)));
+                gcell[(idx, gcell_channel::PIN_DENSITY)] -= 1.0;
+            }
+        }
+        for &net_id in &patch.crossed_in {
+            for pin in &circuit.net(net_id).pins {
+                let idx = grid.index(grid.locate(placement.pin_position(pin)));
+                gcell[(idx, gcell_channel::PIN_DENSITY)] += 1.0;
+            }
+        }
         for pm in &report.pin_moves {
+            if patch.crossed_in.binary_search(&pm.net).is_ok() {
+                // already counted in full at the new position above
+                continue;
+            }
+            if patch.crossed_out.binary_search(&pm.net).is_ok() {
+                // the bulk -1 hit the pin's new g-cell; it belonged at the
+                // old one
+                gcell[(pm.to, gcell_channel::PIN_DENSITY)] += 1.0;
+                gcell[(pm.from, gcell_channel::PIN_DENSITY)] -= 1.0;
+                continue;
+            }
             if graph.net_column(pm.net).is_none() {
                 continue;
             }
@@ -543,8 +597,13 @@ mod tests {
         p.set_position(m, Point::new(2.0, 2.0)); // covers lower-left 2x2 gcells
         p.set_position(a, Point::new(5.0, 5.0));
         p.set_position(b, Point::new(7.0, 7.0));
-        let graph =
-            LhGraph::build(&c, &p, &grid, &LhGraphConfig { max_gnet_fraction: 1.0 }).unwrap();
+        let graph = LhGraph::build(
+            &c,
+            &p,
+            &grid,
+            &LhGraphConfig { max_gnet_fraction: 1.0, ..Default::default() },
+        )
+        .unwrap();
         let feats = FeatureSet::build(&graph, &c, &p, &grid).unwrap();
         let mask_at = |gx: u32, gy: u32| {
             feats.gcell

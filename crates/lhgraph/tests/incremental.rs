@@ -2,9 +2,12 @@
 //! sequence of placement deltas routed through `rebin_delta` →
 //! `LhGraph::apply_delta` → `FeatureSet::apply_delta` (with a full
 //! rebuild on `Structural` outcomes) must leave graph and features
-//! **bitwise identical** to a from-scratch build at the final placement.
+//! **bitwise identical** to a from-scratch build at the final placement —
+//! `LhGraph::build_with_columns` with the incremental state's own column
+//! layout between compactions, and the canonical `LhGraph::build` right
+//! after every compaction (when the layouts coincide).
 
-use lh_graph::{DeltaOutcome, FeatureSet, LhGraph, LhGraphConfig};
+use lh_graph::{DeltaOutcome, FeatureSet, LhGraph, LhGraphConfig, StructuralReason};
 use proptest::prelude::*;
 use vlsi_netlist::synth::{generate, SynthConfig};
 use vlsi_netlist::{
@@ -23,7 +26,11 @@ struct Harness {
     graph: LhGraph,
     features: FeatureSet,
     incremental: usize,
+    /// Patched deltas that carried a size-filter crossing.
+    crossings: usize,
     full_rebuilds: usize,
+    rebuilds_compaction: usize,
+    rebuilds_no_live: usize,
 }
 
 impl Harness {
@@ -38,7 +45,7 @@ impl Harness {
         let synth = generate(&synth_cfg).expect("synth");
         let grid = synth_cfg.grid();
         let placed = GlobalPlacer::default().place_synth(&synth, &grid).expect("place");
-        let cfg = LhGraphConfig { max_gnet_fraction };
+        let cfg = LhGraphConfig { max_gnet_fraction, ..LhGraphConfig::default() };
         let graph = LhGraph::build(&synth.circuit, &placed.placement, &grid, &cfg).expect("graph");
         let features =
             FeatureSet::build(&graph, &synth.circuit, &placed.placement, &grid).expect("features");
@@ -52,7 +59,10 @@ impl Harness {
             graph,
             features,
             incremental: 0,
+            crossings: 0,
             full_rebuilds: 0,
+            rebuilds_compaction: 0,
+            rebuilds_no_live: 0,
         }
     }
 
@@ -71,6 +81,9 @@ impl Harness {
         }
         match self.graph.apply_delta(&self.grid, &self.cfg, &report).expect("same grid") {
             DeltaOutcome::Patched(patch) => {
+                if patch.crossed_filter() {
+                    self.crossings += 1;
+                }
                 self.features = self
                     .features
                     .apply_delta(&patch, &report, &self.circuit, &self.placement, &self.grid)
@@ -79,8 +92,12 @@ impl Harness {
                 self.incremental += 1;
                 true
             }
-            DeltaOutcome::Structural(_) => {
+            DeltaOutcome::Structural(reason) => {
                 self.full_rebuilds += 1;
+                match reason {
+                    StructuralReason::Compaction { .. } => self.rebuilds_compaction += 1,
+                    StructuralReason::NoLiveColumns => self.rebuilds_no_live += 1,
+                }
                 match LhGraph::build(&self.circuit, &self.placement, &self.grid, &self.cfg) {
                     Ok(graph) => {
                         self.features =
@@ -95,14 +112,34 @@ impl Harness {
         }
     }
 
-    /// Bitwise parity with a from-scratch build at the current placement.
+    /// Bitwise parity with a from-scratch build at the current placement,
+    /// prescribed to the incremental state's own column layout (stable
+    /// columns mean the layout is history-dependent between compactions;
+    /// liveness is placement-derived, so the reference recomputes it).
     fn assert_matches_full_rebuild(&self) {
-        let graph =
-            LhGraph::build(&self.circuit, &self.placement, &self.grid, &self.cfg).expect("rebuild");
+        let graph = LhGraph::build_with_columns(
+            &self.circuit,
+            &self.placement,
+            &self.grid,
+            &self.cfg,
+            self.graph.kept_nets(),
+        )
+        .expect("rebuild");
         let features = FeatureSet::build(&graph, &self.circuit, &self.placement, &self.grid)
             .expect("rebuild features");
         assert_eq!(self.graph.kept_nets(), graph.kept_nets(), "kept-net mapping diverged");
-        assert_eq!(self.graph.spans(), graph.spans(), "span cache diverged");
+        assert_eq!(self.graph.tombstoned_gnets(), graph.tombstoned_gnets());
+        for j in 0..graph.num_gnets() {
+            assert_eq!(
+                self.graph.is_tombstone(j),
+                graph.is_tombstone(j),
+                "liveness diverged at column {j}"
+            );
+            // a tombstone's span is stale by contract; compare live ones
+            if !graph.is_tombstone(j) {
+                assert_eq!(self.graph.span_of(j), graph.span_of(j), "span diverged at column {j}");
+            }
+        }
         for (name, mine, full) in [
             ("incidence", self.graph.incidence(), graph.incidence()),
             ("gnc_sum", self.graph.gnc_sum(), graph.gnc_sum()),
@@ -187,6 +224,39 @@ proptest! {
         }
         h.assert_matches_full_rebuild();
     }
+
+    /// Forced out-and-back size-filter crossings: every crossing patches
+    /// in place (tombstone on the way out, revival/append on the way
+    /// back) — zero full rebuilds between compactions — and every patched
+    /// state stays bitwise-pinned to the prescribed-layout reference.
+    #[test]
+    fn forced_crossings_patch_without_rebuilds(
+        seed in 0u64..3,
+        yanks in proptest::collection::vec(
+            (0usize..2048, 0.0f32..1.0, 0.0f32..1.0), 1..8),
+    ) {
+        let mut h = Harness::new(seed, 80, 8, 0.08);
+        h.cfg.max_tombstone_fraction = 1.0; // never compact
+        let die = h.circuit.die;
+        for &(cell, fx, fy) in &yanks {
+            let id = CellId((cell % h.circuit.num_cells()) as u32);
+            let home = h.placement.position(id);
+            // yank to a random far position (stretching its nets across
+            // the die, typically out of the tight filter), then snap back
+            let far = Point::new(die.lx + fx * die.width(), die.ly + fy * die.height());
+            for &target in &[far, home] {
+                if !h.apply(&PlacementDelta::single(id, target)) {
+                    return;
+                }
+                h.assert_matches_full_rebuild();
+            }
+        }
+        prop_assert_eq!(h.rebuilds_compaction, 0, "threshold 1.0 never compacts");
+        prop_assert_eq!(
+            h.full_rebuilds, h.rebuilds_no_live,
+            "a filter crossing must never cause a full rebuild"
+        );
+    }
 }
 
 #[test]
@@ -226,6 +296,63 @@ fn full_design_move_matches_full_rebuild() {
     assert!(h.apply(&delta));
     h.assert_matches_full_rebuild();
     assert!(h.incremental + h.full_rebuilds == 1);
+}
+
+#[test]
+fn crossings_happen_and_stay_incremental_on_a_tight_filter() {
+    // Deterministic companion to the proptest: yank cells far enough that
+    // crossings demonstrably occur, and confirm none of them rebuilt.
+    let mut h = Harness::new(5, 80, 8, 0.08);
+    h.cfg.max_tombstone_fraction = 1.0;
+    let die = h.circuit.die;
+    for i in 0..h.circuit.num_cells() {
+        let id = CellId(i as u32);
+        let home = h.placement.position(id);
+        let far =
+            Point::new(die.ux - h.grid.gcell_width() * 0.5, die.uy - h.grid.gcell_height() * 0.5);
+        for &target in &[far, home] {
+            if !h.apply(&PlacementDelta::single(id, target)) {
+                panic!("all live columns vanished; pick a different seed");
+            }
+        }
+        if h.crossings >= 4 {
+            break;
+        }
+    }
+    assert!(h.crossings >= 4, "filter crossings never fired: {}", h.crossings);
+    assert_eq!(h.full_rebuilds, 0, "crossings must patch, not rebuild");
+    h.assert_matches_full_rebuild();
+}
+
+#[test]
+fn compaction_rebuild_restores_canonical_layout() {
+    // Threshold 0: the first tombstone triggers a compaction, whose
+    // fallback is the canonical `LhGraph::build` — after it the layout is
+    // ascending/all-live and plain-build parity holds.
+    let mut h = Harness::new(4, 80, 8, 0.08);
+    h.cfg.max_tombstone_fraction = 0.0;
+    let die = h.circuit.die;
+    for i in 0..h.circuit.num_cells() {
+        let id = CellId(i as u32);
+        let far =
+            Point::new(die.ux - h.grid.gcell_width() * 0.5, die.uy - h.grid.gcell_height() * 0.5);
+        if !h.apply(&PlacementDelta::single(id, far)) {
+            panic!("all live columns vanished; pick a different seed");
+        }
+        if h.rebuilds_compaction > 0 {
+            break;
+        }
+    }
+    assert!(h.rebuilds_compaction > 0, "no compaction fired");
+    assert_eq!(h.graph.tombstoned_gnets(), 0, "compaction reclaims every tombstone");
+    let canonical =
+        LhGraph::build(&h.circuit, &h.placement, &h.grid, &h.cfg).expect("canonical build");
+    assert_eq!(h.graph.kept_nets(), canonical.kept_nets());
+    assert_eq!(
+        h.graph.incidence().content_fingerprint(),
+        canonical.incidence().content_fingerprint()
+    );
+    h.assert_matches_full_rebuild();
 }
 
 #[test]

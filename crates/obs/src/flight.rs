@@ -24,6 +24,10 @@ pub enum FlightEventKind {
     /// A session update crossed a structural boundary and fell back to a
     /// full pipeline rebuild (the rebuild succeeded).
     Fallback,
+    /// A session's G-net column space crossed the tombstone threshold and
+    /// the fallback rebuild compacted it, renumbering columns and
+    /// invalidating downstream activation caches.
+    Compaction,
     /// A structural fallback's rebuild failed; the session pipeline is
     /// poisoned and will refuse further traffic.
     Poisoned,
@@ -43,6 +47,7 @@ impl std::fmt::Display for FlightEventKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
             FlightEventKind::Fallback => "fallback",
+            FlightEventKind::Compaction => "compaction",
             FlightEventKind::Poisoned => "poisoned",
             FlightEventKind::Wedged => "wedged",
             FlightEventKind::HotSwap => "hot-swap",
@@ -212,6 +217,7 @@ mod tests {
     fn kinds_render_stably() {
         // the CLI greps/pretty-prints these names; keep them fixed
         assert_eq!(FlightEventKind::Fallback.to_string(), "fallback");
+        assert_eq!(FlightEventKind::Compaction.to_string(), "compaction");
         assert_eq!(FlightEventKind::Poisoned.to_string(), "poisoned");
         assert_eq!(FlightEventKind::Wedged.to_string(), "wedged");
         assert_eq!(FlightEventKind::HotSwap.to_string(), "hot-swap");

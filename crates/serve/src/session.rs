@@ -52,8 +52,8 @@ use std::sync::{Arc, Mutex};
 
 use lh_graph::{FeatureSet, LhGraphConfig};
 use lhnn::{
-    AblationSpec, ForwardDirty, GraphOps, IncrementalForward, IncrementalStats, LatticePipeline,
-    PipelineStats, PipelineUpdate,
+    AblationSpec, ForwardDirty, GraphOps, IncrementalForward, IncrementalStats, InvalidationCause,
+    LatticePipeline, PipelineStats, PipelineUpdate, RebuildCause,
 };
 use lhnn_obs::{FlightEventKind, FlightRecorder, Histogram};
 use vlsi_netlist::{Circuit, GcellGrid, Placement, PlacementDelta};
@@ -289,8 +289,10 @@ impl SessionCore {
                 // Feed the incremental-forward notes (still under the
                 // state lock, so notes land in apply order). A noop
                 // touches nothing; an incremental patch contributes its
-                // dirty sets; a full rebuild may have renumbered G-net
-                // columns, so the activation cache must die with it.
+                // dirty sets (including tombstoned/revived/appended
+                // filter-crossing columns — stable columns keep those on
+                // the splice path); a full rebuild may have renumbered
+                // G-net columns, so the activation cache must die with it.
                 match &update {
                     PipelineUpdate::Noop => {}
                     PipelineUpdate::Incremental { dirty_nets, dirty_gcells } => {
@@ -299,14 +301,24 @@ impl SessionCore {
                             dirty_nets.clone(),
                         ));
                     }
-                    PipelineUpdate::FullRebuild { .. } => {
-                        self.incr.note_structural();
+                    PipelineUpdate::FullRebuild { cause } => {
+                        self.incr.note_structural(InvalidationCause::from(cause));
                         if let Some(o) = &self.obs {
-                            o.flight.record(
-                                FlightEventKind::Fallback,
-                                &self.design,
-                                "structural crossing: full rebuild".to_string(),
-                            );
+                            match cause {
+                                RebuildCause::Compaction { tombstones, live } => o.flight.record(
+                                    FlightEventKind::Compaction,
+                                    &self.design,
+                                    format!(
+                                        "compacted {tombstones} tombstoned g-net columns \
+                                         ({live} live)"
+                                    ),
+                                ),
+                                _ => o.flight.record(
+                                    FlightEventKind::Fallback,
+                                    &self.design,
+                                    format!("full rebuild: {cause}"),
+                                ),
+                            }
                         }
                     }
                 }
@@ -320,7 +332,7 @@ impl SessionCore {
                 // every later call fails until a rebuild succeeds (the
                 // pipeline retries on each subsequent apply).
                 state.snapshot = None;
-                self.incr.note_structural();
+                self.incr.note_structural(InvalidationCause::Poisoned);
                 if let Some(o) = &self.obs {
                     o.flight.record(
                         FlightEventKind::Poisoned,
@@ -338,7 +350,7 @@ impl SessionCore {
                     .unwrap_or_else(|| "panic mid-apply".into());
                 state.snapshot = None;
                 state.wedged = Some(why.clone());
-                self.incr.note_structural();
+                self.incr.note_structural(InvalidationCause::Poisoned);
                 if let Some(o) = &self.obs {
                     o.flight.record(FlightEventKind::Wedged, &self.design, why.clone());
                 }
@@ -689,8 +701,9 @@ mod tests {
             )
             .unwrap();
         // submit a burst of updates without waiting on any of them
-        let mut reference = placement;
+        let mut reference = placement.clone();
         let mut tickets = Vec::new();
+        let mut deltas = Vec::new();
         for step in 0..5u32 {
             let id = CellId(step);
             let np = die.clamp(Point::new(
@@ -698,7 +711,9 @@ mod tests {
                 reference.position(id).y + grid.gcell_height() * 0.75,
             ));
             reference.set_position(id, np);
-            tickets.push(session.submit_update(&PlacementDelta::single(id, np)));
+            let delta = PlacementDelta::single(id, np);
+            tickets.push(session.submit_update(&delta));
+            deltas.push(delta);
         }
         // predict drains all five in order before the forward
         let reply = session.predict().unwrap();
@@ -707,9 +722,14 @@ mod tests {
             // tickets resolve (possibly applied by the predict drain)
             t.wait().unwrap();
         }
-        // the session state equals a from-scratch build at the reference
-        // placement — updates were neither lost nor reordered
-        let fresh = LatticePipeline::for_serving(circuit, reference, grid).unwrap();
+        // the session state equals a serial replay of the same deltas —
+        // updates were neither lost nor reordered (a crossing mid-burst
+        // tombstones/appends columns, so the stable layout — and thus the
+        // fingerprints — depends on the exact apply order)
+        let mut fresh = LatticePipeline::for_serving(circuit, placement, grid).unwrap();
+        for delta in &deltas {
+            fresh.apply(delta).unwrap();
+        }
         assert_eq!(session.fingerprints().unwrap(), fresh.fingerprints().unwrap());
         assert_eq!(session.stats().updates, 5);
         engine.shutdown();
@@ -818,8 +838,10 @@ mod tests {
         let mut placement = Placement::zeroed(2);
         placement.set_position(a, Point::new(1.0, 1.0));
         placement.set_position(b, Point::new(1.2, 1.2));
-        let cfg = SessionConfig::new("default")
-            .with_graph_config(LhGraphConfig { max_gnet_fraction: 1e-9 });
+        let cfg = SessionConfig::new("default").with_graph_config(LhGraphConfig {
+            max_gnet_fraction: 1e-9,
+            ..LhGraphConfig::default()
+        });
         let mut session = handle.open_session(cfg, Arc::new(c), placement, grid).unwrap();
         assert!(session.predict().is_ok());
 
@@ -896,54 +918,111 @@ mod tests {
         engine.shutdown();
     }
 
-    /// A structural crossing (full rebuild) must invalidate the activation
-    /// cache completely: the next prediction recomputes in full and still
-    /// matches a from-scratch build bitwise.
+    /// A compaction rebuild (the one event that renumbers G-net columns)
+    /// must invalidate the activation cache completely: the next
+    /// prediction recomputes in full and still matches a from-scratch
+    /// build bitwise. A zero tombstone budget makes the very first
+    /// filter crossing compact.
     #[test]
-    fn structural_update_invalidates_the_activation_cache() {
+    fn compaction_invalidates_the_activation_cache() {
         let engine = engine();
         let handle = engine.handle();
         let (circuit, placement, grid) = design(13);
         let die = circuit.die;
+        let cfg = SessionConfig::new("default").with_graph_config(LhGraphConfig {
+            max_tombstone_fraction: 0.0,
+            ..LhGraphConfig::default()
+        });
         let mut session = handle
-            .open_session(
-                SessionConfig::new("default"),
-                Arc::clone(&circuit),
-                placement.clone(),
-                grid.clone(),
-            )
+            .open_session(cfg, Arc::clone(&circuit), placement.clone(), grid.clone())
             .unwrap();
         assert!(session.predict().is_ok());
         // yank cells across the die until one stretches a kept net past
-        // the size filter — a structural crossing (full rebuild)
+        // the size filter — with no tombstone budget, that crossing is an
+        // immediate compaction (full rebuild)
         let mut reference = placement;
-        let mut structural = false;
+        let mut compacted = false;
         for i in 0..20u32 {
             let id = CellId(i);
             let far = die.clamp(Point::new(die.ux - 0.01, die.uy - 0.01));
             reference.set_position(id, far);
             let update = session.update(&PlacementDelta::single(id, far)).unwrap();
-            if matches!(update, PipelineUpdate::FullRebuild { .. }) {
-                structural = true;
+            if let PipelineUpdate::FullRebuild { cause } = update {
+                assert!(
+                    matches!(cause, RebuildCause::Compaction { .. }),
+                    "crossing with a zero tombstone budget must compact, got {cause:?}"
+                );
+                compacted = true;
                 break;
             }
         }
-        assert!(structural, "no cross-die move crossed the size filter");
+        assert!(compacted, "no cross-die move crossed the size filter");
         let inc = session.incremental_stats();
-        assert!(inc.invalidations >= 1, "rebuild must invalidate the cache, got {inc:?}");
+        assert!(inc.invalidations >= 1, "compaction must invalidate the cache, got {inc:?}");
+        assert!(inc.invalidations_compaction >= 1, "invalidation must book as compaction");
         let reply = session.predict().unwrap();
         let model = Lhnn::new(LhnnConfig::default(), 0);
         let (ops, features) = batch_inputs(&circuit, &reference, &grid, session.config());
         let direct = model.predict(&ops, &features);
         assert!(
             reply.prediction.cls_prob.approx_eq(&direct.cls_prob, 0.0),
-            "post-rebuild prediction must match a from-scratch build bitwise"
+            "post-compaction prediction must match a from-scratch build bitwise"
         );
         assert_eq!(
             session.incremental_stats().full_forwards,
             2,
-            "the forward after a structural update recomputes everything"
+            "the forward after a compaction recomputes everything"
         );
+        engine.shutdown();
+    }
+
+    /// With the default tombstone budget, a size-filter crossing rides the
+    /// incremental path: the activation cache survives (no invalidation),
+    /// the pipeline reports the crossing as patched, and the forward
+    /// after the crossing splices instead of recomputing every row.
+    #[test]
+    fn filter_crossings_keep_the_activation_cache() {
+        let engine = engine();
+        let handle = engine.handle();
+        let (circuit, placement, grid) = design(13);
+        let die = circuit.die;
+        let mut session = handle
+            .open_session(SessionConfig::new("default"), Arc::clone(&circuit), placement, grid)
+            .unwrap();
+        assert!(!session.predict().unwrap().cached);
+        // yank one cell to the far corner (tombstoning its stretched
+        // nets), then home again (reviving them): two crossings, zero
+        // rebuilds
+        let id = CellId(0);
+        let home = session.with_pipeline(|p| p.placement().position(id));
+        let far = die.clamp(Point::new(die.ux - 0.01, die.uy - 0.01));
+        // outbound: a fresh placement, so the forward runs — spliced over
+        // the crossing's dirty halo, not recomputed from scratch
+        let update = session.update(&PlacementDelta::single(id, far)).unwrap();
+        assert!(
+            matches!(update, PipelineUpdate::Incremental { .. }),
+            "crossing must patch in place, got {update:?}"
+        );
+        assert!(!session.predict().unwrap().cached);
+        // homebound: revives the tombstoned columns *bitwise*, so the
+        // fingerprints return to the cold values and the engine cache
+        // serves the prediction without any forward at all
+        let update = session.update(&PlacementDelta::single(id, home)).unwrap();
+        assert!(
+            matches!(update, PipelineUpdate::Incremental { .. }),
+            "crossing must patch in place, got {update:?}"
+        );
+        assert!(
+            session.predict().unwrap().cached,
+            "out-and-back revival must restore the cold cache key"
+        );
+        let stats = session.stats();
+        assert!(stats.crossings_patched >= 2, "out-and-back must count crossings: {stats:?}");
+        assert_eq!(stats.full_rebuilds, 0, "crossings must not rebuild: {stats:?}");
+        let inc = session.incremental_stats();
+        assert_eq!(inc.invalidations, 0, "crossings must keep the cache, got {inc:?}");
+        assert_eq!(inc.full_forwards, 1, "only the cold forward recomputes everything");
+        assert!(inc.spliced_forwards >= 1, "crossing forward must splice, got {inc:?}");
         engine.shutdown();
     }
 
