@@ -1,0 +1,113 @@
+//! **Model zoo**: cross-model, cross-design comparison of every
+//! [`lhnn::CongestionModel`] architecture behind the serving stack.
+//!
+//! Each architecture is trained by the same data-parallel trainer on the
+//! `synthblue` training split, then scored twice:
+//!
+//! * **in_dist** — the held-out `synthblue` test designs (the paper's
+//!   Table 2 protocol),
+//! * **cross_design** — the `synthred` family
+//!   ([`lhnn_data::cross_family_suite`]), a structurally different
+//!   synthesis regime never seen in training, probing generalization
+//!   across design families.
+//!
+//! ```text
+//! cargo run --release -p lhnn-bench --bin model_zoo [--scale F] [--epochs N]
+//! ```
+//!
+//! Writes `OUT_DIR/BENCH_model_zoo.json` (one row per model × split with
+//! `f1`, `accuracy`, `params` and `train_s` columns) plus a CSV of the
+//! same table. Single-seed by design: the zoo compares architectures
+//! under one shared training budget, not seed variance (table2 covers
+//! the multi-seed protocol).
+
+use std::path::Path;
+use std::time::Instant;
+
+use lhnn::{
+    evaluate, train, AblationSpec, CongestionModel, HybridNet, HybridNetConfig, Lhnn, LhnnConfig,
+    TrainConfig,
+};
+use lhnn_bench::HarnessArgs;
+use lhnn_data::{
+    build_cross_suite, pct1, write_bench_json, BenchRecord, PreparedDataset, TextTable,
+};
+
+/// The zoo: every architecture served through the trait, seeded alike.
+fn zoo(seed: u64) -> Vec<(&'static str, Box<dyn CongestionModel>)> {
+    vec![
+        ("lhnn", Box::new(Lhnn::new(LhnnConfig::default(), seed))),
+        ("hybridnet", Box::new(HybridNet::new(HybridNetConfig::default(), seed))),
+    ]
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let cfg = args.experiment_config();
+    eprintln!("building synthblue suite (scale {})...", args.scale);
+    let prep = PreparedDataset::build(&cfg.dataset).expect("dataset build failed");
+    let train_set = prep.train_samples();
+    let test_set = prep.test_samples();
+    eprintln!("building synthred cross-design suite (scale {})...", args.scale);
+    let cross = build_cross_suite(&cfg.dataset).expect("cross-design suite build failed");
+    let cross_set: Vec<lhnn::Sample> = cross.iter().map(|d| d.sample.clone()).collect();
+    let cross_rate =
+        cross.iter().map(|d| d.stats.congestion_rate).sum::<f64>() / cross.len().max(1) as f64;
+    println!(
+        "splits: {} train / {} in-distribution test (synthblue), {} cross-design \
+         (synthred, congestion rate {})",
+        train_set.len(),
+        test_set.len(),
+        cross_set.len(),
+        pct1(cross_rate),
+    );
+
+    let tc = TrainConfig { epochs: args.epochs, ..cfg.lhnn_train };
+    let mut table = TextTable::new(&["Model", "Split", "F1", "ACC", "#params", "train (s)"]);
+    let mut records = Vec::new();
+    for (name, mut model) in zoo(tc.seed) {
+        eprintln!(
+            "training {name} ({} parameters) for {} epochs...",
+            model.num_parameters(),
+            tc.epochs
+        );
+        let t0 = Instant::now();
+        train(model.as_mut(), &train_set, &AblationSpec::full(), &tc);
+        let train_s = t0.elapsed().as_secs_f64();
+        for (split, samples) in [("in_dist", &test_set), ("cross_design", &cross_set)] {
+            let t1 = Instant::now();
+            let eval = evaluate(model.as_ref(), samples, &AblationSpec::full());
+            let eval_s = t1.elapsed().as_secs_f64();
+            table.add_row(vec![
+                name.to_string(),
+                split.to_string(),
+                format!("{:.3}", eval.f1),
+                format!("{:.3}", eval.accuracy),
+                model.num_parameters().to_string(),
+                format!("{train_s:.1}"),
+            ]);
+            records.push(
+                BenchRecord::labeled(
+                    format!("{name}_{split}"),
+                    "train",
+                    train_s * 1e3,
+                    "eval",
+                    eval_s * 1e3,
+                )
+                .with_extra("f1", eval.f1)
+                .with_extra("accuracy", eval.accuracy)
+                .with_extra("params", model.num_parameters() as f64)
+                .with_extra("train_s", train_s),
+            );
+        }
+    }
+    println!("Model zoo: in-distribution vs cross-design generalization");
+    println!("{}", table.render());
+
+    let out = Path::new(&args.out_dir);
+    std::fs::create_dir_all(out).expect("create out dir");
+    write_bench_json(&out.join("BENCH_model_zoo.json"), "model_zoo", tc.threads.max(1), &records)
+        .expect("write bench json");
+    table.write_csv(&out.join("model_zoo.csv")).expect("write csv");
+    eprintln!("wrote {}/BENCH_model_zoo.json and {}/model_zoo.csv", args.out_dir, args.out_dir);
+}

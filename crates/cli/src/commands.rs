@@ -7,8 +7,9 @@ use std::sync::Arc;
 
 use lh_graph::{ChannelMode, FeatureSet, LhGraph, LhGraphConfig, Targets};
 use lhnn::{
-    evaluate, train as train_model, AblationSpec, ForwardDirty, GraphOps, IncrementalForward,
-    InferenceScratch, LatticePipeline, Lhnn, LhnnConfig, Sample, SpliceOutcome, TrainConfig,
+    evaluate, train as train_model, AblationSpec, CongestionModel, ForwardDirty, GraphOps,
+    HybridNet, HybridNetConfig, IncrementalForward, LatticePipeline, Lhnn, LhnnConfig, Sample,
+    SpliceOutcome, TrainConfig,
 };
 use lhnn_data::{
     ascii_map, write_bench_json, write_pgm, BenchRecord, DatasetConfig, PreparedDataset,
@@ -67,6 +68,25 @@ fn grid_for(args: &Args, circuit: &Circuit) -> GcellGrid {
     let g = args.num("grid", 24u32);
     let die = if circuit.die.area() > 0.0 { circuit.die } else { Rect::new(0.0, 0.0, 1.0, 1.0) };
     GcellGrid::new(die, g, g)
+}
+
+/// Builds the architecture selected by `--model` (`lhnn` | `hybridnet`)
+/// — the model-zoo factory shared by `train`, `serve-bench` and
+/// `loop-bench`. (`predict` needs no selector: the checkpoint's kind tag
+/// picks the architecture at load time.)
+fn build_arch(
+    arch: &str,
+    threads: usize,
+    seed: u64,
+) -> Result<Box<dyn CongestionModel>, Box<dyn Error>> {
+    match arch {
+        "lhnn" => Ok(Box::new(Lhnn::new(LhnnConfig { threads, ..LhnnConfig::default() }, seed))),
+        "hybridnet" => Ok(Box::new(HybridNet::new(
+            HybridNetConfig { threads, ..HybridNetConfig::default() },
+            seed,
+        ))),
+        other => Err(format!("unknown --model `{other}` (expected `lhnn` or `hybridnet`)").into()),
+    }
 }
 
 /// `lhnn stats`: netlist statistics — or, with `--metrics FILE`, a read
@@ -129,11 +149,13 @@ pub fn route(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `lhnn train`: train on the synthetic suite and save the model.
+/// `lhnn train`: train the selected architecture on the synthetic suite
+/// and save the model.
 pub fn train(args: &Args) -> CmdResult {
     let scale = args.num("scale", 0.5f32);
     let epochs = args.num("epochs", 60usize);
     let seed = args.num("seed", 0u64);
+    let arch = args.get("model", "lhnn");
     let out = args.get("out", "model.lhnn");
     // --threads 0 (the default) inherits the process-wide compute pool;
     // batch defaults to 1 (the paper's per-sample stepping) so --threads
@@ -146,14 +168,11 @@ pub fn train(args: &Args) -> CmdResult {
     let prep = PreparedDataset::build(&ds)?;
     let train_set = prep.train_samples();
     let test_set = prep.test_samples();
-    let mut model = Lhnn::new(
-        LhnnConfig { channel_mode: ChannelMode::Uni, threads, ..Default::default() },
-        seed,
-    );
+    let mut model = build_arch(&arch, threads, seed)?;
     // the pool width comes from the model's config knob, not the raw flag
     model.configure_pool();
     eprintln!(
-        "training {} parameters for {epochs} epochs on {} designs \
+        "training {arch} ({} parameters) for {epochs} epochs on {} designs \
          ({} data-parallel threads, batch {batch_size})...",
         model.num_parameters(),
         train_set.len(),
@@ -161,16 +180,16 @@ pub fn train(args: &Args) -> CmdResult {
     );
     let cfg =
         TrainConfig { epochs, seed, threads: threads.max(1), batch_size, ..Default::default() };
-    let history = train_model(&mut model, &train_set, &AblationSpec::full(), &cfg);
-    let eval = evaluate(&model, &test_set, &AblationSpec::full());
+    let history = train_model(model.as_mut(), &train_set, &AblationSpec::full(), &cfg);
+    let eval = evaluate(model.as_ref(), &test_set, &AblationSpec::full());
     println!(
         "final loss {:.4}; held-out F1 {:.3}, accuracy {:.3}",
         history.epoch_loss.last().copied().unwrap_or(f32::NAN),
         eval.f1,
         eval.accuracy
     );
-    model.save(File::create(&out)?)?;
-    println!("model written to {out}");
+    model.save_to(&mut File::create(&out)?)?;
+    println!("model written to {out} (kind {arch})");
     Ok(())
 }
 
@@ -353,6 +372,7 @@ fn bench_design(
 /// seconds, stats line).
 fn drive_engine(
     designs: &[(Arc<lhnn::GraphOps>, Arc<FeatureSet>)],
+    arch: &str,
     workers: usize,
     clients: usize,
     requests: usize,
@@ -362,9 +382,8 @@ fn drive_engine(
     metrics: bool,
 ) -> Result<(f64, lhnn_serve::ServeStats, Snapshot, Vec<FlightEvent>), Box<dyn Error>> {
     let registry = Arc::new(ModelRegistry::new());
-    registry.register("default", Lhnn::new(LhnnConfig::default(), 0))?;
     let engine = ServeEngine::new(
-        registry,
+        Arc::clone(&registry),
         EngineConfig {
             workers,
             cache_capacity,
@@ -373,6 +392,14 @@ fn drive_engine(
             ..EngineConfig::default()
         },
     );
+    // Registered through the live engine so the inserts land in the
+    // `lhnn_model_registrations_total{kind=...}` counter; the OTHER
+    // architecture rides along in the same registry — one mixed-zoo
+    // engine, per-kind worker scratch — and serves an untimed proof
+    // request after the measured workload.
+    registry.register_boxed("default", build_arch(arch, 0, 0)?)?;
+    let alt = if arch == "hybridnet" { "lhnn" } else { "hybridnet" };
+    registry.register_boxed(alt, build_arch(alt, 0, 1)?)?;
     let handle = engine.handle();
     let start = std::time::Instant::now();
     std::thread::scope(|scope| -> Result<(), Box<dyn Error>> {
@@ -398,6 +425,10 @@ fn drive_engine(
     })?;
     let elapsed = start.elapsed().as_secs_f64();
     let stats = handle.stats();
+    // the second kind must serve from the same engine (untimed, after the
+    // measured stats are captured)
+    let (ops, features) = &designs[0];
+    handle.predict(&PredictRequest::new(alt, Arc::clone(ops), Arc::clone(features)))?;
     let snapshot = handle.metrics_snapshot();
     let events = handle.flight_events();
     engine.shutdown();
@@ -421,6 +452,7 @@ pub fn loop_bench(args: &Args) -> CmdResult {
     let rounds = args.num("rounds", 5usize).max(1);
     let move_pct = args.num("move-pct", 1.0f32).max(0.0);
     let threads = args.num("threads", 0usize);
+    let arch = args.get("model", "lhnn");
     let json_path = args.get("json", "results/BENCH_incremental.json");
     if threads > 0 {
         neurograd::pool::configure_threads(threads);
@@ -441,14 +473,14 @@ pub fn loop_bench(args: &Args) -> CmdResult {
     eprintln!("placing {cells} cells on {grid_n}x{grid_n} g-cells (traced)...");
     let (placed, trace) = GlobalPlacer::default().place_synth_traced(&synth, &grid)?;
     println!(
-        "loop-bench: {cells} cells, {grid_n}x{grid_n} g-cells, seed {seed}; \
+        "loop-bench: {cells} cells, {grid_n}x{grid_n} g-cells, seed {seed}, model {arch}; \
          trace has {} deltas (quadratic solve + spreading iterations)",
         trace.deltas.len()
     );
 
     // --- session replay: update + predict per placer iteration ---
     let registry = Arc::new(ModelRegistry::new());
-    registry.register("default", Lhnn::new(LhnnConfig::default(), 0))?;
+    registry.register_boxed("default", build_arch(&arch, 0, 0)?)?;
     let engine = ServeEngine::new(
         Arc::clone(&registry),
         EngineConfig {
@@ -758,9 +790,9 @@ pub fn loop_bench(args: &Args) -> CmdResult {
     // rows and splices it into the cached activations, the baseline
     // recomputes every G-cell (what every predict paid before the
     // activation cache existed).
-    let model = Lhnn::new(LhnnConfig::default(), 0);
+    let model = build_arch(&arch, 0, 0)?;
     let version = model.weights_fingerprint();
-    let mut scratch = InferenceScratch::new();
+    let mut scratch = model.new_scratch();
     for (label, k) in [(format!("predict_k{k}_{move_pct}pct"), k), ("predict_k1".to_string(), 1)] {
         // Same reset as the update micro-bench: keep the moves inside the
         // eligibility filter's span budget.
@@ -773,7 +805,7 @@ pub fn loop_bench(args: &Args) -> CmdResult {
         // prime the activation cache with one untimed full forward
         {
             let (ops, feats) = (pipeline.ops(), pipeline.features());
-            let (_, outcome) = incr.predict(&model, version, &ops, &feats, incr.seq());
+            let (_, outcome) = incr.predict(model.as_ref(), version, &ops, &feats, incr.seq());
             if outcome != SpliceOutcome::Full {
                 return Err(
                     format!("priming forward did not take the full path ({outcome:?})").into()
@@ -810,7 +842,8 @@ pub fn loop_bench(args: &Args) -> CmdResult {
             incr.note_incremental(&ForwardDirty::new(dirty_gcells, dirty_nets));
             let (ops, feats) = (pipeline.ops(), pipeline.features());
             let t0 = std::time::Instant::now();
-            let (spliced, outcome) = incr.predict(&model, version, &ops, &feats, incr.seq());
+            let (spliced, outcome) =
+                incr.predict(model.as_ref(), version, &ops, &feats, incr.seq());
             if timed {
                 splice_s += t0.elapsed().as_secs_f64();
                 let SpliceOutcome::Spliced { gcell_rows, .. } = outcome else {
@@ -822,7 +855,7 @@ pub fn loop_bench(args: &Args) -> CmdResult {
                 halo_rows += gcell_rows;
             }
             let t1 = std::time::Instant::now();
-            let full = model.predict_into(&ops, &feats, &mut scratch);
+            let full = model.predict_with(&ops, &feats, scratch.as_mut());
             if timed {
                 full_fwd_s += t1.elapsed().as_secs_f64();
             }
@@ -996,6 +1029,7 @@ fn loop_bench_concurrent(args: &Args, designs_n: usize) -> CmdResult {
     let grid_n = args.num("grid", 24u32).max(2);
     let seed = args.num("seed", 1u64);
     let threads = args.num("threads", 0usize);
+    let arch = args.get("model", "lhnn");
     let json_path = args.get("json", "results/BENCH_serve_shard.json");
     if threads > 0 {
         neurograd::pool::configure_threads(threads);
@@ -1044,7 +1078,7 @@ fn loop_bench_concurrent(args: &Args, designs_n: usize) -> CmdResult {
     );
 
     let registry = Arc::new(ModelRegistry::new());
-    registry.register("default", Lhnn::new(LhnnConfig::default(), 0))?;
+    registry.register_boxed("default", build_arch(&arch, 0, 0)?)?;
 
     // --- baseline: serially-driven sessions, single shard, one worker ---
     let serial_engine = ServeEngine::new(
@@ -1113,29 +1147,36 @@ fn loop_bench_concurrent(args: &Args, designs_n: usize) -> CmdResult {
         })
         .collect::<Result<_, _>>()?;
     let t1 = std::time::Instant::now();
-    let results: Vec<Result<(Arc<lhnn::Prediction>, (u64, u64)), String>> =
-        std::thread::scope(|scope| {
-            let joins: Vec<_> = designs
-                .iter()
-                .zip(conc_sessions)
-                .map(|(design, mut session)| {
-                    scope.spawn(move || -> Result<_, String> {
-                        let mut last = None;
-                        for delta in &design.deltas {
-                            // pipelined: fire the update, let the shard
-                            // apply it; predict drains in order
-                            drop(session.submit_update(delta));
-                            last = Some(session.predict().map_err(|e| e.to_string())?.prediction);
-                        }
-                        Ok((
-                            last.expect("trace has deltas"),
-                            session.fingerprints().map_err(|e| e.to_string())?,
-                        ))
-                    })
+    type ConcResult = Result<(Arc<lhnn::Prediction>, (u64, u64), Vec<vlsi_netlist::NetId>), String>;
+    let results: Vec<ConcResult> = std::thread::scope(|scope| {
+        let joins: Vec<_> = designs
+            .iter()
+            .zip(conc_sessions)
+            .map(|(design, mut session)| {
+                scope.spawn(move || -> ConcResult {
+                    let mut last = None;
+                    for delta in &design.deltas {
+                        // pipelined: fire the update, let the shard
+                        // apply it; predict drains in order
+                        drop(session.submit_update(delta));
+                        last = Some(session.predict().map_err(|e| e.to_string())?.prediction);
+                    }
+                    // The session's column layout is order-dependent
+                    // (tombstones keep their slot, appends land at the
+                    // end), so the parity rebuild below must be
+                    // prescribed this layout — a canonical build only
+                    // matches right after a compaction.
+                    let columns = session.with_pipeline(|p| p.graph().kept_nets().to_vec());
+                    Ok((
+                        last.expect("trace has deltas"),
+                        session.fingerprints().map_err(|e| e.to_string())?,
+                        columns,
+                    ))
                 })
-                .collect();
-            joins.into_iter().map(|j| j.join().expect("client thread")).collect()
-        });
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().expect("client thread")).collect()
+    });
     let conc_s = t1.elapsed().as_secs_f64();
     let conc_rps = total_ops as f64 / conc_s.max(1e-9);
     println!(
@@ -1145,15 +1186,27 @@ fn loop_bench_concurrent(args: &Args, designs_n: usize) -> CmdResult {
     );
 
     // --- bitwise parity: every concurrent session vs serial replay and a
-    // from-scratch rebuild at the final placement ---
+    // from-scratch rebuild at the final placement (prescribed the
+    // session's own column layout, exactly like the single-design mode:
+    // size-filter crossings tombstone/append columns in place, so the
+    // replayed layout legitimately differs from a canonical build) ---
     for (design, (result, serial_pred)) in designs.iter().zip(results.iter().zip(&serial_last)) {
-        let (conc_pred, conc_fps) = result.as_ref().map_err(|e| e.clone())?;
-        let fresh = LatticePipeline::for_serving(
-            Arc::clone(&design.circuit),
-            design.final_placement.clone(),
-            design.grid.clone(),
+        let (conc_pred, conc_fps, columns) = result.as_ref().map_err(|e| e.clone())?;
+        let fresh_graph = LhGraph::build_with_columns(
+            &design.circuit,
+            &design.final_placement,
+            &design.grid,
+            &LhGraphConfig::default(),
+            columns,
         )?;
-        let fresh_fps = fresh.fingerprints()?;
+        let fresh_features = FeatureSet::build(
+            &fresh_graph,
+            &design.circuit,
+            &design.final_placement,
+            &design.grid,
+        )?;
+        let fresh_ops = GraphOps::from_graph(&fresh_graph, &AblationSpec::full());
+        let fresh_fps = (fresh_ops.fingerprint(), fresh_features.fingerprint());
         if *conc_fps != fresh_fps {
             return Err(format!(
                 "bitwise parity FAILED for {}: concurrent session {conc_fps:?} vs fresh \
@@ -1255,7 +1308,7 @@ fn loop_bench_concurrent(args: &Args, designs_n: usize) -> CmdResult {
     let burst_stats = bb_handle.stats();
     batched_burst.shutdown();
     // parity: batched replies == serial replies == direct model forwards
-    let direct_model = Lhnn::new(LhnnConfig::default(), 0);
+    let direct_model = build_arch(&arch, 0, 0)?;
     for (i, ((ops, feats), (serial, batched))) in
         snapshots.iter().zip(serial_replies.iter().zip(&batched_replies)).enumerate()
     {
@@ -1328,6 +1381,7 @@ pub fn serve_bench(args: &Args) -> CmdResult {
     let cache = args.num("cache", 128usize);
     let threshold = args.num("threshold", 0.5f32);
     let compute_threads = args.num("threads", 0usize);
+    let arch = args.get("model", "lhnn");
     if compute_threads > 0 {
         neurograd::pool::configure_threads(compute_threads);
     }
@@ -1338,7 +1392,8 @@ pub fn serve_bench(args: &Args) -> CmdResult {
     let designs = designs?;
 
     println!(
-        "workload: {requests} requests over {designs_n} designs, {clients} client threads, cache {cache}"
+        "workload: {requests} requests over {designs_n} designs ({arch} model), \
+         {clients} client threads, cache {cache}"
     );
     println!(
         "compute pool: {} intra-op threads, shared by all {workers} workers \
@@ -1354,6 +1409,7 @@ pub fn serve_bench(args: &Args) -> CmdResult {
     ] {
         let (elapsed, stats, _, _) = drive_engine(
             &designs,
+            &arch,
             w,
             clients,
             requests,
@@ -1379,6 +1435,7 @@ pub fn serve_bench(args: &Args) -> CmdResult {
     // Warm-cache pass: every design repeats, so hits dominate.
     let (elapsed, stats, snapshot, events) = drive_engine(
         &designs,
+        &arch,
         workers,
         clients,
         requests,

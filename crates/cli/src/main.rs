@@ -27,19 +27,22 @@ USAGE:
       dump and print every series
   lhnn route --dir DIR --design NAME --grid G [--tracks T] [--pgm PREFIX]
       global-route a placed Bookshelf design, print congestion stats
-  lhnn train [--scale F] [--epochs N] [--seed S] [--threads N] [--batch B] --out MODEL
-      train LHNN on the synthetic suite, save the model. --batch B (default
-      1 = the paper's per-sample stepping) accumulates gradients over B
-      samples per optimiser step; --threads N shards each batch across N
-      workers — for a given --batch the loss trajectory is bitwise
-      identical at any thread count
-  lhnn predict --model MODEL --dir DIR --design NAME --grid G [--threshold T]
-               [--threads N] [--compare] [--pgm FILE]
+  lhnn train [--model lhnn|hybridnet] [--scale F] [--epochs N] [--seed S]
+             [--threads N] [--batch B] --out MODEL
+      train the selected architecture (default lhnn) on the synthetic
+      suite, save the model. --batch B (default 1 = the paper's per-sample
+      stepping) accumulates gradients over B samples per optimiser step;
+      --threads N shards each batch across N workers — for a given --batch
+      the loss trajectory is bitwise identical at any thread count
+  lhnn predict --model MODEL_FILE --dir DIR --design NAME --grid G
+               [--threshold T] [--threads N] [--compare] [--pgm FILE]
       predict a congestion map for a placed design (served through the
-      inference engine; --threshold sets the congestion cutoff, default 0.5;
+      inference engine; the architecture is read from the checkpoint's
+      kind tag; --threshold sets the congestion cutoff, default 0.5;
       --threads sets the intra-op compute-pool width)
-  lhnn serve-bench [--designs N] [--requests N] [--workers N] [--clients N]
-                   [--cells N] [--grid G] [--cache N] [--threshold T] [--threads N]
+  lhnn serve-bench [--model lhnn|hybridnet] [--designs N] [--requests N]
+                   [--workers N] [--clients N] [--cells N] [--grid G]
+                   [--cache N] [--threshold T] [--threads N]
                    [--metrics [PREFIX]] [--no-metrics]
       drive synthetic designs through the lhnn-serve engine and report
       latency percentiles, throughput, parallel speedup, cache hit rate and
@@ -47,8 +50,8 @@ USAGE:
       latency breakdown and flight-recorder events; --metrics also writes
       PREFIX.prom / PREFIX.json (default results/METRICS_serve_bench);
       --no-metrics disables instrumentation entirely
-  lhnn loop-bench [--cells N] [--grid G] [--seed S] [--rounds N]
-                  [--move-pct P] [--threads N] [--json FILE]
+  lhnn loop-bench [--model lhnn|hybridnet] [--cells N] [--grid G] [--seed S]
+                  [--rounds N] [--move-pct P] [--threads N] [--json FILE]
                   [--designs D] [--shards S] [--workers W]
                   [--metrics [PREFIX]] [--no-metrics]
       placement-in-the-loop benchmark: replay the placer's own iteration

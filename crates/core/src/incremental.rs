@@ -57,8 +57,77 @@ use lh_graph::{halo, FeatureSet};
 use lhnn_obs::{Counter, Histogram, Registry};
 use neurograd::{kernels, stable_sigmoid, Matrix};
 
+use crate::congestion::CongestionModel;
 use crate::model::{LatticeMpBlock, Lhnn, Prediction};
 use crate::ops::GraphOps;
+
+/// The per-model activation cache behind [`IncrementalForward`]: every
+/// intermediate tensor of the last forward, full-size, plus masked
+/// row-subset refresh paths over them.
+///
+/// Implementations are produced by their own architecture's
+/// [`CongestionModel::new_activation_cache`] and are only ever refreshed
+/// by a model whose `kind()` and `weights_fingerprint()` match the cache
+/// (the [`IncrementalForward`] paths guard this), so they may downcast
+/// the model they are handed.
+///
+/// Invariant every implementation must keep: after each refresh (full or
+/// spliced), every cached tensor equals its full-forward value at
+/// **every** row — refreshes recompute a superset of the truly-dirty
+/// rows and leave the rest untouched, and each output row is an
+/// independent fixed float sequence, so splices stay bitwise identical
+/// to full forwards.
+pub trait ActivationCache: Send {
+    /// The owning architecture's kind tag (matches
+    /// [`CongestionModel::kind`]).
+    fn kind(&self) -> &'static str;
+
+    /// The weights fingerprint this cache was refreshed under.
+    fn weights_version(&self) -> u64;
+
+    /// `(ops fingerprint, features fingerprint)` of the cached forward.
+    fn fingerprints(&self) -> (u64, u64);
+
+    /// Stamps the input fingerprints after a successful refresh.
+    fn set_fingerprints(&mut self, ops_fp: u64, features_fp: u64);
+
+    /// Cached G-cell row count.
+    fn n_c(&self) -> usize;
+
+    /// Cached G-net row count.
+    fn n_n(&self) -> usize;
+
+    /// The cached prediction (clones the output tensors).
+    fn cached_prediction(&self) -> Prediction;
+
+    /// Widens every G-net-dimensioned tensor to `n_n` rows in place
+    /// (stable columns only ever append at the end, so existing rows
+    /// keep their cached values row-for-row; new rows are zeroed and
+    /// must be unioned into the dirty set by the caller).
+    fn grow_gnet_rows(&mut self, n_n: usize);
+
+    /// Recomputes every row through the masked row-subset kernels.
+    fn refresh_full(
+        &mut self,
+        model: &dyn CongestionModel,
+        ops: &GraphOps,
+        features: &FeatureSet,
+        timer: &mut DilateTimer,
+    );
+
+    /// Recomputes the dirty rows, dilating them through each
+    /// aggregation's receptive field, and splices the result into the
+    /// cached state. Returns the final `(gcell, gnet)` halo sizes.
+    fn refresh_splice(
+        &mut self,
+        model: &dyn CongestionModel,
+        ops: &GraphOps,
+        features: &FeatureSet,
+        dirty_gcells: Vec<usize>,
+        dirty_gnets: Vec<usize>,
+        timer: &mut DilateTimer,
+    ) -> (usize, usize);
+}
 
 /// Sorted, duplicate-free dirty index sets accumulated from one or more
 /// incremental pipeline updates: the G-cell rows and G-net rows whose
@@ -194,8 +263,8 @@ struct IncrObs {
 }
 
 impl IncrObs {
-    fn new(registry: &Registry, design: &str) -> Self {
-        let d = &[("design", design)][..];
+    fn new(registry: &Registry, design: &str, model_kind: &str) -> Self {
+        let d = &[("design", design), ("model", model_kind)][..];
         Self {
             dilate: registry.stage("dilate"),
             forward: registry.stage("forward"),
@@ -217,18 +286,22 @@ impl IncrObs {
 /// Accumulates nanoseconds spent in the dilation sites of one refresh.
 /// Timing-only: wraps each site in a clock read when armed and is a plain
 /// passthrough when not, so the float work is identical either way.
-struct DilateTimer {
+/// Handed to [`ActivationCache`] refreshes so per-model splice code can
+/// attribute its dilation time without owning any metric handles.
+#[derive(Debug)]
+pub struct DilateTimer {
     armed: bool,
     ns: u128,
 }
 
 impl DilateTimer {
-    fn new(armed: bool) -> Self {
+    pub(crate) fn new(armed: bool) -> Self {
         Self { armed, ns: 0 }
     }
 
+    /// Runs `f`, attributing its wall time to halo dilation when armed.
     #[inline]
-    fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
         if self.armed {
             let t0 = Instant::now();
             let out = f();
@@ -276,12 +349,13 @@ struct LatticeActs {
 /// `sc_*`/`sy_*` matrices are ResBlock-internal scratch, wholly written
 /// and read at identical row lists within one block call, so they carry
 /// no cross-forward state.
-struct ActivationState {
+pub(crate) struct ActivationState {
     weights_version: u64,
     ops_fp: u64,
     features_fp: u64,
     n_c: usize,
     n_n: usize,
+    hidden: usize,
     // FeatureGen
     fc: Matrix,
     fn_: Matrix,
@@ -306,7 +380,7 @@ struct ActivationState {
 }
 
 impl ActivationState {
-    fn new(model: &Lhnn, weights_version: u64, n_c: usize, n_n: usize) -> Self {
+    pub(crate) fn new(model: &Lhnn, weights_version: u64, n_c: usize, n_n: usize) -> Self {
         let h = model.cfg.hidden;
         let ch = model.cfg.channel_mode.channels();
         let zc = || Matrix::zeros(n_c, h);
@@ -317,6 +391,7 @@ impl ActivationState {
             features_fp: 0,
             n_c,
             n_n,
+            hidden: h,
             fc: zc(),
             fn_: zn(),
             agg: zc(),
@@ -476,29 +551,97 @@ fn refresh(
     (dc, dn)
 }
 
-/// Grows every G-net-dimensioned tensor of a cached state to `n_n` rows.
-/// Appended columns always land at the *end* of the stable column space,
-/// so existing rows keep their cached values row-for-row and the new
-/// (zeroed) rows are recomputed by the splice that unions them into the
-/// dirty set.
-fn grow_gnet_rows(st: &mut ActivationState, model: &Lhnn, n_n: usize) {
-    let h = model.cfg.hidden;
-    let grow = |m: &mut Matrix, cols: usize| {
-        let mut g = Matrix::zeros(n_n, cols);
-        g.as_mut_slice()[..m.as_slice().len()].copy_from_slice(m.as_slice());
-        *m = g;
-    };
-    grow(&mut st.fn_, h);
-    grow(&mut st.v_n1, h);
-    grow(&mut st.sc_n, h);
-    grow(&mut st.sy_n, h);
-    for la in &mut st.hyper {
-        grow(&mut la.msg_n, h);
-        grow(&mut la.cat_n, 2 * h);
-        grow(&mut la.fused_n, h);
-        grow(&mut la.prev_n, h);
-        grow(&mut la.v_n, h);
-        grow(&mut la.hn, h);
+/// Widens a cached tensor to `rows`, keeping existing rows row-for-row.
+/// Appended G-net columns always land at the *end* of the stable column
+/// space, so the zeroed new rows are recomputed by the splice that
+/// unions them into the dirty set.
+pub(crate) fn widen_rows(m: &mut Matrix, rows: usize, cols: usize) {
+    let mut g = Matrix::zeros(rows, cols);
+    g.as_mut_slice()[..m.as_slice().len()].copy_from_slice(m.as_slice());
+    *m = g;
+}
+
+impl ActivationCache for ActivationState {
+    fn kind(&self) -> &'static str {
+        "lhnn"
+    }
+
+    fn weights_version(&self) -> u64 {
+        self.weights_version
+    }
+
+    fn fingerprints(&self) -> (u64, u64) {
+        (self.ops_fp, self.features_fp)
+    }
+
+    fn set_fingerprints(&mut self, ops_fp: u64, features_fp: u64) {
+        self.ops_fp = ops_fp;
+        self.features_fp = features_fp;
+    }
+
+    fn n_c(&self) -> usize {
+        self.n_c
+    }
+
+    fn n_n(&self) -> usize {
+        self.n_n
+    }
+
+    fn cached_prediction(&self) -> Prediction {
+        Prediction { cls_prob: self.cls_prob.clone(), reg: self.reg.clone() }
+    }
+
+    fn grow_gnet_rows(&mut self, n_n: usize) {
+        let h = self.hidden;
+        widen_rows(&mut self.fn_, n_n, h);
+        widen_rows(&mut self.v_n1, n_n, h);
+        widen_rows(&mut self.sc_n, n_n, h);
+        widen_rows(&mut self.sy_n, n_n, h);
+        for la in &mut self.hyper {
+            widen_rows(&mut la.msg_n, n_n, h);
+            widen_rows(&mut la.cat_n, n_n, 2 * h);
+            widen_rows(&mut la.fused_n, n_n, h);
+            widen_rows(&mut la.prev_n, n_n, h);
+            widen_rows(&mut la.v_n, n_n, h);
+            widen_rows(&mut la.hn, n_n, h);
+        }
+        self.all_n.extend(self.n_n..n_n);
+        self.n_n = n_n;
+    }
+
+    fn refresh_full(
+        &mut self,
+        model: &dyn CongestionModel,
+        ops: &GraphOps,
+        features: &FeatureSet,
+        timer: &mut DilateTimer,
+    ) {
+        let model = model
+            .as_any()
+            .downcast_ref::<Lhnn>()
+            .expect("lhnn activation cache refreshed by a non-lhnn model");
+        let dc = std::mem::take(&mut self.all_c);
+        let dn = std::mem::take(&mut self.all_n);
+        let (dc, dn) = refresh(self, model, ops, features, dc, dn, false, timer);
+        self.all_c = dc;
+        self.all_n = dn;
+    }
+
+    fn refresh_splice(
+        &mut self,
+        model: &dyn CongestionModel,
+        ops: &GraphOps,
+        features: &FeatureSet,
+        dirty_gcells: Vec<usize>,
+        dirty_gnets: Vec<usize>,
+        timer: &mut DilateTimer,
+    ) -> (usize, usize) {
+        let model = model
+            .as_any()
+            .downcast_ref::<Lhnn>()
+            .expect("lhnn activation cache spliced by a non-lhnn model");
+        let (dc, dn) = refresh(self, model, ops, features, dirty_gcells, dirty_gnets, true, timer);
+        (dc.len(), dn.len())
     }
 }
 
@@ -521,7 +664,7 @@ struct Notes {
 /// entry), so the next predict falls back to a full refresh.
 pub struct IncrementalForward {
     notes: Mutex<Notes>,
-    act: Mutex<Option<Box<ActivationState>>>,
+    act: Mutex<Option<Box<dyn ActivationCache>>>,
     obs: Option<IncrObs>,
 }
 
@@ -551,11 +694,13 @@ impl IncrementalForward {
     /// Like [`IncrementalForward::new`], with forwards additionally
     /// reported to `registry`: `dilate`/`forward`/`splice` stage spans,
     /// halo-size histograms, and path counters (globally and per
-    /// `design`). Recording is timing-only — predictions stay bitwise
-    /// identical to the uninstrumented constructor.
-    pub fn with_metrics(registry: &Registry, design: &str) -> Self {
+    /// `design`/`model` label pair — `model_kind` should be the served
+    /// model's [`CongestionModel::kind`], so mixed-zoo traffic stays
+    /// attributable). Recording is timing-only — predictions stay
+    /// bitwise identical to the uninstrumented constructor.
+    pub fn with_metrics(registry: &Registry, design: &str, model_kind: &str) -> Self {
         let mut inc = Self::new();
-        inc.obs = Some(IncrObs::new(registry, design));
+        inc.obs = Some(IncrObs::new(registry, design, model_kind));
         inc
     }
 
@@ -621,17 +766,18 @@ impl IncrementalForward {
     /// Runs the forward for `(ops, features)`, splicing over the dirty
     /// halo when the cached state allows it.
     ///
-    /// `model_version` is the caller's fingerprint of the weights (e.g.
-    /// [`Lhnn::weights_fingerprint`], typically already computed by a
-    /// registry); a version change invalidates the cache. `seq_snapshot`
+    /// `model_version` is the caller's fingerprint of the weights
+    /// ([`CongestionModel::weights_fingerprint`], typically already
+    /// computed by a registry); a version change — including a hot-swap
+    /// to a different model kind — invalidates the cache. `seq_snapshot`
     /// is the value of [`IncrementalForward::seq`] captured when the
     /// `(ops, features)` snapshot was taken.
     ///
-    /// Returns the prediction — bitwise identical to
-    /// [`Lhnn::predict`] on the same inputs — and the path taken.
+    /// Returns the prediction — bitwise identical to the model's own
+    /// fused `predict` on the same inputs — and the path taken.
     pub fn predict(
         &self,
-        model: &Lhnn,
+        model: &dyn CongestionModel,
         model_version: u64,
         ops: &GraphOps,
         features: &FeatureSet,
@@ -654,14 +800,12 @@ impl IncrementalForward {
         // Path 1: fingerprints match the cached state — the cached
         // prediction IS the full-forward answer for these inputs.
         let reusable = taken.as_ref().map_or(false, |st| {
-            st.weights_version == model_version
-                && st.ops_fp == ops_fp
-                && st.features_fp == features_fp
+            st.weights_version() == model_version && st.fingerprints() == (ops_fp, features_fp)
         });
         if reusable {
             let st = taken.expect("checked above");
             let t_splice = self.obs.as_ref().and_then(|o| o.splice.start());
-            let pred = Prediction { cls_prob: st.cls_prob.clone(), reg: st.reg.clone() };
+            let pred = st.cached_prediction();
             *act = Some(st);
             drop(act);
             if let Some(o) = &self.obs {
@@ -678,9 +822,10 @@ impl IncrementalForward {
         // rows join the dirty set below.
         let splice_ok = match (&taken, &dirt) {
             (Some(st), Some(d)) => {
-                st.weights_version == model_version
-                    && st.n_c == n_c
-                    && st.n_n <= n_n
+                st.kind() == model.kind()
+                    && st.weights_version() == model_version
+                    && st.n_c() == n_c
+                    && st.n_n() <= n_n
                     && ops.num_gcells == n_c
                     && d.gcells.last().map_or(true, |&r| r < n_c)
                     && d.gnets.last().map_or(true, |&r| r < n_n)
@@ -693,32 +838,30 @@ impl IncrementalForward {
             let mut st = taken.take().expect("checked above");
             let d = dirt.as_ref().expect("checked above");
             let mut dn0 = d.gnets.clone();
-            if st.n_n < n_n {
-                let appended: Vec<usize> = (st.n_n..n_n).collect();
-                grow_gnet_rows(&mut st, model, n_n);
-                st.all_n.extend(appended.iter().copied());
-                st.n_n = n_n;
+            if st.n_n() < n_n {
+                let appended: Vec<usize> = (st.n_n()..n_n).collect();
+                st.grow_gnet_rows(n_n);
                 dn0 = union_sorted(&dn0, &appended);
             }
-            let (dc, dn) =
-                refresh(&mut st, model, ops, features, d.gcells.clone(), dn0, true, &mut dilate_t);
-            let outcome = SpliceOutcome::Spliced { gcell_rows: dc.len(), gnet_rows: dn.len() };
+            let (gcell_rows, gnet_rows) =
+                st.refresh_splice(model, ops, features, d.gcells.clone(), dn0, &mut dilate_t);
+            let outcome = SpliceOutcome::Spliced { gcell_rows, gnet_rows };
             (st, outcome)
         } else {
-            // Path 3: full refresh, reusing allocations when shapes allow.
+            // Path 3: full refresh, reusing allocations when the kind
+            // and shapes allow.
             let mut st = match taken.take() {
                 Some(st)
-                    if st.weights_version == model_version && st.n_c == n_c && st.n_n == n_n =>
+                    if st.kind() == model.kind()
+                        && st.weights_version() == model_version
+                        && st.n_c() == n_c
+                        && st.n_n() == n_n =>
                 {
                     st
                 }
-                _ => Box::new(ActivationState::new(model, model_version, n_c, n_n)),
+                _ => model.new_activation_cache(model_version, n_c, n_n),
             };
-            let dc = std::mem::take(&mut st.all_c);
-            let dn = std::mem::take(&mut st.all_n);
-            let (dc, dn) = refresh(&mut st, model, ops, features, dc, dn, false, &mut dilate_t);
-            st.all_c = dc;
-            st.all_n = dn;
+            st.refresh_full(model, ops, features, &mut dilate_t);
             (st, SpliceOutcome::Full)
         };
         if let (Some(o), Some(t0)) = (&self.obs, t_refresh) {
@@ -733,10 +876,9 @@ impl IncrementalForward {
                 o.halo_gnets.observe(gnet_rows as u64);
             }
         }
-        st.ops_fp = ops_fp;
-        st.features_fp = features_fp;
+        st.set_fingerprints(ops_fp, features_fp);
         let t_splice = self.obs.as_ref().and_then(|o| o.splice.start());
-        let pred = Prediction { cls_prob: st.cls_prob.clone(), reg: st.reg.clone() };
+        let pred = st.cached_prediction();
         *act = Some(st);
         drop(act);
         if let Some(o) = &self.obs {
@@ -879,7 +1021,7 @@ mod tests {
         let version = model.weights_fingerprint();
         let registry = Registry::new();
         let plain = IncrementalForward::new();
-        let observed = IncrementalForward::with_metrics(&registry, "d0");
+        let observed = IncrementalForward::with_metrics(&registry, "d0", "lhnn");
         let (a, _) = plain.predict(&model, version, &ops, &feats, plain.seq());
         let (b, _) = observed.predict(&model, version, &ops, &feats, observed.seq());
         assert!(a.cls_prob.approx_eq(&b.cls_prob, 0.0), "metrics changed the prediction");
@@ -888,7 +1030,10 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter("lhnn_full_forwards_total"), 1);
         assert_eq!(snap.counter("lhnn_reused_predictions_total"), 1);
-        assert_eq!(snap.counter("lhnn_design_full_forwards_total{design=\"d0\"}"), 1);
+        assert_eq!(
+            snap.counter("lhnn_design_full_forwards_total{design=\"d0\",model=\"lhnn\"}"),
+            1
+        );
         assert_eq!(snap.histogram("lhnn_stage_us{stage=\"forward\"}").unwrap().count, 1);
         assert_eq!(snap.histogram("lhnn_stage_us{stage=\"dilate\"}").unwrap().count, 1);
         assert_eq!(snap.histogram("lhnn_stage_us{stage=\"splice\"}").unwrap().count, 2);

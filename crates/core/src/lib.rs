@@ -23,6 +23,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod congestion;
+pub mod hybrid;
 pub mod incremental;
 pub mod loss;
 pub mod model;
@@ -32,13 +34,16 @@ pub mod serialize;
 pub mod trainer;
 
 pub use config::{AblationSpec, LhnnConfig, TrainConfig};
+pub use congestion::{CongestionModel, ModelScratch, ScratchSet};
+pub use hybrid::{HybridNet, HybridNetConfig, HybridScratch};
 pub use incremental::{
-    ForwardDirty, IncrementalForward, IncrementalStats, InvalidationCause, SpliceOutcome,
+    ActivationCache, ForwardDirty, IncrementalForward, IncrementalStats, InvalidationCause,
+    SpliceOutcome,
 };
 pub use model::{InferenceScratch, Lhnn, LhnnOutput, Prediction};
 pub use ops::GraphOps;
 pub use pipeline::{LatticePipeline, PipelineStats, PipelineUpdate, RebuildCause, StalePipeline};
-pub use serialize::ModelIoError;
+pub use serialize::{load_model, ModelIoError};
 pub use trainer::{
     evaluate, evaluate_regression, predict_map, train, train_observed, DesignEval, EvalResult,
     RegEval, Sample, TrainHistory,

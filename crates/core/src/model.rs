@@ -24,6 +24,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::LhnnConfig;
+use crate::congestion::{CongestionModel, ModelScratch};
+use crate::incremental::{ActivationCache, ActivationState};
 use crate::ops::GraphOps;
 
 /// FeatureGen block (Eq. 1–2).
@@ -569,6 +571,87 @@ impl Lhnn {
             p.value.hash_into(&mut h);
         }
         h.finish()
+    }
+}
+
+impl ModelScratch for InferenceScratch {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+impl CongestionModel for Lhnn {
+    fn kind(&self) -> &'static str {
+        "lhnn"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn gcell_in_dim(&self) -> usize {
+        self.cfg.gcell_in_dim
+    }
+
+    fn gnet_in_dim(&self) -> usize {
+        self.cfg.gnet_in_dim
+    }
+
+    fn hidden(&self) -> usize {
+        self.cfg.hidden
+    }
+
+    fn channel_mode(&self) -> lh_graph::ChannelMode {
+        self.cfg.channel_mode
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn configure_pool(&self) {
+        Lhnn::configure_pool(self);
+    }
+
+    fn weights_fingerprint(&self) -> u64 {
+        Lhnn::weights_fingerprint(self)
+    }
+
+    fn forward(&self, tape: &mut Tape, ops: &GraphOps, features: &FeatureSet) -> LhnnOutput {
+        Lhnn::forward(self, tape, ops, features)
+    }
+
+    fn new_scratch(&self) -> Box<dyn ModelScratch> {
+        Box::new(InferenceScratch::new())
+    }
+
+    fn predict_with(
+        &self,
+        ops: &GraphOps,
+        features: &FeatureSet,
+        scratch: &mut dyn ModelScratch,
+    ) -> Prediction {
+        match scratch.as_any_mut().downcast_mut::<InferenceScratch>() {
+            Some(s) => self.predict_into(ops, features, s),
+            None => self.predict_into(ops, features, &mut InferenceScratch::new()),
+        }
+    }
+
+    fn new_activation_cache(
+        &self,
+        weights_version: u64,
+        n_c: usize,
+        n_n: usize,
+    ) -> Box<dyn ActivationCache> {
+        Box::new(ActivationState::new(self, weights_version, n_c, n_n))
+    }
+
+    fn save_to(&self, w: &mut dyn std::io::Write) -> Result<(), crate::serialize::ModelIoError> {
+        self.save(w)
     }
 }
 

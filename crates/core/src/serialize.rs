@@ -1,24 +1,35 @@
-//! Model persistence: save/load trained LHNN weights as a plain-text
-//! format (no external serialisation dependency; see DESIGN.md §5).
+//! Model persistence: save/load trained weights as a plain-text format
+//! (no external serialisation dependency; see DESIGN.md §5).
 //!
-//! Format (`lhnn-model v1`): a header with the architecture hyper-
-//! parameters followed by one block per parameter tensor:
+//! Format (`lhnn-model v2`): a magic line, a `kind` tag naming the
+//! architecture, a header with its hyper-parameters, then one block per
+//! parameter tensor:
 //!
 //! ```text
-//! lhnn-model v1
+//! lhnn-model v2
+//! kind lhnn
 //! hidden 32
 //! ...
 //! params 42
 //! param featuregen.f_c.lin1.weight 4 32
 //! 0.01 -0.2 ...
 //! ```
+//!
+//! Backward compatibility: `lhnn-model v1` streams predate the kind tag
+//! and always hold LHNN weights, so they load as kind `lhnn`. Unknown
+//! kinds and unknown versions are rejected with [`ModelIoError::Format`]
+//! before any model is constructed — a bad checkpoint can never poison a
+//! registry. [`load_model`] dispatches on the tag and returns the
+//! architecture behind the [`CongestionModel`] trait.
 
 use std::io::{BufRead, BufReader, Read, Write};
 
 use lh_graph::ChannelMode;
-use neurograd::Matrix;
+use neurograd::{Matrix, ParamStore};
 
 use crate::config::LhnnConfig;
+use crate::congestion::CongestionModel;
+use crate::hybrid::{HybridNet, HybridNetConfig};
 use crate::model::Lhnn;
 
 /// Errors from model (de)serialisation.
@@ -26,7 +37,8 @@ use crate::model::Lhnn;
 pub enum ModelIoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// The file is not a valid `lhnn-model v1` stream.
+    /// The file is not a valid `lhnn-model` stream (bad magic, unknown
+    /// version or kind, malformed header or payload).
     Format(String),
     /// The stored architecture does not match expectations.
     Mismatch(String),
@@ -72,8 +84,128 @@ fn parse_mode(s: &str) -> Result<ChannelMode, ModelIoError> {
     }
 }
 
+/// The architecture named by a checkpoint's header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KindTag {
+    Lhnn,
+    HybridNet,
+}
+
+fn next_line(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+    what: &str,
+) -> Result<String, ModelIoError> {
+    lines
+        .next()
+        .ok_or_else(|| ModelIoError::Format(format!("unexpected eof before {what}")))?
+        .map_err(ModelIoError::Io)
+}
+
+fn read_kv(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+    key: &str,
+) -> Result<String, ModelIoError> {
+    let line = next_line(lines, key)?;
+    let (k, v) = line
+        .split_once(' ')
+        .ok_or_else(|| ModelIoError::Format(format!("expected `{key} <value>`")))?;
+    if k != key {
+        return Err(ModelIoError::Format(format!("expected key `{key}`, got `{k}`")));
+    }
+    Ok(v.trim().to_string())
+}
+
+fn parse_usize(v: String, key: &str) -> Result<usize, ModelIoError> {
+    v.parse().map_err(|_| ModelIoError::Format(format!("bad {key} `{v}`")))
+}
+
+/// Reads the magic + kind tag. `lhnn-model v1` streams predate the tag
+/// and are always LHNN; `lhnn-model v2` carries an explicit `kind` line.
+fn read_header(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+) -> Result<KindTag, ModelIoError> {
+    let magic = next_line(lines, "header")?;
+    match magic.trim() {
+        "lhnn-model v1" => Ok(KindTag::Lhnn),
+        "lhnn-model v2" => match read_kv(lines, "kind")?.as_str() {
+            "lhnn" => Ok(KindTag::Lhnn),
+            "hybridnet" => Ok(KindTag::HybridNet),
+            other => Err(ModelIoError::Format(format!("unknown model kind `{other}`"))),
+        },
+        _ => Err(ModelIoError::Format(format!("bad magic `{magic}`"))),
+    }
+}
+
+/// Writes every parameter tensor of `store` as `param` blocks.
+fn write_params<W: Write>(w: &mut W, store: &ParamStore) -> Result<(), ModelIoError> {
+    writeln!(w, "params {}", store.len())?;
+    for p in store.iter() {
+        let (rows, cols) = p.value.shape();
+        writeln!(w, "param {} {} {}", p.name, rows, cols)?;
+        let mut line = String::with_capacity(p.value.len() * 10);
+        for (i, v) in p.value.as_slice().iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push_str(&format!("{v:e}"));
+        }
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads `param` blocks into a freshly built architecture's store,
+/// verifying tensor names and shapes against it.
+fn load_params(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+    store: &mut ParamStore,
+) -> Result<(), ModelIoError> {
+    let count = parse_usize(read_kv(lines, "params")?, "params")?;
+    if store.len() != count {
+        return Err(ModelIoError::Mismatch(format!(
+            "file has {count} tensors, architecture has {}",
+            store.len()
+        )));
+    }
+    for i in 0..count {
+        let header = next_line(lines, "param header")?;
+        let tok: Vec<&str> = header.split_whitespace().collect();
+        if tok.len() != 4 || tok[0] != "param" {
+            return Err(ModelIoError::Format(format!("bad param header `{header}`")));
+        }
+        let name = tok[1];
+        let rows: usize =
+            tok[2].parse().map_err(|_| ModelIoError::Format(format!("bad rows `{}`", tok[2])))?;
+        let cols: usize =
+            tok[3].parse().map_err(|_| ModelIoError::Format(format!("bad cols `{}`", tok[3])))?;
+        let data_line = next_line(lines, "param data")?;
+        let values: Result<Vec<f32>, _> =
+            data_line.split_whitespace().map(str::parse::<f32>).collect();
+        let values =
+            values.map_err(|e| ModelIoError::Format(format!("bad value in `{name}`: {e}")))?;
+        let matrix = Matrix::from_vec(rows, cols, values)
+            .map_err(|_| ModelIoError::Format(format!("value count mismatch for `{name}`")))?;
+        let id = store.id_at(i);
+        let param = store.param(id);
+        if param.name != name {
+            return Err(ModelIoError::Mismatch(format!(
+                "tensor {i} is `{}` in the architecture but `{name}` in the file",
+                param.name
+            )));
+        }
+        if param.value.shape() != (rows, cols) {
+            return Err(ModelIoError::Mismatch(format!(
+                "tensor `{name}` has shape {:?} in the architecture but {rows}x{cols} in the file",
+                param.value.shape()
+            )));
+        }
+        store.param_mut(id).value = matrix;
+    }
+    Ok(())
+}
+
 impl Lhnn {
-    /// Writes the model (architecture + weights) to `w`.
+    /// Writes the model (kind tag + architecture + weights) to `w`.
     ///
     /// Pass `&mut writer` to keep using the writer afterwards.
     ///
@@ -82,7 +214,8 @@ impl Lhnn {
     /// Propagates I/O failures.
     pub fn save<W: Write>(&self, mut w: W) -> Result<(), ModelIoError> {
         let cfg = self.config();
-        writeln!(w, "lhnn-model v1")?;
+        writeln!(w, "lhnn-model v2")?;
+        writeln!(w, "kind lhnn")?;
         writeln!(w, "hidden {}", cfg.hidden)?;
         writeln!(w, "hypermp_layers {}", cfg.hypermp_layers)?;
         writeln!(w, "latticemp_encode_layers {}", cfg.latticemp_encode_layers)?;
@@ -90,117 +223,125 @@ impl Lhnn {
         writeln!(w, "gcell_in_dim {}", cfg.gcell_in_dim)?;
         writeln!(w, "gnet_in_dim {}", cfg.gnet_in_dim)?;
         writeln!(w, "channel_mode {}", mode_str(cfg.channel_mode))?;
-        writeln!(w, "params {}", self.store().len())?;
-        for p in self.store().iter() {
-            let (rows, cols) = p.value.shape();
-            writeln!(w, "param {} {} {}", p.name, rows, cols)?;
-            let mut line = String::with_capacity(p.value.len() * 10);
-            for (i, v) in p.value.as_slice().iter().enumerate() {
-                if i > 0 {
-                    line.push(' ');
-                }
-                line.push_str(&format!("{v:e}"));
-            }
-            writeln!(w, "{line}")?;
-        }
-        Ok(())
+        write_params(&mut w, self.store())
     }
 
-    /// Reads a model previously written by [`Lhnn::save`].
+    /// Reads a model previously written by [`Lhnn::save`] (v2, kind
+    /// `lhnn`) or by the untagged v1 format.
     ///
     /// # Errors
     ///
     /// Returns [`ModelIoError::Format`] for malformed input and
-    /// [`ModelIoError::Mismatch`] when the stored tensors do not match the
-    /// architecture rebuilt from the header.
+    /// [`ModelIoError::Mismatch`] when the checkpoint holds a different
+    /// kind or its tensors do not match the architecture rebuilt from
+    /// the header.
     pub fn load<R: Read>(r: R) -> Result<Lhnn, ModelIoError> {
         let mut lines = BufReader::new(r).lines();
-        let mut next = |what: &str| -> Result<String, ModelIoError> {
-            lines
-                .next()
-                .ok_or_else(|| ModelIoError::Format(format!("unexpected eof before {what}")))?
-                .map_err(ModelIoError::Io)
-        };
-        let magic = next("header")?;
-        if magic.trim() != "lhnn-model v1" {
-            return Err(ModelIoError::Format(format!("bad magic `{magic}`")));
+        match read_header(&mut lines)? {
+            KindTag::Lhnn => Lhnn::load_body(&mut lines),
+            other => Err(ModelIoError::Mismatch(format!(
+                "checkpoint holds a {other:?} model, not an Lhnn; use `load_model`"
+            ))),
         }
-        let mut kv = |key: &str| -> Result<String, ModelIoError> {
-            let line = next(key)?;
-            let (k, v) = line
-                .split_once(' ')
-                .ok_or_else(|| ModelIoError::Format(format!("expected `{key} <value>`")))?;
-            if k != key {
-                return Err(ModelIoError::Format(format!("expected key `{key}`, got `{k}`")));
-            }
-            Ok(v.trim().to_string())
-        };
-        let parse_usize = |v: String, key: &str| -> Result<usize, ModelIoError> {
-            v.parse().map_err(|_| ModelIoError::Format(format!("bad {key} `{v}`")))
-        };
+    }
+
+    /// Reads the post-header body (architecture kv lines + tensors).
+    fn load_body(
+        lines: &mut impl Iterator<Item = std::io::Result<String>>,
+    ) -> Result<Lhnn, ModelIoError> {
         let cfg = LhnnConfig {
-            hidden: parse_usize(kv("hidden")?, "hidden")?,
-            hypermp_layers: parse_usize(kv("hypermp_layers")?, "hypermp_layers")?,
+            hidden: parse_usize(read_kv(lines, "hidden")?, "hidden")?,
+            hypermp_layers: parse_usize(read_kv(lines, "hypermp_layers")?, "hypermp_layers")?,
             latticemp_encode_layers: parse_usize(
-                kv("latticemp_encode_layers")?,
+                read_kv(lines, "latticemp_encode_layers")?,
                 "latticemp_encode_layers",
             )?,
             latticemp_joint_layers: parse_usize(
-                kv("latticemp_joint_layers")?,
+                read_kv(lines, "latticemp_joint_layers")?,
                 "latticemp_joint_layers",
             )?,
-            gcell_in_dim: parse_usize(kv("gcell_in_dim")?, "gcell_in_dim")?,
-            gnet_in_dim: parse_usize(kv("gnet_in_dim")?, "gnet_in_dim")?,
-            channel_mode: parse_mode(&kv("channel_mode")?)?,
-            // runtime knob, not part of the `lhnn-model v1` format
+            gcell_in_dim: parse_usize(read_kv(lines, "gcell_in_dim")?, "gcell_in_dim")?,
+            gnet_in_dim: parse_usize(read_kv(lines, "gnet_in_dim")?, "gnet_in_dim")?,
+            channel_mode: parse_mode(&read_kv(lines, "channel_mode")?)?,
+            // runtime knob, not part of the serialized format
             threads: 0,
         };
-        let count = parse_usize(kv("params")?, "params")?;
-
         let mut model = Lhnn::new(cfg, 0);
-        if model.store().len() != count {
-            return Err(ModelIoError::Mismatch(format!(
-                "file has {count} tensors, architecture has {}",
-                model.store().len()
-            )));
-        }
-        for i in 0..count {
-            let header = next("param header")?;
-            let tok: Vec<&str> = header.split_whitespace().collect();
-            if tok.len() != 4 || tok[0] != "param" {
-                return Err(ModelIoError::Format(format!("bad param header `{header}`")));
-            }
-            let name = tok[1];
-            let rows: usize = tok[2]
-                .parse()
-                .map_err(|_| ModelIoError::Format(format!("bad rows `{}`", tok[2])))?;
-            let cols: usize = tok[3]
-                .parse()
-                .map_err(|_| ModelIoError::Format(format!("bad cols `{}`", tok[3])))?;
-            let data_line = next("param data")?;
-            let values: Result<Vec<f32>, _> =
-                data_line.split_whitespace().map(str::parse::<f32>).collect();
-            let values =
-                values.map_err(|e| ModelIoError::Format(format!("bad value in `{name}`: {e}")))?;
-            let matrix = Matrix::from_vec(rows, cols, values)
-                .map_err(|_| ModelIoError::Format(format!("value count mismatch for `{name}`")))?;
-            let id = model.store().id_at(i);
-            let param = model.store().param(id);
-            if param.name != name {
-                return Err(ModelIoError::Mismatch(format!(
-                    "tensor {i} is `{}` in the architecture but `{name}` in the file",
-                    param.name
-                )));
-            }
-            if param.value.shape() != (rows, cols) {
-                return Err(ModelIoError::Mismatch(format!(
-                    "tensor `{name}` has shape {:?} in the architecture but {rows}x{cols} in the file",
-                    param.value.shape()
-                )));
-            }
-            model.store_mut().param_mut(id).value = matrix;
-        }
+        load_params(lines, Lhnn::store_mut(&mut model))?;
         Ok(model)
+    }
+}
+
+impl HybridNet {
+    /// Writes the model (kind tag + architecture + weights) to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save<W: Write>(&self, mut w: W) -> Result<(), ModelIoError> {
+        let cfg = self.config();
+        writeln!(w, "lhnn-model v2")?;
+        writeln!(w, "kind hybridnet")?;
+        writeln!(w, "hidden {}", cfg.hidden)?;
+        writeln!(w, "topo_rounds {}", cfg.topo_rounds)?;
+        writeln!(w, "geo_layers {}", cfg.geo_layers)?;
+        writeln!(w, "gcell_in_dim {}", cfg.gcell_in_dim)?;
+        writeln!(w, "gnet_in_dim {}", cfg.gnet_in_dim)?;
+        writeln!(w, "channel_mode {}", mode_str(cfg.channel_mode))?;
+        write_params(&mut w, CongestionModel::store(self))
+    }
+
+    /// Reads a model previously written by [`HybridNet::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelIoError::Format`] for malformed input and
+    /// [`ModelIoError::Mismatch`] when the checkpoint holds a different
+    /// kind or mismatched tensors.
+    pub fn load<R: Read>(r: R) -> Result<HybridNet, ModelIoError> {
+        let mut lines = BufReader::new(r).lines();
+        match read_header(&mut lines)? {
+            KindTag::HybridNet => HybridNet::load_body(&mut lines),
+            other => Err(ModelIoError::Mismatch(format!(
+                "checkpoint holds a {other:?} model, not a HybridNet; use `load_model`"
+            ))),
+        }
+    }
+
+    /// Reads the post-header body (architecture kv lines + tensors).
+    fn load_body(
+        lines: &mut impl Iterator<Item = std::io::Result<String>>,
+    ) -> Result<HybridNet, ModelIoError> {
+        let cfg = HybridNetConfig {
+            hidden: parse_usize(read_kv(lines, "hidden")?, "hidden")?,
+            topo_rounds: parse_usize(read_kv(lines, "topo_rounds")?, "topo_rounds")?,
+            geo_layers: parse_usize(read_kv(lines, "geo_layers")?, "geo_layers")?,
+            gcell_in_dim: parse_usize(read_kv(lines, "gcell_in_dim")?, "gcell_in_dim")?,
+            gnet_in_dim: parse_usize(read_kv(lines, "gnet_in_dim")?, "gnet_in_dim")?,
+            channel_mode: parse_mode(&read_kv(lines, "channel_mode")?)?,
+            threads: 0,
+        };
+        let mut model = HybridNet::new(cfg, 0);
+        load_params(lines, CongestionModel::store_mut(&mut model))?;
+        Ok(model)
+    }
+}
+
+/// Loads any supported architecture from a checkpoint, dispatching on
+/// the kind tag (untagged v1 streams load as LHNN). This is what serving
+/// registries and the CLI use, so a checkpoint's architecture never has
+/// to be known in advance.
+///
+/// # Errors
+///
+/// Returns [`ModelIoError::Format`] for malformed input (including
+/// unknown versions or kinds, rejected before any model is built) and
+/// [`ModelIoError::Mismatch`] for architecture/tensor disagreements.
+pub fn load_model<R: Read>(r: R) -> Result<Box<dyn CongestionModel>, ModelIoError> {
+    let mut lines = BufReader::new(r).lines();
+    match read_header(&mut lines)? {
+        KindTag::Lhnn => Ok(Box::new(Lhnn::load_body(&mut lines)?)),
+        KindTag::HybridNet => Ok(Box::new(HybridNet::load_body(&mut lines)?)),
     }
 }
 
@@ -241,6 +382,49 @@ mod tests {
     }
 
     #[test]
+    fn hybridnet_roundtrip_preserves_predictions() {
+        let (ops, feats) = sample_inputs();
+        let model = HybridNet::new(HybridNetConfig::default(), 42);
+        let before = model.predict(&ops, &feats);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = HybridNet::load(&buf[..]).unwrap();
+        let after = loaded.predict(&ops, &feats);
+        assert!(before.cls_prob.approx_eq(&after.cls_prob, 1e-6));
+        assert!(before.reg.approx_eq(&after.reg, 1e-6));
+    }
+
+    #[test]
+    fn load_model_dispatches_on_kind() {
+        let lhnn = Lhnn::new(LhnnConfig::default(), 0);
+        let mut buf = Vec::new();
+        lhnn.save(&mut buf).unwrap();
+        assert_eq!(load_model(&buf[..]).unwrap().kind(), "lhnn");
+
+        let hybrid = HybridNet::new(HybridNetConfig::default(), 0);
+        let mut buf = Vec::new();
+        hybrid.save(&mut buf).unwrap();
+        assert_eq!(load_model(&buf[..]).unwrap().kind(), "hybridnet");
+    }
+
+    #[test]
+    fn untagged_v1_stream_loads_as_lhnn() {
+        // v1 files predate the kind tag; they must keep loading (as LHNN)
+        // through both the typed loader and the dispatching one.
+        let model = Lhnn::new(LhnnConfig::default(), 9);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let v1 = String::from_utf8(buf).unwrap().replacen(
+            "lhnn-model v2\nkind lhnn\n",
+            "lhnn-model v1\n",
+            1,
+        );
+        let loaded = Lhnn::load(v1.as_bytes()).unwrap();
+        assert_eq!(loaded.weights_fingerprint(), model.weights_fingerprint());
+        assert_eq!(load_model(v1.as_bytes()).unwrap().kind(), "lhnn");
+    }
+
+    #[test]
     fn load_rejects_bad_magic() {
         let err = Lhnn::load("not a model".as_bytes()).unwrap_err();
         assert!(matches!(err, ModelIoError::Format(_)));
@@ -272,13 +456,41 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_version_mismatch() {
+    fn load_rejects_unknown_version() {
         let model = Lhnn::new(LhnnConfig::default(), 0);
         let mut buf = Vec::new();
         model.save(&mut buf).unwrap();
-        let text = String::from_utf8(buf).unwrap().replacen("lhnn-model v1", "lhnn-model v2", 1);
+        let text = String::from_utf8(buf).unwrap().replacen("lhnn-model v2", "lhnn-model v3", 1);
         let err = Lhnn::load(text.as_bytes()).unwrap_err();
         assert!(matches!(err, ModelIoError::Format(_)), "got {err}");
+        assert!(load_model(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn load_rejects_unknown_kind() {
+        let model = Lhnn::new(LhnnConfig::default(), 0);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap().replacen("kind lhnn", "kind alexnet", 1);
+        let err = load_model(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, ModelIoError::Format(_)), "got {err}");
+        let err = Lhnn::load(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, ModelIoError::Format(_)), "got {err}");
+    }
+
+    #[test]
+    fn typed_loaders_reject_cross_kind_checkpoints() {
+        let hybrid = HybridNet::new(HybridNetConfig::default(), 0);
+        let mut buf = Vec::new();
+        hybrid.save(&mut buf).unwrap();
+        let err = Lhnn::load(&buf[..]).unwrap_err();
+        assert!(matches!(err, ModelIoError::Mismatch(_)), "got {err}");
+
+        let lhnn = Lhnn::new(LhnnConfig::default(), 0);
+        let mut buf = Vec::new();
+        lhnn.save(&mut buf).unwrap();
+        let err = HybridNet::load(&buf[..]).unwrap_err();
+        assert!(matches!(err, ModelIoError::Mismatch(_)), "got {err}");
     }
 
     #[test]
@@ -301,18 +513,24 @@ mod tests {
 
     #[test]
     fn load_rejects_truncation_at_every_header_line() {
-        let model = Lhnn::new(LhnnConfig::default(), 0);
-        let mut buf = Vec::new();
-        model.save(&mut buf).unwrap();
-        let text = String::from_utf8(buf).unwrap();
-        // cut the stream after each of the first 10 lines; all must error
-        let mut offset = 0;
-        for line in text.lines().take(10) {
-            offset += line.len() + 1;
-            assert!(
-                Lhnn::load(text[..offset.min(text.len())].as_bytes()).is_err(),
-                "truncation after {offset} bytes was accepted"
-            );
+        for save in [
+            |buf: &mut Vec<u8>| Lhnn::new(LhnnConfig::default(), 0).save(buf).unwrap(),
+            |buf: &mut Vec<u8>| HybridNet::new(HybridNetConfig::default(), 0).save(buf).unwrap(),
+        ] {
+            let mut buf = Vec::new();
+            save(&mut buf);
+            let text = String::from_utf8(buf).unwrap();
+            // cut the stream after each of the first 10 lines; all must
+            // error, through both the typed and dispatching loaders
+            let mut offset = 0;
+            for line in text.lines().take(10) {
+                offset += line.len() + 1;
+                let cut = &text[..offset.min(text.len())];
+                assert!(
+                    load_model(cut.as_bytes()).is_err(),
+                    "truncation after {offset} bytes was accepted"
+                );
+            }
         }
     }
 

@@ -1,4 +1,4 @@
-//! Training and evaluation loops for LHNN.
+//! Training and evaluation loops over any [`CongestionModel`].
 //!
 //! A [`Sample`] bundles everything one design contributes: its LH-graph,
 //! normalised features and supervision targets. [`train`] runs the paper's
@@ -25,8 +25,8 @@ use neurograd::{Adam, Confusion, Matrix, Optimizer, Tape};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{AblationSpec, TrainConfig};
+use crate::congestion::CongestionModel;
 use crate::loss::joint_loss;
-use crate::model::Lhnn;
 use crate::ops::{epoch_rng, shuffled_indices, GraphOps};
 
 /// One design's training/evaluation data.
@@ -83,7 +83,7 @@ struct Shard {
 /// Runs forward + backward for one sample on a scratch tape, returning the
 /// loss and the per-parameter gradients in tape (registration) order.
 fn sample_grads(
-    model: &Lhnn,
+    model: &dyn CongestionModel,
     tape: &mut Tape,
     ops: &GraphOps,
     feats: &FeatureSet,
@@ -107,7 +107,7 @@ fn sample_grads(
 /// Deterministic for a fixed `cfg.seed`, independent of `cfg.threads` (see
 /// the module docs).
 pub fn train(
-    model: &mut Lhnn,
+    model: &mut dyn CongestionModel,
     samples: &[Sample],
     ablation: &AblationSpec,
     cfg: &TrainConfig,
@@ -121,7 +121,7 @@ pub fn train(
 /// timing-only, so the training trajectory is bitwise identical to
 /// [`train`] for the same config.
 pub fn train_observed(
-    model: &mut Lhnn,
+    model: &mut dyn CongestionModel,
     samples: &[Sample],
     ablation: &AblationSpec,
     cfg: &TrainConfig,
@@ -129,7 +129,7 @@ pub fn train_observed(
 ) -> TrainHistory {
     let epoch_span = registry.map(|r| r.histogram("lhnn_train_epoch_us"));
     let epochs_total = registry.map(|r| r.counter("lhnn_train_epochs_total"));
-    let mode = model.config().channel_mode;
+    let mode = model.channel_mode();
     // Pre-extract per-sample tensors (feature ablation applied once) and
     // warm the operators' transpose caches so no backward step rebuilds
     // a CSR transpose.
@@ -181,7 +181,7 @@ pub fn train_observed(
             // contiguous shards of the batch, one scratch tape per shard.
             let ranges = neurograd::pool::chunk_ranges(step.len(), 1, threads);
             let used = ranges.len();
-            let model_ref: &Lhnn = model;
+            let model_ref: &dyn CongestionModel = &*model;
             pool.run_mut(&mut shards[..used], |s, shard| {
                 shard.results.clear();
                 for pos in ranges[s].clone() {
@@ -228,8 +228,12 @@ pub fn train_observed(
 }
 
 /// Evaluates a model: per-design F1/ACC at threshold 0.5, averaged.
-pub fn evaluate(model: &Lhnn, samples: &[Sample], ablation: &AblationSpec) -> EvalResult {
-    let mode = model.config().channel_mode;
+pub fn evaluate(
+    model: &dyn CongestionModel,
+    samples: &[Sample],
+    ablation: &AblationSpec,
+) -> EvalResult {
+    let mode = model.channel_mode();
     let mut designs = Vec::with_capacity(samples.len());
     for s in samples {
         let ops = GraphOps::from_graph(&s.graph, ablation);
@@ -267,8 +271,12 @@ pub struct RegEval {
 
 /// Evaluates the routing-demand regression head (Eq. 4) — RMSE and Pearson
 /// correlation pooled over all G-cells of `samples`.
-pub fn evaluate_regression(model: &Lhnn, samples: &[Sample], ablation: &AblationSpec) -> RegEval {
-    let mode = model.config().channel_mode;
+pub fn evaluate_regression(
+    model: &dyn CongestionModel,
+    samples: &[Sample],
+    ablation: &AblationSpec,
+) -> RegEval {
+    let mode = model.channel_mode();
     let mut preds: Vec<f64> = Vec::new();
     let mut truths: Vec<f64> = Vec::new();
     for s in samples {
@@ -297,7 +305,11 @@ pub fn evaluate_regression(model: &Lhnn, samples: &[Sample], ablation: &Ablation
 /// Collects per-G-cell probabilities for one sample (used by the Figure 4
 /// visualisation harness). Returns `(probabilities, binary labels)` for
 /// the first channel.
-pub fn predict_map(model: &Lhnn, sample: &Sample, ablation: &AblationSpec) -> (Vec<f32>, Vec<f32>) {
+pub fn predict_map(
+    model: &dyn CongestionModel,
+    sample: &Sample,
+    ablation: &AblationSpec,
+) -> (Vec<f32>, Vec<f32>) {
     let ops = GraphOps::from_graph(&sample.graph, ablation);
     let feats = if ablation.gcell_features {
         sample.features.clone()
@@ -314,6 +326,7 @@ pub fn predict_map(model: &Lhnn, sample: &Sample, ablation: &AblationSpec) -> (V
 mod tests {
     use super::*;
     use crate::config::LhnnConfig;
+    use crate::model::Lhnn;
     use lh_graph::{LhGraphConfig, Targets};
     use vlsi_netlist::synth::{generate, SynthConfig};
     use vlsi_place::GlobalPlacer;

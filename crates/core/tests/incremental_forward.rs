@@ -15,8 +15,9 @@ use std::sync::Arc;
 
 use lh_graph::halo::{canonicalize, dilate, union_sorted};
 use lhnn::{
-    ForwardDirty, IncrementalForward, InvalidationCause, LatticePipeline, Lhnn, LhnnConfig,
-    PipelineUpdate, RebuildCause, SpliceOutcome,
+    CongestionModel, ForwardDirty, HybridNet, HybridNetConfig, IncrementalForward,
+    InvalidationCause, LatticePipeline, Lhnn, LhnnConfig, PipelineUpdate, RebuildCause,
+    SpliceOutcome,
 };
 use neurograd::{pool, Matrix};
 use proptest::prelude::*;
@@ -30,6 +31,15 @@ fn pipeline(seed: u64, n_cells: usize, side: u32) -> LatticePipeline {
     let grid = cfg.grid();
     let placed = GlobalPlacer::default().place_synth(&synth, &grid).expect("place");
     LatticePipeline::for_serving(Arc::new(synth.circuit), placed.placement, grid).expect("build")
+}
+
+/// `kind % 2`: 0 → [`Lhnn`], 1 → [`HybridNet`] — both splice through the
+/// same [`IncrementalForward`] engine.
+fn build_model(kind: usize, seed: u64) -> Box<dyn CongestionModel> {
+    match kind % 2 {
+        0 => Box::new(Lhnn::new(LhnnConfig::default(), seed)),
+        _ => Box::new(HybridNet::new(HybridNetConfig::default(), seed)),
+    }
 }
 
 fn bitwise_eq(a: &Matrix, b: &Matrix) -> bool {
@@ -48,10 +58,12 @@ proptest! {
     /// Drives a pipeline + [`IncrementalForward`] pair exactly the way a
     /// serving session does — `Incremental` outcomes noted as dirt,
     /// `FullRebuild` outcomes noted as structural — and checks every
-    /// prediction bitwise against a from-scratch forward.
+    /// prediction bitwise against a from-scratch forward, for EITHER
+    /// architecture behind [`CongestionModel`].
     #[test]
     fn spliced_forward_matches_full_forward_bitwise(
         seed in 0u64..3,
+        model_kind in 0usize..2,
         moves in proptest::collection::vec(
             (0usize..4096, 0.0f32..1.0, 0.0f32..1.0, 0u32..2), 1..10),
         chunk in 1usize..4,
@@ -60,7 +72,8 @@ proptest! {
         let mut p = pipeline(seed, 110, 8);
         let die = p.circuit().die;
         let grid = p.grid().clone();
-        let model = Lhnn::new(LhnnConfig::default(), seed);
+        let model = build_model(model_kind, seed);
+        let model = model.as_ref();
         let version = model.weights_fingerprint();
         let incr = IncrementalForward::new();
         let n_cells = p.circuit().num_cells();
@@ -94,13 +107,15 @@ proptest! {
             }
             let (ops, features) = (p.ops(), p.features());
             pool::configure_threads(threads);
-            let (spliced, _path) = incr.predict(&model, version, &ops, &features, incr.seq());
+            let (spliced, _path) = incr.predict(model, version, &ops, &features, incr.seq());
             pool::configure_threads(1);
             let full = model.predict(&ops, &features);
             prop_assert!(
                 bitwise_eq(&spliced.cls_prob, &full.cls_prob)
                     && bitwise_eq(&spliced.reg, &full.reg),
-                "spliced prediction diverged from the full forward (threads {})",
+                "spliced prediction diverged from the full forward \
+                 (kind {}, threads {})",
+                model.kind(),
                 threads
             );
         }

@@ -277,6 +277,57 @@ pub fn build_suite(cfg: &DatasetConfig) -> Result<Vec<DesignData>> {
         .collect()
 }
 
+/// A second synthetic family (`synthred*`) for the cross-design
+/// generalization split: the same generator, deliberately pushed into a
+/// structurally different regime than the `synthblue` suite — fewer,
+/// larger clusters, denser cross-cluster wiring, a heavier high-fanout
+/// tail (`degree_p` 0.30 vs 0.45) and more macro blockages. A model
+/// trained on `synthblue` therefore sees genuinely out-of-family
+/// netlists at eval time; its family knobs are fixed here on purpose and
+/// NOT overridden by [`DatasetConfig`] (the knob gap *is* the shift).
+pub fn cross_family_suite(base_seed: u64, scale: f32) -> Vec<SynthConfig> {
+    // (grid, density multiplier, clusters, macros, cross-cluster prob)
+    let specs: [(u32, f32, usize, usize, f64); 5] = [
+        (28, 1.05, 3, 5, 0.24),
+        (32, 0.80, 2, 4, 0.28),
+        (28, 1.30, 3, 6, 0.22),
+        (36, 0.95, 4, 5, 0.26),
+        (32, 1.15, 3, 6, 0.30),
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, (grid, density, clusters, macros, cross))| SynthConfig {
+            name: format!("synthred{}", i + 1),
+            seed: base_seed.wrapping_add(7000 + i as u64),
+            grid_nx: *grid,
+            grid_ny: *grid,
+            n_cells: ((*grid as f32 * *grid as f32) * density * scale) as usize,
+            n_clusters: *clusters,
+            n_macros: *macros,
+            cross_cluster_prob: *cross,
+            nets_per_cell: 1.2,
+            degree_p: 0.30,
+            ..SynthConfig::default()
+        })
+        .collect()
+}
+
+/// Builds the cross-design eval suite ([`cross_family_suite`]) end-to-end
+/// — placement, routing labels and LHNN-ready samples — under the same
+/// routing/placement settings as the training family, so the only shift
+/// between the splits is the netlist structure itself.
+///
+/// # Errors
+///
+/// Propagates the first per-design failure.
+pub fn build_cross_suite(cfg: &DatasetConfig) -> Result<Vec<DesignData>> {
+    cross_family_suite(cfg.base_seed, cfg.scale)
+        .into_iter()
+        .map(|sc| build_design(&sc, cfg))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,7 +23,8 @@ pub mod split;
 pub mod viz;
 
 pub use dataset::{
-    build_design, build_suite, serving_inputs, CapacityMode, DatasetConfig, DesignData, DesignStats,
+    build_cross_suite, build_design, build_suite, cross_family_suite, serving_inputs, CapacityMode,
+    DatasetConfig, DesignData, DesignStats,
 };
 pub use error::{DataError, Result};
 pub use report::{pct, pct1, write_bench_json, BenchRecord, TextTable};

@@ -2,7 +2,7 @@
 //!
 //! Predictions are pure functions of `(model weights, graph operators,
 //! input features)`, so the cache key is the triple of their content
-//! fingerprints ([`lhnn::Lhnn::weights_fingerprint`],
+//! fingerprints ([`lhnn::CongestionModel::weights_fingerprint`],
 //! [`lhnn::GraphOps::fingerprint`],
 //! [`lh_graph::FeatureSet::fingerprint`]). A placer polling congestion on
 //! an unchanged placement — the dominant access pattern inside an
@@ -17,7 +17,9 @@ use lhnn::Prediction;
 /// Cache key: content fingerprints of everything a forward pass reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    /// Model version ([`lhnn::Lhnn::weights_fingerprint`]).
+    /// Model version ([`lhnn::CongestionModel::weights_fingerprint`]).
+    /// Fingerprints hash the architecture kind too, so two kinds can
+    /// never collide on one key.
     pub model: u64,
     /// Graph-operator fingerprint ([`lhnn::GraphOps::fingerprint`]).
     pub ops: u64,

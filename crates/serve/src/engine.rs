@@ -53,7 +53,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use lh_graph::FeatureSet;
-use lhnn::{GraphOps, IncrementalForward, InferenceScratch, Lhnn, Prediction};
+use lhnn::{
+    CongestionModel, GraphOps, IncrementalForward, InvalidationCause, Prediction, ScratchSet,
+};
 use lhnn_obs::{FlightEvent, FlightEventKind, Registry, Snapshot};
 use neurograd::{Fnv64, Matrix};
 
@@ -285,6 +287,12 @@ pub(crate) struct Shared {
     workers_per_shard: Vec<usize>,
     started: Instant,
     obs: EngineObs,
+    /// Weak handles to every open session's incremental-forward state,
+    /// tagged with the model name it serves with. [`ServeHandle::replace_model`]
+    /// walks this on a cross-kind (or cross-channel-count) hot-swap to
+    /// invalidate activation caches that the new architecture cannot
+    /// splice against; dead weaks are pruned on each walk.
+    session_incrs: Mutex<Vec<(String, std::sync::Weak<IncrementalForward>)>>,
 }
 
 /// The engine: owns the sharded worker pool; hand out [`ServeHandle`]s to
@@ -338,6 +346,7 @@ impl ServeEngine {
             .map(|_| Shard::new(cfg.cache_capacity, Arc::clone(&clock)))
             .collect();
         let obs = EngineObs::new(cfg.metrics);
+        registry.attach_metrics(Arc::clone(&obs.registry));
         let shared = Arc::new(Shared {
             registry,
             shards,
@@ -345,6 +354,7 @@ impl ServeEngine {
             started: Instant::now(),
             obs,
             cfg,
+            session_incrs: Mutex::new(Vec::new()),
         });
         let mut workers = Vec::new();
         for (shard_idx, &n) in shared.workers_per_shard.iter().enumerate() {
@@ -600,26 +610,72 @@ impl ServeHandle {
     /// but a bare registry swap leaves them squatting in the shard LRUs,
     /// evicting live predictions until traffic ages them off.
     ///
+    /// The replacement may be a **different architecture**: displaced
+    /// cache entries are evicted either way, and when the kind (or the
+    /// output channel count) changes, every open session serving `name`
+    /// has its incremental-forward activation cache invalidated too — a
+    /// spliced forward against the old architecture's activations would
+    /// be garbage under the new one.
+    ///
     /// # Errors
     ///
     /// [`ServeError::Incompatible`] if the new model fails validation (the
     /// registry and the caches are left untouched).
-    pub fn replace_model(&self, name: &str, model: Lhnn) -> Result<Arc<ModelEntry>> {
-        let displaced = self.shared.registry.get(name).map(|e| e.version);
-        let entry = self.shared.registry.replace(name, model)?;
+    pub fn replace_model<M: CongestionModel + 'static>(
+        &self,
+        name: &str,
+        model: M,
+    ) -> Result<Arc<ModelEntry>> {
+        self.replace_model_boxed(name, Box::new(model))
+    }
+
+    /// [`ServeHandle::replace_model`] for an already-boxed model (e.g.
+    /// straight out of [`lhnn::load_model`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeHandle::replace_model`].
+    pub fn replace_model_boxed(
+        &self,
+        name: &str,
+        model: Box<dyn CongestionModel>,
+    ) -> Result<Arc<ModelEntry>> {
+        let displaced = self.shared.registry.get(name);
+        let entry = self.shared.registry.replace_boxed(name, model)?;
         if let Some(old) = displaced {
-            if old != entry.version {
+            if old.version != entry.version {
                 for s in &self.shared.shards {
-                    lock::recover(&s.cache).evict_model(old);
+                    lock::recover(&s.cache).evict_model(old.version);
                 }
                 self.shared.obs.flight.record(
                     FlightEventKind::HotSwap,
                     name,
-                    format!("v{old} -> v{}", entry.version),
+                    format!("v{} -> v{} ({})", old.version, entry.version, entry.model.kind()),
                 );
+            }
+            if old.model.kind() != entry.model.kind()
+                || old.model.channels() != entry.model.channels()
+            {
+                let mut incrs = lock::recover(&self.shared.session_incrs);
+                incrs.retain(|(session_model, weak)| match weak.upgrade() {
+                    Some(incr) => {
+                        if session_model == name {
+                            incr.note_structural(InvalidationCause::DimChange);
+                        }
+                        true
+                    }
+                    None => false,
+                });
             }
         }
         Ok(entry)
+    }
+
+    /// Records a session's incremental-forward state so cross-kind
+    /// hot-swaps of its model can invalidate it (weakly held — a closed
+    /// session just drops off the list).
+    pub(crate) fn register_session_incr(&self, model: &str, incr: &Arc<IncrementalForward>) {
+        lock::recover(&self.shared.session_incrs).push((model.to_string(), Arc::downgrade(incr)));
     }
 
     /// The engine's metrics registry: counters, gauges and stage/latency
@@ -697,17 +753,16 @@ impl ServeHandle {
             .registry
             .get(&request.model)
             .ok_or_else(|| ServeError::UnknownModel(request.model.clone()))?;
-        let cfg = entry.model.config();
-        if request.features.gcell.cols() != cfg.gcell_in_dim
-            || request.features.gnet.cols() != cfg.gnet_in_dim
+        if request.features.gcell.cols() != entry.model.gcell_in_dim()
+            || request.features.gnet.cols() != entry.model.gnet_in_dim()
         {
             return Err(ServeError::Incompatible(format!(
                 "feature dims ({}, {}) do not match model `{}` input dims ({}, {})",
                 request.features.gcell.cols(),
                 request.features.gnet.cols(),
                 entry.name,
-                cfg.gcell_in_dim,
-                cfg.gnet_in_dim
+                entry.model.gcell_in_dim(),
+                entry.model.gnet_in_dim()
             )));
         }
         if request.features.gcell.rows() != request.ops.num_gcells {
@@ -779,7 +834,9 @@ fn reply_from(
 
 fn worker_loop(shared: &Shared, shard_idx: usize) {
     let shard = &shared.shards[shard_idx];
-    let mut scratch = InferenceScratch::new();
+    // One scratch slot per model kind, lazily created: a long-lived worker
+    // serves a mixed model zoo with zero steady-state allocation.
+    let mut scratch = ScratchSet::new();
     loop {
         let batch: Vec<Job> = {
             let mut q = lock::recover(&shard.queue);
@@ -1003,7 +1060,7 @@ fn compute_owned(
     shard: &Shard,
     job: &PredictJob,
     marker: &Arc<InFlight>,
-    scratch: &mut InferenceScratch,
+    scratch: &mut ScratchSet,
 ) -> Option<(Arc<Prediction>, bool)> {
     let recheck = lock::recover(&shard.cache).get(&job.key);
     let outcome = match recheck {
@@ -1014,10 +1071,16 @@ fn compute_owned(
             // from-scratch path, so the fingerprint cache stays coherent).
             let p = match &job.incremental {
                 Some((inc, seq)) => {
-                    inc.predict(&job.entry.model, job.entry.version, &job.ops, &job.features, *seq)
-                        .0
+                    inc.predict(
+                        job.entry.model.as_ref(),
+                        job.entry.version,
+                        &job.ops,
+                        &job.features,
+                        *seq,
+                    )
+                    .0
                 }
-                None => job.entry.model.predict_into(&job.ops, &job.features, scratch),
+                None => scratch.predict(job.entry.model.as_ref(), &job.ops, &job.features),
             };
             (Arc::new(p), false)
         })),
@@ -1073,7 +1136,7 @@ fn compute_batched(
     shared: &Shared,
     shard: &Shard,
     group: Vec<(PredictJob, Arc<InFlight>)>,
-    scratch: &mut InferenceScratch,
+    scratch: &mut ScratchSet,
 ) {
     // Per-job cache recheck (same race as `compute_owned`: another worker
     // may have computed and unclaimed a key between our miss and our
@@ -1104,7 +1167,7 @@ fn compute_batched(
             gcell: vstack(pending.iter().map(|(j, _)| &j.features.gcell)),
             gnet: vstack(pending.iter().map(|(j, _)| &j.features.gnet)),
         };
-        let batched = pending[0].0.entry.model.predict_into(&block_ops, &feats, scratch);
+        let batched = scratch.predict(pending[0].0.entry.model.as_ref(), &block_ops, &feats);
         split_rows(&batched, pending.iter().map(|(j, _)| j.features.gcell.rows()))
     }));
     match outcome {

@@ -4,8 +4,10 @@
 //! The paper's end goal is congestion feedback *inside* placement loops: a
 //! placer queries "where will routing congest?" thousands of times per
 //! design, and a serving deployment fields *many* such loops at once. This
-//! crate turns the one-shot [`lhnn::Lhnn::predict`] path into an always-on
-//! service skeleton:
+//! crate turns the one-shot [`lhnn::CongestionModel::predict`] path into an
+//! always-on service skeleton, generic over the model architecture — any
+//! [`lhnn::CongestionModel`] (LHNN, HybridNet, …) serves through the same
+//! engine:
 //!
 //! * [`ModelRegistry`] — loads `.lhnn` checkpoints once, validates them
 //!   against the feature pipeline, hands out shared entries; bad
@@ -13,7 +15,7 @@
 //! * [`ServeEngine`] — a front over [`EngineConfig::shards`] independent
 //!   shards; each owns a bounded request queue drained by its slice of
 //!   long-lived worker threads (tape-free forwards on a reusable
-//!   [`lhnn::InferenceScratch`], micro-batching, single-flight dedup),
+//!   per-kind [`lhnn::ScratchSet`], micro-batching, single-flight dedup),
 //!   its own prediction cache and its own stats. Designs route to shards
 //!   by a stable hash, so one hot placement loop can neither evict
 //!   another design's cache entries nor monopolise all workers.

@@ -404,9 +404,11 @@ impl ServeHandle {
         placement: Placement,
         grid: GcellGrid,
     ) -> Result<Session> {
-        if self.registry().get(&cfg.model).is_none() {
-            return Err(ServeError::UnknownModel(cfg.model.clone()));
-        }
+        let entry = self
+            .registry()
+            .get(&cfg.model)
+            .ok_or_else(|| ServeError::UnknownModel(cfg.model.clone()))?;
+        let model_kind = entry.model.kind();
         let design_id = cfg.design.clone().unwrap_or_else(|| circuit.name.clone());
         let shard = self.shard_of_design(&design_id);
         let mut pipeline =
@@ -419,7 +421,7 @@ impl ServeHandle {
         let (incr, obs) = if engine_obs.registry.is_enabled() {
             pipeline.set_metrics(&engine_obs.registry, &design_id);
             (
-                IncrementalForward::with_metrics(&engine_obs.registry, &design_id),
+                IncrementalForward::with_metrics(&engine_obs.registry, &design_id, model_kind),
                 Some(SessionObs {
                     flight: Arc::clone(&engine_obs.flight),
                     drain: engine_obs.registry.stage("drain"),
@@ -436,6 +438,9 @@ impl ServeHandle {
             design: design_id,
             obs,
         });
+        // Cross-kind hot-swaps must be able to kill this session's
+        // activation cache (weakly held; dropping the session unregisters).
+        self.register_session_incr(&cfg.model, &core.incr);
         Ok(Session { handle: self.clone(), cfg, core, shard })
     }
 }
@@ -1023,6 +1028,73 @@ mod tests {
         assert_eq!(inc.invalidations, 0, "crossings must keep the cache, got {inc:?}");
         assert_eq!(inc.full_forwards, 1, "only the cold forward recomputes everything");
         assert!(inc.spliced_forwards >= 1, "crossing forward must splice, got {inc:?}");
+        engine.shutdown();
+    }
+
+    /// Regression for cross-kind hot-swap: replacing a session's model
+    /// with a **different architecture** mid-session must (a) evict the
+    /// displaced version's cache entries, (b) invalidate the session's
+    /// incremental activation cache (a splice against the old
+    /// architecture's activations would be garbage), and (c) serve the
+    /// new model bitwise-identically to a direct forward.
+    #[test]
+    fn cross_kind_hot_swap_invalidates_sessions_and_serves_the_new_model() {
+        use lhnn::{HybridNet, HybridNetConfig};
+        let engine = engine();
+        let handle = engine.handle();
+        let (circuit, placement, grid) = design(17);
+        let die = circuit.die;
+        let mut session = handle
+            .open_session(
+                SessionConfig::new("default"),
+                Arc::clone(&circuit),
+                placement.clone(),
+                grid.clone(),
+            )
+            .unwrap();
+        // warm the session: a cold full forward, then a spliced one
+        assert!(!session.predict().unwrap().cached);
+        let mut reference = placement;
+        let id = CellId(0);
+        let np = die.clamp(Point::new(
+            reference.position(id).x + grid.gcell_width() * 1.5,
+            reference.position(id).y,
+        ));
+        reference.set_position(id, np);
+        session.update(&PlacementDelta::single(id, np)).unwrap();
+        assert!(session.predict().is_ok());
+        let before = session.incremental_stats();
+        assert!(before.spliced_forwards >= 1, "warm-up must splice, got {before:?}");
+        assert!(handle.cache_len() >= 1);
+
+        // hot-swap LHNN -> HybridNet under the same registry name
+        let hybrid = HybridNet::new(HybridNetConfig::default(), 3);
+        let reference_model = HybridNet::new(HybridNetConfig::default(), 3);
+        let entry = handle.replace_model("default", hybrid).unwrap();
+        assert_eq!(entry.model.kind(), "hybridnet");
+        assert_eq!(handle.cache_len(), 0, "displaced kind's entries must be evicted");
+        let after_swap = session.incremental_stats();
+        assert!(
+            after_swap.invalidations_dim_change >= 1,
+            "cross-kind swap must invalidate the session's activation cache, got {after_swap:?}"
+        );
+
+        // the session now serves the new architecture, bitwise equal to a
+        // direct HybridNet forward on freshly built inputs
+        let reply = session.predict().unwrap();
+        assert!(!reply.cached, "old kind's cache entries must not answer");
+        let (ops, features) = batch_inputs(&circuit, &reference, &grid, session.config());
+        let direct = reference_model.predict(&ops, &features);
+        assert!(
+            reply.prediction.cls_prob.approx_eq(&direct.cls_prob, 0.0),
+            "post-swap prediction must match a direct HybridNet forward bitwise"
+        );
+        let after = session.incremental_stats();
+        assert_eq!(
+            after.full_forwards,
+            before.full_forwards + 1,
+            "the first post-swap forward must recompute everything"
+        );
         engine.shutdown();
     }
 

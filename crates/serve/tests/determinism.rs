@@ -1,11 +1,12 @@
 //! Property: serving is a transparent wrapper — for random designs, any
-//! worker count and any cache state, [`ServeHandle::predict`] returns
-//! predictions bitwise-identical to a direct [`Lhnn::predict`] call.
+//! worker count, any cache state and EITHER architecture,
+//! [`ServeHandle::predict`] returns predictions bitwise-identical to a
+//! direct [`CongestionModel::predict`] call.
 
 use std::sync::Arc;
 
 use lh_graph::FeatureSet;
-use lhnn::{GraphOps, Lhnn, LhnnConfig};
+use lhnn::{CongestionModel, GraphOps, HybridNet, HybridNetConfig, Lhnn, LhnnConfig};
 use lhnn_serve::{EngineConfig, ModelRegistry, PredictRequest, ServeEngine};
 use proptest::prelude::*;
 
@@ -14,15 +15,24 @@ fn design(seed: u64, n_cells: usize, grid: u32) -> (Arc<GraphOps>, Arc<FeatureSe
     (Arc::new(ops), Arc::new(features))
 }
 
+/// One model of each registered architecture, by proptest-drawn index.
+fn build_model(kind: usize, seed: u64) -> Box<dyn CongestionModel> {
+    match kind % 2 {
+        0 => Box::new(Lhnn::new(LhnnConfig::default(), seed)),
+        _ => Box::new(HybridNet::new(HybridNetConfig::default(), seed)),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// Cold cache, warm cache and every worker AND shard count agree
-    /// bitwise with the direct forward.
+    /// bitwise with the direct forward — for BOTH architectures.
     #[test]
     fn served_prediction_is_bitwise_identical(
         design_seed in 0u64..1000,
         model_seed in 0u64..1000,
+        model_kind in 0usize..2,
         n_cells in 60usize..140,
         grid in 6u32..10,
         workers in 1usize..5,
@@ -30,11 +40,11 @@ proptest! {
         cache_capacity in 0usize..8,
     ) {
         let (ops, features) = design(design_seed, n_cells, grid);
-        let model = Lhnn::new(LhnnConfig::default(), model_seed);
+        let model = build_model(model_kind, model_seed);
         let direct = model.predict(&ops, &features);
 
         let registry = Arc::new(ModelRegistry::new());
-        registry.register("m", model).expect("register");
+        registry.register_boxed("m", model).expect("register");
         let engine = ServeEngine::new(
             registry,
             EngineConfig { workers, shards, cache_capacity, ..Default::default() },

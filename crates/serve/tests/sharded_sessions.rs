@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use lhnn::{Lhnn, LhnnConfig, Prediction};
+use lhnn::{CongestionModel, HybridNet, HybridNetConfig, Lhnn, LhnnConfig, Prediction};
 use lhnn_serve::{EngineConfig, ModelRegistry, ServeEngine, SessionConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -67,9 +67,15 @@ fn scripted_design(tag: usize, seed: u64, n_deltas: usize) -> Design {
     Design { name: cfg.name, circuit, placement: placed.placement, grid, script }
 }
 
-fn registry() -> Arc<ModelRegistry> {
+/// A registry serving one model of the chosen architecture (0 = LHNN,
+/// 1 = HybridNet) under the name `"m"`.
+fn registry(model_kind: usize) -> Arc<ModelRegistry> {
     let registry = Arc::new(ModelRegistry::new());
-    registry.register("m", Lhnn::new(LhnnConfig::default(), 0)).expect("register");
+    let model: Box<dyn CongestionModel> = match model_kind % 2 {
+        0 => Box::new(Lhnn::new(LhnnConfig::default(), 0)),
+        _ => Box::new(HybridNet::new(HybridNetConfig::default(), 0)),
+    };
+    registry.register_boxed("m", model).expect("register");
     registry
 }
 
@@ -112,6 +118,7 @@ proptest! {
     #[test]
     fn interleaved_sessions_match_serial_replay(
         base_seed in 0u64..500,
+        model_kind in 0usize..2,
         n_designs in 2usize..5,
         shards in 1usize..4,
         workers in 1usize..5,
@@ -123,7 +130,7 @@ proptest! {
 
         // Concurrent, pipelined, sharded: one client thread per design.
         let engine = ServeEngine::new(
-            registry(),
+            registry(model_kind),
             EngineConfig { workers, shards, ..EngineConfig::default() },
         );
         let concurrent: Vec<(Vec<Arc<Prediction>>, (u64, u64))> = std::thread::scope(|scope| {
@@ -138,7 +145,7 @@ proptest! {
         // Serial replay: single shard, single worker, blocking updates,
         // one design at a time.
         let serial_engine = ServeEngine::new(
-            registry(),
+            registry(model_kind),
             EngineConfig { workers: 1, shards: 1, ..EngineConfig::default() },
         );
         for (design, (got_preds, got_fps)) in designs.iter().zip(&concurrent) {
@@ -176,7 +183,7 @@ fn name_on_other_shard(handle: &lhnn_serve::ServeHandle, other: &str) -> String 
 fn hot_design_cannot_evict_another_shards_cache() {
     let hot = scripted_design(0, 7, 0);
     let engine = ServeEngine::new(
-        registry(),
+        registry(0),
         // tiny per-shard cache so the hot design's states overflow it
         EngineConfig { workers: 2, shards: 2, cache_capacity: 2, ..EngineConfig::default() },
     );
